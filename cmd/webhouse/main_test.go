@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSession executes the scripted session end to end and checks the
+// paper-anchored milestones appear in the transcript.
+func TestRunSession(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"registered source 'catalog'",
+		"fully answerable: true (Example 3.4)",
+		"fully answerable: false",
+		"exact answer: 13 nodes",
+		"<incomplete-tree>",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("session transcript missing %q", want)
+		}
+	}
+}

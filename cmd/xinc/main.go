@@ -1,0 +1,223 @@
+// Command xinc is a CLI for the incomplete-XML library: validate documents
+// against tree types, evaluate ps-queries, run a Refine chain over
+// query-answer observations, and inspect the resulting incomplete tree.
+//
+// Usage:
+//
+//	xinc validate -type catalog.dtd doc.xml
+//	xinc query    -query q.psq doc.xml
+//	xinc refine   -type catalog.dtd -doc doc.xml q1.psq q2.psq ...
+//	xinc answer   -type catalog.dtd -doc doc.xml -observe q1.psq -ask q2.psq
+//
+// File formats: documents are the xmlio XML dialect; tree types use the
+// paper's "a -> b+ c?" syntax; queries use the indented ps-query syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"incxml/internal/answer"
+	"incxml/internal/dtd"
+	"incxml/internal/query"
+	"incxml/internal/refine"
+	"incxml/internal/tree"
+	"incxml/internal/xmlio"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "validate":
+		err = cmdValidate(os.Args[2:], os.Stdout)
+	case "query":
+		err = cmdQuery(os.Args[2:], os.Stdout)
+	case "refine":
+		err = cmdRefine(os.Args[2:], os.Stdout)
+	case "answer":
+		err = cmdAnswer(os.Args[2:], os.Stdout)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xinc:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  xinc validate -type TYPE DOC          check DOC against TYPE
+  xinc query    -query QUERY DOC        evaluate a ps-query
+  xinc refine   -type TYPE -doc DOC Q...  run Algorithm Refine over queries
+  xinc answer   -type TYPE -doc DOC -observe Q -ask Q  answer from incomplete info`)
+}
+
+func loadDoc(path string) (tree.Tree, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return tree.Tree{}, err
+	}
+	return xmlio.Unmarshal(string(data))
+}
+
+func loadType(path string) (*dtd.Type, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return dtd.Parse(string(data))
+}
+
+func loadQuery(path string) (query.Query, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return query.Query{}, err
+	}
+	return query.Parse(string(data))
+}
+
+func cmdValidate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	typePath := fs.String("type", "", "tree type file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *typePath == "" || fs.NArg() != 1 {
+		return fmt.Errorf("validate needs -type and one document")
+	}
+	ty, err := loadType(*typePath)
+	if err != nil {
+		return err
+	}
+	doc, err := loadDoc(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if err := ty.Validate(doc); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "valid: %d nodes, depth %d\n", doc.Size(), doc.Depth())
+	return nil
+}
+
+func cmdQuery(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	queryPath := fs.String("query", "", "ps-query file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *queryPath == "" || fs.NArg() != 1 {
+		return fmt.Errorf("query needs -query and one document")
+	}
+	q, err := loadQuery(*queryPath)
+	if err != nil {
+		return err
+	}
+	doc, err := loadDoc(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	return xmlio.Write(w, q.Eval(doc))
+}
+
+func cmdRefine(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("refine", flag.ExitOnError)
+	typePath := fs.String("type", "", "tree type file")
+	docPath := fs.String("doc", "", "source document (simulated)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *typePath == "" || *docPath == "" || fs.NArg() == 0 {
+		return fmt.Errorf("refine needs -type, -doc and at least one query")
+	}
+	ty, err := loadType(*typePath)
+	if err != nil {
+		return err
+	}
+	doc, err := loadDoc(*docPath)
+	if err != nil {
+		return err
+	}
+	r := refine.NewRefiner(ty.Alphabet(), ty)
+	for _, qp := range fs.Args() {
+		q, err := loadQuery(qp)
+		if err != nil {
+			return err
+		}
+		a, err := r.ObserveOn(doc, q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "observed %s: %d answer nodes, representation size %d\n",
+			qp, a.Size(), r.Tree().Size())
+	}
+	return xmlio.WriteIncomplete(w, r.Reachable())
+}
+
+func cmdAnswer(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("answer", flag.ExitOnError)
+	typePath := fs.String("type", "", "tree type file")
+	docPath := fs.String("doc", "", "source document (simulated)")
+	var observes sliceFlag
+	fs.Var(&observes, "observe", "query to observe first (repeatable)")
+	askPath := fs.String("ask", "", "query to answer from the incomplete tree")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *typePath == "" || *docPath == "" || *askPath == "" {
+		return fmt.Errorf("answer needs -type, -doc and -ask")
+	}
+	ty, err := loadType(*typePath)
+	if err != nil {
+		return err
+	}
+	doc, err := loadDoc(*docPath)
+	if err != nil {
+		return err
+	}
+	r := refine.NewRefiner(ty.Alphabet(), ty)
+	for _, qp := range observes {
+		q, err := loadQuery(qp)
+		if err != nil {
+			return err
+		}
+		if _, err := r.ObserveOn(doc, q); err != nil {
+			return err
+		}
+	}
+	ask, err := loadQuery(*askPath)
+	if err != nil {
+		return err
+	}
+	know := r.Reachable()
+	fully, err := answer.FullyAnswerable(know, ask)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "fully answerable: %v\n", fully)
+	certain, err := answer.CertainlyNonEmpty(know, ask)
+	if err != nil {
+		return err
+	}
+	possible, err := answer.PossiblyNonEmpty(know, ask)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "answer certainly nonempty: %v; possibly nonempty: %v\n", certain, possible)
+	fmt.Fprintln(w, "answer on known data:")
+	return xmlio.Write(w, ask.Eval(know.DataTree()))
+}
+
+// sliceFlag collects repeated string flags.
+type sliceFlag []string
+
+func (s *sliceFlag) String() string     { return fmt.Sprint([]string(*s)) }
+func (s *sliceFlag) Set(v string) error { *s = append(*s, v); return nil }

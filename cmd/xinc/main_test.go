@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"incxml/internal/workload"
+	"incxml/internal/xmlio"
+)
+
+// fixture writes the catalog type, document and queries into a temp dir.
+func fixture(t *testing.T) (typePath, docPath, q1Path, q4Path string) {
+	t.Helper()
+	dir := t.TempDir()
+	typePath = filepath.Join(dir, "catalog.dtd")
+	if err := os.WriteFile(typePath, []byte(workload.CatalogType().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	docPath = filepath.Join(dir, "doc.xml")
+	xmlDoc, err := xmlio.Marshal(workload.PaperCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(docPath, []byte(xmlDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q1Path = filepath.Join(dir, "q1.psq")
+	if err := os.WriteFile(q1Path, []byte(workload.Query1(200).String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q4Path = filepath.Join(dir, "q4.psq")
+	if err := os.WriteFile(q4Path, []byte(workload.Query4().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestCmdValidate(t *testing.T) {
+	typePath, docPath, _, _ := fixture(t)
+	var out strings.Builder
+	if err := cmdValidate([]string{"-type", typePath, docPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "valid: 24 nodes") {
+		t.Errorf("output = %q", out.String())
+	}
+	if err := cmdValidate([]string{docPath}, &out); err == nil {
+		t.Error("missing -type accepted")
+	}
+	if err := cmdValidate([]string{"-type", typePath, typePath}, &out); err == nil {
+		t.Error("non-XML document accepted")
+	}
+}
+
+func TestCmdQuery(t *testing.T) {
+	typePath, docPath, q1Path, _ := fixture(t)
+	_ = typePath
+	var out strings.Builder
+	if err := cmdQuery([]string{"-query", q1Path, docPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"canon", "nikon", "sony"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("query output missing %s", want)
+		}
+	}
+	if strings.Contains(out.String(), "olympus") {
+		t.Error("query output includes non-matching product")
+	}
+}
+
+func TestCmdRefine(t *testing.T) {
+	typePath, docPath, q1Path, _ := fixture(t)
+	var out strings.Builder
+	if err := cmdRefine([]string{"-type", typePath, "-doc", docPath, q1Path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<incomplete-tree>", "<data>", "canon"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("refine output missing %q", want)
+		}
+	}
+	if err := cmdRefine([]string{"-type", typePath, "-doc", docPath}, &out); err == nil {
+		t.Error("refine without queries accepted")
+	}
+}
+
+func TestCmdAnswer(t *testing.T) {
+	typePath, docPath, q1Path, q4Path := fixture(t)
+	var out strings.Builder
+	err := cmdAnswer([]string{
+		"-type", typePath, "-doc", docPath,
+		"-observe", q1Path, "-ask", q4Path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "fully answerable: false") {
+		t.Errorf("expected not fully answerable:\n%s", s)
+	}
+	if !strings.Contains(s, "answer certainly nonempty: true") {
+		t.Errorf("expected certainly nonempty:\n%s", s)
+	}
+	if !strings.Contains(s, "canon") {
+		t.Errorf("known-data answer missing content:\n%s", s)
+	}
+}

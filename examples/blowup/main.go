@@ -1,0 +1,71 @@
+// Blowup: Example 3.2 and the three countermeasures of Section 3.2.
+//
+// The workload asks queries root(a = i, b = i) with empty answers. Regular
+// incomplete trees must enumerate every combination of "a != i or b != i",
+// growing exponentially; the program measures that growth and compares:
+//
+//   - conjunctive incomplete trees (Refine⁺, Theorem 3.8): linear growth,
+//     at the price of NP-hard emptiness (Theorem 3.10);
+//   - the Proposition 3.13 additional queries: pin the actual a/b values
+//     first and the representation stays small;
+//   - lossy shrinking: cap the size, losing the a/b value correlations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"incxml"
+	"incxml/internal/conj"
+	"incxml/internal/workload"
+)
+
+func main() {
+	const steps = 7
+	world := workload.BlowupWorld()
+
+	fmt.Println("Example 3.2 workload: queries root(a=i, b=i), all answers empty")
+	fmt.Printf("%4s %12s %12s %12s %12s\n", "n", "regular", "conjunctive", "prop-3.13", "lossy(cap)")
+
+	regular := incxml.NewRefiner(workload.BlowupSigma, nil)
+	conjT := conj.FromITree(incxml.Universal(workload.BlowupSigma))
+
+	aided := incxml.NewRefiner(workload.BlowupSigma, nil)
+	for _, q := range incxml.AdditionalQueries(workload.BlowupWorkload(steps)) {
+		if _, err := aided.ObserveOn(world, q); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	lossy := incxml.NewRefiner(workload.BlowupSigma, nil)
+	const cap = 120
+
+	for i := 1; i <= steps; i++ {
+		q := workload.BlowupQuery(int64(i))
+
+		if _, err := regular.ObserveOn(world, q); err != nil {
+			log.Fatal(err)
+		}
+		if err := conjT.RefinePlus(q, q.Eval(world), workload.BlowupSigma); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := aided.ObserveOn(world, q); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := lossy.ObserveOn(world, q); err != nil {
+			log.Fatal(err)
+		}
+		shrunk := incxml.LossyShrink(lossy.Tree(), cap)
+
+		fmt.Printf("%4d %12d %12d %12d %12d\n",
+			i, regular.Tree().Size(), conjT.Size(), aided.Tree().Size(), shrunk.Size())
+	}
+
+	// The price of conjunctive conciseness: emptiness is NP-complete
+	// (Theorem 3.10). Deciding it expands certificates.
+	fmt.Println("\nconjunctive tree nonempty (NP check):", !conjT.Empty())
+	// All three lossless representations still accept the true world.
+	fmt.Println("regular accepts the world:   ", regular.Tree().Member(world))
+	fmt.Println("prop-3.13 accepts the world: ", aided.Tree().Member(world))
+	fmt.Println("conjunctive accepts the world:", conjT.Member(world))
+}

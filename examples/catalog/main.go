@@ -1,0 +1,97 @@
+// Catalog: the paper's running example, end to end. Reproduces Figures 1-9:
+// the catalog tree type, Queries 1-4, the answers of Figure 6, and the
+// incomplete trees after Query 1 (Figure 8) and Query 2 (Figure 9),
+// including the inferences the paper highlights in Example 3.1 ("Nikon has
+// no picture", "Olympus costs at least $200").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"incxml"
+	"incxml/internal/workload"
+)
+
+func main() {
+	// Figure 1: the catalog tree type. Categorical values are code points:
+	// elec=1, camera=2, cdplayer=3.
+	ty := workload.CatalogType()
+	fmt.Println("== Figure 1: the catalog tree type")
+	fmt.Println(ty)
+
+	// The hidden source document (the webhouse never sees it directly).
+	doc := workload.PaperCatalog()
+
+	// Figure 2 / Figure 6 left: Query 1 and its answer.
+	q1 := workload.Query1(200)
+	a1 := q1.Eval(doc)
+	fmt.Println("== Query 1 (Figure 2): elec products under $200 — answer (Figure 6, left):")
+	fmt.Println(a1)
+
+	// Figure 3 / Figure 6 right: Query 2 and its answer.
+	q2 := workload.Query2()
+	a2 := q2.Eval(doc)
+	fmt.Println("== Query 2 (Figure 3): pictured cameras — answer (Figure 6, right):")
+	fmt.Println(a2)
+
+	// Algorithm Refine: fold both observations with the tree type.
+	r := incxml.NewRefiner(workload.CatalogSigma, ty)
+	if err := r.Observe(q1, a1); err != nil {
+		log.Fatal(err)
+	}
+	after1 := r.Reachable()
+	fmt.Printf("== Incomplete tree after Query 1 (Figure 8): size %d, %d data nodes\n\n",
+		after1.Size(), len(after1.Nodes))
+
+	if err := r.Observe(q2, a2); err != nil {
+		log.Fatal(err)
+	}
+	after2 := r.Reachable()
+	fmt.Printf("== Incomplete tree after Query 2 (Figure 9): size %d, %d data nodes\n",
+		after2.Size(), len(after2.Nodes))
+	fmt.Println(after2)
+
+	// Example 3.1's inferences, checked against the representation.
+	fmt.Println("== Example 3.1 inferences")
+	nikonWithPicture := doc.Clone()
+	nikon := nikonWithPicture.Find("nikon")
+	nikon.Children = append(nikon.Children, incxml.NewNode("picture", incxml.Int(77)))
+	fmt.Println("world where Nikon has a picture possible:", after2.Member(nikonWithPicture),
+		"(query 2 returned no Nikon picture, so: certainly none)")
+
+	cheapOlympus := doc.Clone()
+	cheapOlympus.Find("olympus.price").Value = incxml.Int(150)
+	fmt.Println("world where Olympus costs $150 possible:", after2.Member(cheapOlympus),
+		"(query 1 did not return it, so: price >= 200)")
+
+	hiddenCamera := doc.Clone()
+	hiddenCamera.Root.Children = append(hiddenCamera.Root.Children,
+		incxml.NewNodeID("leica", "product", incxml.Int(0),
+			incxml.NewNodeID("leica.name", "name", incxml.Int(17)),
+			incxml.NewNodeID("leica.price", "price", incxml.Int(999)),
+			incxml.NewNodeID("leica.cat", "cat", incxml.Int(workload.ValElec),
+				incxml.NewNodeID("leica.sub", "subcat", incxml.Int(workload.ValCamera)))))
+	fmt.Println("world with an unseen expensive pictureless camera possible:",
+		after2.Member(hiddenCamera), "(that information gap is what Query 4 runs into)")
+
+	// Queries 3 and 4 (Figures 4, 5) against the incomplete tree.
+	fmt.Println("\n== Querying the incomplete information (Example 3.4)")
+	q3 := workload.Query3(100)
+	fully3, err := incxml.FullyAnswerable(after2, q3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Query 3 (cheap pictured cameras) fully answerable:", fully3)
+
+	q4 := workload.Query4()
+	fully4, err := incxml.FullyAnswerable(after2, q4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	certain4, _ := incxml.CertainlyNonEmpty(after2, q4)
+	fmt.Println("Query 4 (all cameras) fully answerable:", fully4,
+		"— certainly nonempty:", certain4)
+	fmt.Println("cameras known so far:")
+	fmt.Println(q4.Eval(after2.DataTree()))
+}

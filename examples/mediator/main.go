@@ -1,0 +1,75 @@
+// Mediator: guiding source access with incomplete information
+// (Section 3.4). After the catalog has been partially explored, the query
+// "list all cameras" cannot be answered locally; the mediator generates a
+// non-redundant set of local queries (Theorem 3.19) that fetches exactly
+// the missing information — the paper's Query 5.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"incxml"
+	"incxml/internal/workload"
+)
+
+func main() {
+	// A source with a product the exploration queries cannot see: an
+	// expensive camera without pictures.
+	doc := workload.CatalogDocument([]workload.Product{
+		{ID: "canon", Name: 10, Price: 120, Subcat: workload.ValCamera, Pictures: []int64{20}},
+		{ID: "nikon", Name: 11, Price: 199, Subcat: workload.ValCamera},
+		{ID: "sony", Name: 12, Price: 175, Subcat: workload.ValCDPlayer},
+		{ID: "leica", Name: 17, Price: 999, Subcat: workload.ValCamera}, // hidden
+	})
+	src, err := incxml.NewSource("catalog", workload.CatalogType(), doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wh := incxml.NewWebhouse()
+	wh.Register(src)
+
+	// Explore with the running example's queries.
+	for _, q := range []incxml.Query{workload.Query1(200), workload.Query2()} {
+		if _, err := wh.Explore("catalog", q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	know, err := wh.Knowledge("catalog")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("explored with Queries 1 and 2: %d data nodes known\n",
+		know.DataTree().Size())
+	fmt.Println("the hidden Leica is invisible so far:",
+		know.DataTree().Find("leica") == nil)
+
+	// Query 4: list all cameras. Not fully answerable.
+	q4 := workload.Query4()
+	fully, err := incxml.FullyAnswerable(know, q4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nQuery 4 fully answerable locally:", fully)
+
+	// The mediator generates a non-redundant completion: local queries
+	// anchored at known nodes that fetch precisely the missing parts.
+	ls, err := incxml.Complete(know, q4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("completion: %d local queries (cf. the paper's Query 5):\n", len(ls))
+	for _, lq := range ls {
+		fmt.Println("---")
+		fmt.Println(lq)
+	}
+
+	// Execute them, merge, answer.
+	exact, n, err := wh.AnswerComplete("catalog", q4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexecuted %d local queries; exact answer:\n%s", n, exact)
+	fmt.Println("the hidden camera surfaced:", exact.Find("leica") != nil)
+	fmt.Printf("total queries served by the source: %d\n", src.QueriesServed)
+}

@@ -1,0 +1,92 @@
+// Quickstart: acquire incomplete information about a document with two
+// queries, then reason about what is certain, possible, and still unknown.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"incxml"
+)
+
+func main() {
+	// A source document the warehouse cannot see directly: a tiny address
+	// book. Persistent node ids ("alice", ...) matter: consecutive query
+	// answers return the same nodes, so information accumulates per node.
+	doc := incxml.Tree{Root: incxml.NewNodeID("book", "book", incxml.Int(0),
+		incxml.NewNodeID("alice", "person", incxml.Int(0),
+			incxml.NewNodeID("alice.age", "age", incxml.Int(34))),
+		incxml.NewNodeID("bob", "person", incxml.Int(0),
+			incxml.NewNodeID("bob.age", "age", incxml.Int(17))),
+	)}
+
+	// Its DTD (a tree type, Definition 2.2).
+	ty := incxml.MustParseType(`
+root: book
+book   -> person*
+person -> age
+`)
+
+	// Start the acquisition chain (Algorithm Refine) knowing only the type.
+	r := incxml.NewRefiner(ty.Alphabet(), ty)
+
+	// Ask for the adults. The answer comes back and refines our knowledge.
+	adults := incxml.MustParseQuery(`book
+  person
+    age {>= 18}
+`)
+	if _, err := r.ObserveOn(doc, adults); err != nil {
+		log.Fatal(err)
+	}
+
+	know := r.Reachable() // the incomplete tree, folded with the type
+	fmt.Println("After asking for adults, the warehouse knows:")
+	fmt.Println(know)
+
+	// Alice is certainly in every possible world now; a teenager named Bob
+	// might or might not exist.
+	alicePrefix := incxml.Tree{Root: incxml.NewNodeID("book", "book", incxml.Int(0),
+		incxml.NewNodeID("alice", "person", incxml.Int(0)))}
+	fmt.Println("alice certain:", know.IsCertainPrefix(alicePrefix))
+
+	somebodyYoung := incxml.Tree{Root: incxml.NewNodeID("book", "book", incxml.Int(0),
+		incxml.NewNode("person", incxml.Int(0),
+			incxml.NewNode("age", incxml.Int(17))))}
+	fmt.Println("a 17-year-old possible:", know.IsPossiblePrefix(somebodyYoung))
+	fmt.Println("a second 34-year-old possible:", know.IsPossiblePrefix(
+		incxml.Tree{Root: incxml.NewNodeID("book", "book", incxml.Int(0),
+			incxml.NewNode("person", incxml.Int(0), incxml.NewNode("age", incxml.Int(34))),
+			incxml.NewNode("person", incxml.Int(0), incxml.NewNode("age", incxml.Int(34))),
+		)}))
+
+	// Can "everyone over 30" be answered without contacting the source?
+	over30 := incxml.MustParseQuery(`book
+  person
+    age {> 30}
+`)
+	fully, err := incxml.FullyAnswerable(know, over30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n'over 30' fully answerable from local data:", fully)
+	fmt.Println("local answer:")
+	fmt.Println(over30.Eval(know.DataTree()))
+
+	// "Everyone under 18" is not: unseen minors may exist. The possible
+	// answers are themselves an incomplete tree (Theorem 3.14).
+	under18 := incxml.MustParseQuery(`book
+  person
+    age {< 18}
+`)
+	fully, err = incxml.FullyAnswerable(know, under18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("'under 18' fully answerable:", fully)
+	possible, err := incxml.ApplyQuery(know, under18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("possible answers representation:")
+	fmt.Println(possible)
+}

@@ -1,0 +1,3 @@
+module incxml
+
+go 1.22

@@ -1,0 +1,130 @@
+package answer
+
+import (
+	"testing"
+
+	"incxml/internal/query"
+	"incxml/internal/refine"
+	"incxml/internal/tree"
+	"incxml/internal/workload"
+)
+
+// askQueries is the pool of queries posed against the incomplete tree in
+// the pointwise property tests.
+func askQueries() []query.Query {
+	return []query.Query{
+		workload.Query1(200),
+		workload.Query2(),
+		workload.Query3(100),
+		workload.Query4(),
+		query.MustParse("catalog\n  product\n    price {>= 300}\n"),
+		query.MustParse("catalog\n  product\n    picture!\n"),
+	}
+}
+
+// TestQuickStrongRepresentationPointwise checks Theorem 3.14 pointwise on
+// random instances: for every sampled world w ∈ rep(T), the concrete
+// answer q(w) must be a member of the constructed q(T). (The converse
+// inclusion is covered by the enumeration-based tests in answer_test.go.)
+func TestQuickStrongRepresentationPointwise(t *testing.T) {
+	ty := workload.CatalogType()
+	for seed := int64(0); seed < 6; seed++ {
+		doc, err := workload.RandomTree(ty, seed+10, 2, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := refine.NewRefiner(ty.Alphabet(), ty)
+		obs := workload.RandomLinearQuery(ty, seed, 3, 40)
+		if _, err := r.ObserveOn(doc, obs); err != nil {
+			t.Fatal(err)
+		}
+		know := r.Reachable()
+		// Worlds: the hidden document plus a perturbation with one more
+		// random product (which may or may not stay in rep).
+		worlds := []tree.Tree{doc}
+		if extra, err := workload.RandomTree(ty, seed+77, 2, 40); err == nil && len(extra.Root.Children) > 0 {
+			w := doc.Clone()
+			w.Root.Children = append(w.Root.Children, extra.Root.Children[0])
+			worlds = append(worlds, w)
+		}
+		for qi, ask := range askQueries() {
+			ans, err := Apply(know, ask)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for wi, w := range worlds {
+				if w.Validate() != nil || !know.Member(w) {
+					continue
+				}
+				concrete := ask.Eval(w)
+				if !ans.Member(concrete) {
+					t.Fatalf("seed %d query %d world %d: q(w) not in rep(q(T))\nanswer:\n%s\nq(T):\n%s",
+						seed, qi, wi, concrete, ans)
+				}
+			}
+		}
+	}
+}
+
+// TestNonEmptinessModalitiesAgainstWorlds cross-checks Corollary 3.18 with
+// concrete worlds: if CertainlyNonEmpty then every sampled world has a
+// nonempty answer; if not PossiblyNonEmpty then every sampled world has an
+// empty answer.
+func TestNonEmptinessModalitiesAgainstWorlds(t *testing.T) {
+	ty := workload.CatalogType()
+	doc := workload.PaperCatalog()
+	r := refine.NewRefiner(ty.Alphabet(), ty)
+	if _, err := r.ObserveOn(doc, workload.Query1(200)); err != nil {
+		t.Fatal(err)
+	}
+	know := r.Reachable()
+	worlds := []tree.Tree{doc}
+	w2 := doc.Clone()
+	w2.Root.Children = w2.Root.Children[:3] // drop olympus (unseen by Query1? no - sony kept)
+	worlds = append(worlds, w2)
+	for qi, ask := range askQueries() {
+		certain, err := CertainlyNonEmpty(know, ask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		possible, err := PossiblyNonEmpty(know, ask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if certain && !possible {
+			t.Fatalf("query %d: certain but not possible", qi)
+		}
+		for wi, w := range worlds {
+			if !know.Member(w) {
+				continue
+			}
+			empty := ask.Eval(w).IsEmpty()
+			if certain && empty {
+				t.Errorf("query %d world %d: certainly nonempty but world answers empty", qi, wi)
+			}
+			if !possible && !empty {
+				t.Errorf("query %d world %d: impossible yet world answers nonempty", qi, wi)
+			}
+		}
+	}
+}
+
+// TestApplyOnEmptyKnowledge: q(T) over the universal tree with a type is
+// well-defined and admits the concrete answer of any conforming document.
+func TestApplyOnEmptyKnowledge(t *testing.T) {
+	ty := workload.CatalogType()
+	r := refine.NewRefiner(ty.Alphabet(), ty)
+	know := r.Reachable() // type only, no observations
+	ask := workload.Query4()
+	ans, err := Apply(know, ask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := workload.PaperCatalog()
+	if !ans.Member(ask.Eval(doc)) {
+		t.Error("concrete answer rejected by q(universal ∩ type)")
+	}
+	if !ans.MayBeEmpty {
+		t.Error("empty answer should be possible with no information")
+	}
+}

@@ -1,0 +1,594 @@
+// Package cfg implements context-free grammars: Chomsky normal form,
+// emptiness, membership (CYK), bounded word generation, derivation trees,
+// and the occurrence normalization plus l(A)/r(A) path expressions used by
+// the undecidability reduction of Theorem 4.7.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"incxml/internal/pathre"
+	"incxml/internal/rat"
+	"incxml/internal/tree"
+)
+
+// Symbol is a grammar symbol; terminals and nonterminals share the
+// namespace and are distinguished by the grammar's Terminals set.
+type Symbol string
+
+// Prod is a production A → RHS.
+type Prod struct {
+	Lhs Symbol
+	Rhs []Symbol
+}
+
+// Grammar is a context-free grammar.
+type Grammar struct {
+	Start     Symbol
+	Terminals map[Symbol]bool
+	Prods     []Prod
+}
+
+// New creates a grammar with the given start symbol and terminal alphabet.
+func New(start Symbol, terminals ...Symbol) *Grammar {
+	g := &Grammar{Start: start, Terminals: map[Symbol]bool{}}
+	for _, t := range terminals {
+		g.Terminals[t] = true
+	}
+	return g
+}
+
+// Add appends a production A → rhs.
+func (g *Grammar) Add(lhs Symbol, rhs ...Symbol) *Grammar {
+	g.Prods = append(g.Prods, Prod{Lhs: lhs, Rhs: rhs})
+	return g
+}
+
+// Parse reads a grammar from text: the first line "start: S"; terminal
+// symbols are those never appearing on a left-hand side. Productions are
+// "A -> B C | a" with alternatives separated by '|'; "eps" denotes the
+// empty word.
+func Parse(src string) (*Grammar, error) {
+	g := &Grammar{Terminals: map[Symbol]bool{}}
+	lhsSeen := map[Symbol]bool{}
+	var allSyms []Symbol
+	for lineNo, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "start:"); ok {
+			g.Start = Symbol(strings.TrimSpace(rest))
+			continue
+		}
+		lhsStr, rhs, ok := strings.Cut(line, "->")
+		if !ok {
+			return nil, fmt.Errorf("cfg: line %d: expected 'A -> ...'", lineNo+1)
+		}
+		lhs := Symbol(strings.TrimSpace(lhsStr))
+		if lhs == "" {
+			return nil, fmt.Errorf("cfg: line %d: empty lhs", lineNo+1)
+		}
+		lhsSeen[lhs] = true
+		for _, alt := range strings.Split(rhs, "|") {
+			fields := strings.Fields(alt)
+			var syms []Symbol
+			for _, f := range fields {
+				if f == "eps" {
+					continue
+				}
+				syms = append(syms, Symbol(f))
+				allSyms = append(allSyms, Symbol(f))
+			}
+			g.Prods = append(g.Prods, Prod{Lhs: lhs, Rhs: syms})
+		}
+	}
+	if g.Start == "" {
+		return nil, fmt.Errorf("cfg: missing start declaration")
+	}
+	for _, s := range allSyms {
+		if !lhsSeen[s] {
+			g.Terminals[s] = true
+		}
+	}
+	return g, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *Grammar {
+	g, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// IsTerminal reports whether s is a terminal.
+func (g *Grammar) IsTerminal(s Symbol) bool { return g.Terminals[s] }
+
+// Nonterminals returns the sorted nonterminal set.
+func (g *Grammar) Nonterminals() []Symbol {
+	set := map[Symbol]bool{g.Start: true}
+	for _, p := range g.Prods {
+		set[p.Lhs] = true
+		for _, s := range p.Rhs {
+			if !g.Terminals[s] {
+				set[s] = true
+			}
+		}
+	}
+	out := make([]Symbol, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Productive returns the nonterminals deriving at least one terminal word.
+func (g *Grammar) Productive() map[Symbol]bool {
+	prod := map[Symbol]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range g.Prods {
+			if prod[p.Lhs] {
+				continue
+			}
+			ok := true
+			for _, s := range p.Rhs {
+				if !g.Terminals[s] && !prod[s] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				prod[p.Lhs] = true
+				changed = true
+			}
+		}
+	}
+	return prod
+}
+
+// Empty reports whether L(G) = ∅.
+func (g *Grammar) Empty() bool { return !g.Productive()[g.Start] }
+
+// IsCNF reports whether every production is of the form A → BC or A → a
+// (with B, C nonterminals and a terminal).
+func (g *Grammar) IsCNF() bool {
+	for _, p := range g.Prods {
+		switch len(p.Rhs) {
+		case 1:
+			if !g.Terminals[p.Rhs[0]] {
+				return false
+			}
+		case 2:
+			if g.Terminals[p.Rhs[0]] || g.Terminals[p.Rhs[1]] {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ToCNF converts the grammar to Chomsky normal form. The language must not
+// contain the empty word (productions A → ε are rejected; the paper's
+// reduction only needs ε-free grammars).
+func (g *Grammar) ToCNF() (*Grammar, error) {
+	out := New(g.Start)
+	for t := range g.Terminals {
+		out.Terminals[t] = true
+	}
+	fresh := 0
+	termWrap := map[Symbol]Symbol{}
+	wrap := func(s Symbol) Symbol {
+		if !g.Terminals[s] {
+			return s
+		}
+		if w, ok := termWrap[s]; ok {
+			return w
+		}
+		w := Symbol(fmt.Sprintf("T_%s", s))
+		termWrap[s] = w
+		out.Add(w, s)
+		return w
+	}
+	// Inline unit chains A → B by collecting unit-closure targets.
+	unitTargets := func(a Symbol) map[Symbol]bool {
+		seen := map[Symbol]bool{a: true}
+		stack := []Symbol{a}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range g.Prods {
+				if p.Lhs != x || len(p.Rhs) != 1 || g.Terminals[p.Rhs[0]] {
+					continue
+				}
+				if !seen[p.Rhs[0]] {
+					seen[p.Rhs[0]] = true
+					stack = append(stack, p.Rhs[0])
+				}
+			}
+		}
+		return seen
+	}
+	for _, a := range g.Nonterminals() {
+		for b := range unitTargets(a) {
+			for _, p := range g.Prods {
+				if p.Lhs != b {
+					continue
+				}
+				switch {
+				case len(p.Rhs) == 0:
+					return nil, fmt.Errorf("cfg: ToCNF does not support ε-productions (%s)", p.Lhs)
+				case len(p.Rhs) == 1 && g.Terminals[p.Rhs[0]]:
+					out.Add(a, p.Rhs[0])
+				case len(p.Rhs) == 1:
+					// unit production: handled by closure
+				default:
+					// Binarize with terminal wrapping.
+					syms := make([]Symbol, len(p.Rhs))
+					for i, s := range p.Rhs {
+						syms[i] = wrap(s)
+					}
+					lhs := a
+					for len(syms) > 2 {
+						fresh++
+						mid := Symbol(fmt.Sprintf("N_%d", fresh))
+						out.Add(lhs, syms[0], mid)
+						lhs = mid
+						syms = syms[1:]
+					}
+					out.Add(lhs, syms[0], syms[1])
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// NormalizeOccurrences rewrites a CNF grammar so that no nonterminal occurs
+// both first in one binary production and second in another (the
+// requirement of Theorem 4.7's proof: children names uniquely determine
+// their order). Each nonterminal B is split into B‹L› and B‹R› versions.
+func (g *Grammar) NormalizeOccurrences() (*Grammar, error) {
+	if !g.IsCNF() {
+		return nil, fmt.Errorf("cfg: NormalizeOccurrences requires CNF")
+	}
+	left := func(s Symbol) Symbol { return s + "<L>" }
+	right := func(s Symbol) Symbol { return s + "<R>" }
+	out := New(g.Start)
+	for t := range g.Terminals {
+		out.Terminals[t] = true
+	}
+	// Every nonterminal gets up to three versions: plain (start/general),
+	// left, right. Productions are replicated for each version of the LHS.
+	versions := func(a Symbol) []Symbol {
+		if a == g.Start {
+			return []Symbol{a, left(a), right(a)}
+		}
+		return []Symbol{left(a), right(a)}
+	}
+	for _, p := range g.Prods {
+		for _, lhs := range versions(p.Lhs) {
+			if len(p.Rhs) == 1 {
+				out.Add(lhs, p.Rhs[0])
+			} else {
+				out.Add(lhs, left(p.Rhs[0]), right(p.Rhs[1]))
+			}
+		}
+	}
+	return out, nil
+}
+
+// CheckOccurrences verifies the Theorem 4.7 property on a CNF grammar.
+func (g *Grammar) CheckOccurrences() error {
+	first := map[Symbol]bool{}
+	second := map[Symbol]bool{}
+	for _, p := range g.Prods {
+		if len(p.Rhs) == 2 {
+			first[p.Rhs[0]] = true
+			second[p.Rhs[1]] = true
+		}
+	}
+	for s := range first {
+		if second[s] {
+			return fmt.Errorf("cfg: %s occurs both first and second", s)
+		}
+	}
+	return nil
+}
+
+// Member decides w ∈ L(G) by CYK; the grammar must be in CNF and w nonempty.
+func (g *Grammar) Member(word []Symbol) bool {
+	n := len(word)
+	if n == 0 || !g.IsCNF() {
+		return false
+	}
+	// table[i][l] = set of nonterminals deriving word[i:i+l+1]
+	table := make([]map[Symbol]bool, n*n)
+	at := func(i, l int) map[Symbol]bool { return table[i*n+l] }
+	for i := range table {
+		table[i] = map[Symbol]bool{}
+	}
+	for i := 0; i < n; i++ {
+		for _, p := range g.Prods {
+			if len(p.Rhs) == 1 && p.Rhs[0] == word[i] {
+				at(i, 0)[p.Lhs] = true
+			}
+		}
+	}
+	for l := 1; l < n; l++ {
+		for i := 0; i+l < n; i++ {
+			for split := 0; split < l; split++ {
+				for _, p := range g.Prods {
+					if len(p.Rhs) != 2 {
+						continue
+					}
+					if at(i, split)[p.Rhs[0]] && at(i+split+1, l-split-1)[p.Rhs[1]] {
+						at(i, l)[p.Lhs] = true
+					}
+				}
+			}
+		}
+	}
+	return at(0, n-1)[g.Start]
+}
+
+// Words generates all terminal words of length at most maxLen derivable
+// from the start symbol (CNF required), up to maxCount words.
+func (g *Grammar) Words(maxLen, maxCount int) [][]Symbol {
+	type key struct {
+		sym Symbol
+		len int
+	}
+	memo := map[key][][]Symbol{}
+	var derive func(s Symbol, l int) [][]Symbol
+	derive = func(s Symbol, l int) [][]Symbol {
+		if l <= 0 {
+			return nil
+		}
+		k := key{s, l}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		memo[k] = nil // recursion guard: longer derivations of same length cut
+		var out [][]Symbol
+		for _, p := range g.Prods {
+			if p.Lhs != s {
+				continue
+			}
+			if len(p.Rhs) == 1 && g.Terminals[p.Rhs[0]] {
+				if l == 1 {
+					out = append(out, []Symbol{p.Rhs[0]})
+				}
+				continue
+			}
+			if len(p.Rhs) != 2 {
+				continue
+			}
+			for split := 1; split < l; split++ {
+				for _, lw := range derive(p.Rhs[0], split) {
+					for _, rw := range derive(p.Rhs[1], l-split) {
+						out = append(out, append(append([]Symbol{}, lw...), rw...))
+						if len(out) > maxCount {
+							memo[k] = out
+							return out
+						}
+					}
+				}
+			}
+		}
+		memo[k] = out
+		return out
+	}
+	seen := map[string]bool{}
+	var result [][]Symbol
+	for l := 1; l <= maxLen; l++ {
+		for _, w := range derive(g.Start, l) {
+			key := fmt.Sprint(w)
+			if !seen[key] {
+				seen[key] = true
+				result = append(result, w)
+				if len(result) >= maxCount {
+					return result
+				}
+			}
+		}
+	}
+	return result
+}
+
+// Derivation computes one derivation tree for word (CNF required), or false.
+// Node labels are grammar symbols; terminal leaves carry the terminal label.
+func (g *Grammar) Derivation(word []Symbol) (tree.Tree, bool) {
+	n := len(word)
+	if n == 0 || !g.IsCNF() {
+		return tree.Tree{}, false
+	}
+	type cell struct {
+		prod  int
+		split int
+	}
+	table := make([]map[Symbol]cell, n*n)
+	at := func(i, l int) map[Symbol]cell { return table[i*n+l] }
+	for i := range table {
+		table[i] = map[Symbol]cell{}
+	}
+	for i := 0; i < n; i++ {
+		for pi, p := range g.Prods {
+			if len(p.Rhs) == 1 && p.Rhs[0] == word[i] {
+				at(i, 0)[p.Lhs] = cell{pi, -1}
+			}
+		}
+	}
+	for l := 1; l < n; l++ {
+		for i := 0; i+l < n; i++ {
+			for split := 0; split < l; split++ {
+				for pi, p := range g.Prods {
+					if len(p.Rhs) != 2 {
+						continue
+					}
+					if _, ok := at(i, l)[p.Lhs]; ok {
+						continue
+					}
+					if _, ok := at(i, split)[p.Rhs[0]]; !ok {
+						continue
+					}
+					if _, ok := at(i+split+1, l-split-1)[p.Rhs[1]]; !ok {
+						continue
+					}
+					at(i, l)[p.Lhs] = cell{pi, split}
+				}
+			}
+		}
+	}
+	if _, ok := at(0, n-1)[g.Start]; !ok {
+		return tree.Tree{}, false
+	}
+	var build func(s Symbol, i, l int) *tree.Node
+	build = func(s Symbol, i, l int) *tree.Node {
+		c := at(i, l)[s]
+		p := g.Prods[c.prod]
+		node := tree.New(tree.Label(s), rat.Zero)
+		if len(p.Rhs) == 1 {
+			node.Children = []*tree.Node{tree.New(tree.Label(p.Rhs[0]), rat.Zero)}
+			return node
+		}
+		node.Children = []*tree.Node{
+			build(p.Rhs[0], i, c.split),
+			build(p.Rhs[1], i+c.split+1, l-c.split-1),
+		}
+		return node
+	}
+	return tree.Tree{Root: build(g.Start, 0, n-1)}, true
+}
+
+// LeftPath returns l(A): a regular expression over nonterminal labels
+// matching exactly the paths from A to the leftmost terminal derived from A
+// in any derivation tree, assuming CheckOccurrences holds (children names
+// determine their order). RightPath is symmetric.
+func (g *Grammar) LeftPath(a Symbol) *pathre.Regex { return g.edgePath(a, 0) }
+
+// RightPath returns r(A); see LeftPath.
+func (g *Grammar) RightPath(a Symbol) *pathre.Regex { return g.edgePath(a, 1) }
+
+// edgePath builds the path regex by treating nonterminals as NFA states:
+// from X, a binary production X → YZ steps to Y (side 0) or Z (side 1); a
+// terminal production ends the path at the terminal symbol. The regex
+// matches the sequence of labels strictly below A (excluding A, including
+// the terminal leaf).
+func (g *Grammar) edgePath(a Symbol, side int) *pathre.Regex {
+	// States: nonterminals; build regex via transitive closure over a small
+	// NFA using the state-elimination method on an ε-free label automaton.
+	nts := g.Nonterminals()
+	idx := map[Symbol]int{}
+	for i, s := range nts {
+		idx[s] = i
+	}
+	n := len(nts)
+	// edge[i][j]: regex labels moving from nt i to nt j (label of j consumed).
+	edge := make([][]*pathre.Regex, n+1) // state n = accept
+	for i := range edge {
+		edge[i] = make([]*pathre.Regex, n+1)
+	}
+	add := func(i, j int, r *pathre.Regex) {
+		if edge[i][j] == nil {
+			edge[i][j] = r
+		} else {
+			edge[i][j] = pathre.Alt(edge[i][j], r)
+		}
+	}
+	for _, p := range g.Prods {
+		i := idx[p.Lhs]
+		switch len(p.Rhs) {
+		case 1:
+			add(i, n, pathre.Sym(tree.Label(p.Rhs[0])))
+		case 2:
+			child := p.Rhs[side]
+			if j, ok := idx[child]; ok {
+				add(i, j, pathre.Sym(tree.Label(child)))
+			}
+		}
+	}
+	// State elimination: remove all states except start (idx[a]) and accept.
+	alive := map[int]bool{}
+	for i := 0; i <= n; i++ {
+		alive[i] = true
+	}
+	start := idx[a]
+	for k := 0; k <= n; k++ {
+		if k == start || k == n {
+			continue
+		}
+		// Self loop on k.
+		var loop *pathre.Regex
+		if edge[k][k] != nil {
+			loop = pathre.Star(edge[k][k])
+		}
+		for i := 0; i <= n; i++ {
+			if !alive[i] || i == k || edge[i][k] == nil {
+				continue
+			}
+			for j := 0; j <= n; j++ {
+				if !alive[j] || j == k || edge[k][j] == nil {
+					continue
+				}
+				var r *pathre.Regex
+				if loop != nil {
+					r = pathre.Concat(edge[i][k], loop, edge[k][j])
+				} else {
+					r = pathre.Concat(edge[i][k], edge[k][j])
+				}
+				add(i, j, r)
+			}
+		}
+		alive[k] = false
+		for i := 0; i <= n; i++ {
+			edge[i][k] = nil
+			edge[k][i] = nil
+		}
+	}
+	var out *pathre.Regex
+	if edge[start][start] != nil {
+		if edge[start][n] != nil {
+			out = pathre.Concat(pathre.Star(edge[start][start]), edge[start][n])
+		}
+	} else {
+		out = edge[start][n]
+	}
+	if out == nil {
+		return pathre.Empty()
+	}
+	return out
+}
+
+// String renders the grammar in the syntax accepted by Parse.
+func (g *Grammar) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "start: %s\n", g.Start)
+	byLhs := map[Symbol][]string{}
+	var order []Symbol
+	for _, p := range g.Prods {
+		if _, ok := byLhs[p.Lhs]; !ok {
+			order = append(order, p.Lhs)
+		}
+		rhs := "eps"
+		if len(p.Rhs) > 0 {
+			parts := make([]string, len(p.Rhs))
+			for i, s := range p.Rhs {
+				parts[i] = string(s)
+			}
+			rhs = strings.Join(parts, " ")
+		}
+		byLhs[p.Lhs] = append(byLhs[p.Lhs], rhs)
+	}
+	for _, lhs := range order {
+		fmt.Fprintf(&b, "%s -> %s\n", lhs, strings.Join(byLhs[lhs], " | "))
+	}
+	return b.String()
+}

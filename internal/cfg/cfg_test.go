@@ -1,0 +1,214 @@
+package cfg
+
+import (
+	"testing"
+
+	"incxml/internal/tree"
+)
+
+// balanced is the grammar of balanced-ish words a^n b^n.
+const balancedSrc = `
+start: S
+S -> a b | a S1
+S1 -> S b
+`
+
+func syms(ss ...string) []Symbol {
+	out := make([]Symbol, len(ss))
+	for i, s := range ss {
+		out[i] = Symbol(s)
+	}
+	return out
+}
+
+func TestParseAndTerminals(t *testing.T) {
+	g := MustParse(balancedSrc)
+	if g.Start != "S" {
+		t.Fatalf("start = %s", g.Start)
+	}
+	if !g.IsTerminal("a") || !g.IsTerminal("b") || g.IsTerminal("S") || g.IsTerminal("S1") {
+		t.Errorf("terminal classification wrong: %v", g.Terminals)
+	}
+	if len(g.Prods) != 3 {
+		t.Errorf("prods = %d", len(g.Prods))
+	}
+}
+
+func TestEmptiness(t *testing.T) {
+	g := MustParse(balancedSrc)
+	if g.Empty() {
+		t.Error("balanced grammar reported empty")
+	}
+	dead := MustParse("start: S\nS -> S a\n")
+	if !dead.Empty() {
+		t.Error("non-terminating grammar not reported empty")
+	}
+	partial := MustParse("start: S\nS -> A a\nA -> A b\n")
+	if !partial.Empty() {
+		t.Error("grammar with unproductive required nonterminal not empty")
+	}
+}
+
+func TestToCNFAndMember(t *testing.T) {
+	g := MustParse(balancedSrc)
+	cnf, err := g.ToCNF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cnf.IsCNF() {
+		t.Fatalf("not CNF:\n%s", cnf)
+	}
+	yes := [][]Symbol{syms("a", "b"), syms("a", "a", "b", "b"), syms("a", "a", "a", "b", "b", "b")}
+	no := [][]Symbol{syms("a"), syms("b", "a"), syms("a", "b", "b"), syms("a", "a", "b")}
+	for _, w := range yes {
+		if !cnf.Member(w) {
+			t.Errorf("CYK rejected %v", w)
+		}
+	}
+	for _, w := range no {
+		if cnf.Member(w) {
+			t.Errorf("CYK accepted %v", w)
+		}
+	}
+}
+
+func TestToCNFUnitChains(t *testing.T) {
+	g := MustParse("start: S\nS -> A\nA -> B\nB -> a | a B\n")
+	cnf, err := g.ToCNF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cnf.IsCNF() {
+		t.Fatalf("not CNF:\n%s", cnf)
+	}
+	for _, w := range [][]Symbol{syms("a"), syms("a", "a"), syms("a", "a", "a")} {
+		if !cnf.Member(w) {
+			t.Errorf("rejected %v", w)
+		}
+	}
+	if cnf.Member(syms("a", "b")) {
+		t.Error("accepted foreign terminal")
+	}
+}
+
+func TestToCNFRejectsEpsilon(t *testing.T) {
+	g := MustParse("start: S\nS -> eps | a\n")
+	if _, err := g.ToCNF(); err == nil {
+		t.Error("ε-production accepted by ToCNF")
+	}
+}
+
+func TestWords(t *testing.T) {
+	g := MustParse(balancedSrc)
+	cnf, _ := g.ToCNF()
+	words := cnf.Words(6, 100)
+	want := map[string]bool{"[a b]": true, "[a a b b]": true, "[a a a b b b]": true}
+	if len(words) != len(want) {
+		t.Fatalf("Words = %v", words)
+	}
+	for _, w := range words {
+		if !cnf.Member(w) {
+			t.Errorf("generated non-member %v", w)
+		}
+	}
+}
+
+func TestDerivation(t *testing.T) {
+	g := MustParse(balancedSrc)
+	cnf, _ := g.ToCNF()
+	d, ok := cnf.Derivation(syms("a", "a", "b", "b"))
+	if !ok {
+		t.Fatal("no derivation for a a b b")
+	}
+	// Leaves, in order, spell the word.
+	var leaves []tree.Label
+	var rec func(n *tree.Node)
+	rec = func(n *tree.Node) {
+		if len(n.Children) == 0 {
+			leaves = append(leaves, n.Label)
+			return
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(d.Root)
+	if len(leaves) != 4 || leaves[0] != "a" || leaves[1] != "a" || leaves[2] != "b" || leaves[3] != "b" {
+		t.Errorf("derivation leaves = %v", leaves)
+	}
+	if _, ok := cnf.Derivation(syms("a", "b", "b")); ok {
+		t.Error("derivation produced for non-member")
+	}
+}
+
+func TestNormalizeOccurrences(t *testing.T) {
+	g := MustParse(balancedSrc)
+	cnf, _ := g.ToCNF()
+	norm, err := cnf.NormalizeOccurrences()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := norm.CheckOccurrences(); err != nil {
+		t.Fatalf("normalization failed: %v", err)
+	}
+	// Language preserved on a sample.
+	for _, w := range [][]Symbol{syms("a", "b"), syms("a", "a", "b", "b")} {
+		if !norm.Member(w) {
+			t.Errorf("normalized grammar rejected %v", w)
+		}
+	}
+	for _, w := range [][]Symbol{syms("a"), syms("b", "a"), syms("a", "a", "b")} {
+		if norm.Member(w) {
+			t.Errorf("normalized grammar accepted %v", w)
+		}
+	}
+}
+
+func TestLeftRightPaths(t *testing.T) {
+	g := MustParse(balancedSrc)
+	cnf, _ := g.ToCNF()
+	norm, err := cnf.NormalizeOccurrences()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := norm.LeftPath(norm.Start)
+	rp := norm.RightPath(norm.Start)
+	// Validate against actual derivation trees: the label path from the root
+	// to the leftmost (rightmost) leaf, excluding the root, matches lp (rp).
+	for _, w := range [][]Symbol{syms("a", "b"), syms("a", "a", "b", "b"), syms("a", "a", "a", "b", "b", "b")} {
+		d, ok := norm.Derivation(w)
+		if !ok {
+			t.Fatalf("no derivation for %v", w)
+		}
+		var leftPath, rightPath []tree.Label
+		n := d.Root
+		for len(n.Children) > 0 {
+			n = n.Children[0]
+			leftPath = append(leftPath, n.Label)
+		}
+		n = d.Root
+		for len(n.Children) > 0 {
+			n = n.Children[len(n.Children)-1]
+			rightPath = append(rightPath, n.Label)
+		}
+		if !lp.Match(leftPath) {
+			t.Errorf("LeftPath %s does not match %v", lp, leftPath)
+		}
+		if !rp.Match(rightPath) {
+			t.Errorf("RightPath %s does not match %v", rp, rightPath)
+		}
+		// Sanity: left path of this grammar must not match the right path
+		// (they end at different terminals here: a vs b).
+		if lp.Match(rightPath) {
+			t.Errorf("LeftPath %s wrongly matches right path %v", lp, rightPath)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	g := MustParse(balancedSrc)
+	again := MustParse(g.String())
+	if g.String() != again.String() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", g, again)
+	}
+}

@@ -1,0 +1,307 @@
+package cond
+
+import (
+	"testing"
+	"testing/quick"
+
+	"incxml/internal/rat"
+)
+
+func ri(n int64) rat.Rat { return rat.FromInt(n) }
+
+func TestComparisons(t *testing.T) {
+	cases := []struct {
+		c     Cond
+		v     int64
+		holds bool
+	}{
+		{EqInt(5), 5, true},
+		{EqInt(5), 4, false},
+		{NeInt(5), 5, false},
+		{NeInt(5), 6, true},
+		{LtInt(5), 4, true},
+		{LtInt(5), 5, false},
+		{LeInt(5), 5, true},
+		{LeInt(5), 6, false},
+		{GtInt(5), 6, true},
+		{GtInt(5), 5, false},
+		{GeInt(5), 5, true},
+		{GeInt(5), 4, false},
+	}
+	for _, c := range cases {
+		if got := c.c.Holds(ri(c.v)); got != c.holds {
+			t.Errorf("%v.Holds(%d) = %v, want %v", c.c, c.v, got, c.holds)
+		}
+	}
+}
+
+func TestZeroValueIsTrue(t *testing.T) {
+	var c Cond
+	if !c.IsTrue() || !c.Holds(ri(42)) || !c.Satisfiable() {
+		t.Error("zero-value Cond should be true")
+	}
+	if !c.Equal(True()) {
+		t.Error("zero-value Cond != True()")
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	// price < 200 & price >= 100
+	c := LtInt(200).And(GeInt(100))
+	if !c.Holds(ri(150)) || c.Holds(ri(99)) || c.Holds(ri(200)) {
+		t.Errorf("range condition wrong: %v", c)
+	}
+	// Complement of a conjunction
+	n := c.Not()
+	if n.Holds(ri(150)) || !n.Holds(ri(99)) || !n.Holds(ri(200)) {
+		t.Errorf("negated range wrong: %v", n)
+	}
+	// The paper's query-1 split: price<200 vs price>=200 partition electronics.
+	if !LtInt(200).Or(GeInt(200)).IsTrue() {
+		t.Error("(<200 | >=200) should be true")
+	}
+	if !LtInt(200).Disjoint(GeInt(200)) {
+		t.Error("(<200) and (>=200) should be disjoint")
+	}
+}
+
+func TestSatisfiability(t *testing.T) {
+	if LtInt(5).And(GtInt(10)).Satisfiable() {
+		t.Error("(<5 & >10) should be unsatisfiable")
+	}
+	if !LtInt(5).And(GtInt(4)).Satisfiable() {
+		t.Error("(<5 & >4) should be satisfiable (rationals are dense)")
+	}
+	if EqInt(3).And(NeInt(3)).Satisfiable() {
+		t.Error("(=3 & !=3) should be unsatisfiable")
+	}
+}
+
+func TestImpliesEqual(t *testing.T) {
+	if !LtInt(5).Implies(LtInt(10)) {
+		t.Error("<5 should imply <10")
+	}
+	if LtInt(10).Implies(LtInt(5)) {
+		t.Error("<10 should not imply <5")
+	}
+	if !LeInt(5).Equal(LtInt(5).Or(EqInt(5))) {
+		t.Error("<=5 should equal (<5 | =5)")
+	}
+	if !NeInt(0).Equal(LtInt(0).Or(GtInt(0))) {
+		t.Error("!=0 should equal (<0 | >0)")
+	}
+}
+
+func TestWitness(t *testing.T) {
+	c := GtInt(3).And(LtInt(4)) // open interval, needs midpoint
+	w, ok := c.Witness()
+	if !ok || !c.Holds(w) {
+		t.Errorf("witness of (3,4) failed: %v %v", w, ok)
+	}
+	if _, ok := False().Witness(); ok {
+		t.Error("false has a witness")
+	}
+	// Witnesses covers every interval.
+	d := LtInt(0).Or(GtInt(10))
+	ws := d.Witnesses()
+	if len(ws) != 2 {
+		t.Fatalf("want 2 witnesses, got %d", len(ws))
+	}
+	for _, w := range ws {
+		if !d.Holds(w) {
+			t.Errorf("witness %v does not satisfy %v", w, d)
+		}
+	}
+}
+
+func TestAsPoint(t *testing.T) {
+	if v, ok := EqInt(7).AsPoint(); !ok || !v.Equal(ri(7)) {
+		t.Error("EqInt(7) not recognized as point")
+	}
+	if _, ok := LeInt(7).AsPoint(); ok {
+		t.Error("LeInt(7) recognized as point")
+	}
+	// An encircled point: (>=7 & <=7)
+	if v, ok := GeInt(7).And(LeInt(7)).AsPoint(); !ok || !v.Equal(ri(7)) {
+		t.Error(">=7 & <=7 not recognized as point")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Cond
+	}{
+		{"true", True()},
+		{"false", False()},
+		{"= 5", EqInt(5)},
+		{"!= 5", NeInt(5)},
+		{"< 200", LtInt(200)},
+		{"<= 200", LeInt(200)},
+		{"> 100", GtInt(100)},
+		{">= 100", GeInt(100)},
+		{">= 100 & < 200", GeInt(100).And(LtInt(200))},
+		{"< 1 | > 2", LtInt(1).Or(GtInt(2))},
+		{"(= 1 | = 2) & != 2", EqInt(1)},
+		{"! = 5", NeInt(5)},
+		{"not = 5", NeInt(5)},
+		{"= 1 or = 2 and = 2", EqInt(1).Or(EqInt(2))}, // and binds tighter
+		{"= 1/2", Eq(rat.New(1, 2))},
+		{"< 2.5", Lt(rat.New(5, 2))},
+		{"!= 0 & != 1", NeInt(0).And(NeInt(1))},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", c.in, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "=", "= x", "(= 1", "= 1)", "& = 1", "= 1 = 2", "foo"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestStringCanonical(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		want string
+	}{
+		{True(), "true"},
+		{False(), "false"},
+		{EqInt(5), "= 5"},
+		{NeInt(5), "!= 5"},
+		{LtInt(200), "< 200"},
+		{GeInt(100).And(LtInt(200)), "(>= 100 & < 200)"},
+		{LtInt(0).Or(GtInt(10)), "< 0 | > 10"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.c.Set(), got, c.want)
+		}
+	}
+}
+
+func TestPartition(t *testing.T) {
+	parts := Partition(LtInt(5), GeInt(3))
+	// Expect: (-inf,3), [3,3], (3,5), [5,5], (5,+inf)
+	if len(parts) != 5 {
+		t.Fatalf("Partition produced %d parts: %v", len(parts), parts)
+	}
+	// Parts must be pairwise disjoint and cover Q.
+	union := False()
+	for i, p := range parts {
+		if !p.Satisfiable() {
+			t.Errorf("part %d unsatisfiable", i)
+		}
+		for j := i + 1; j < len(parts); j++ {
+			if !p.Disjoint(parts[j]) {
+				t.Errorf("parts %d and %d overlap", i, j)
+			}
+		}
+		union = union.Or(p)
+	}
+	if !union.IsTrue() {
+		t.Errorf("partition does not cover Q: %v", union)
+	}
+	// Each original condition is constant on each part.
+	for _, p := range parts {
+		w, _ := p.Witness()
+		for _, orig := range []Cond{LtInt(5), GeInt(3)} {
+			val := orig.Holds(w)
+			if val && !p.Implies(orig) {
+				t.Errorf("condition %v not constant-true on part %v", orig, p)
+			}
+			if !val && !p.Disjoint(orig) {
+				t.Errorf("condition %v not constant-false on part %v", orig, p)
+			}
+		}
+	}
+}
+
+// genCond builds a small random condition from fuzz bytes.
+func genCond(seeds []int8) Cond {
+	c := True()
+	for i := 0; i+1 < len(seeds); i += 2 {
+		v := ri(int64(seeds[i] % 8))
+		var atom Cond
+		switch seeds[i+1] % 6 {
+		case 0:
+			atom = Eq(v)
+		case 1:
+			atom = Ne(v)
+		case 2:
+			atom = Lt(v)
+		case 3:
+			atom = Le(v)
+		case 4:
+			atom = Gt(v)
+		default:
+			atom = Ge(v)
+		}
+		switch seeds[i+1] % 3 {
+		case 0:
+			c = c.And(atom)
+		case 1:
+			c = c.Or(atom)
+		default:
+			c = c.And(atom.Not())
+		}
+	}
+	return c
+}
+
+func TestQuickParseRoundTrip(t *testing.T) {
+	f := func(seeds []int8) bool {
+		c := genCond(seeds)
+		d, err := Parse(c.String())
+		return err == nil && c.Equal(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHoldsMatchesBoolean(t *testing.T) {
+	f := func(x, y []int8, probe int8) bool {
+		a, b := genCond(x), genCond(y)
+		v := ri(int64(probe % 8))
+		return a.And(b).Holds(v) == (a.Holds(v) && b.Holds(v)) &&
+			a.Or(b).Holds(v) == (a.Holds(v) || b.Holds(v)) &&
+			a.Not().Holds(v) == !a.Holds(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPartitionRefines(t *testing.T) {
+	f := func(x, y []int8) bool {
+		a, b := genCond(x), genCond(y)
+		for _, p := range Partition(a, b) {
+			w, ok := p.Witness()
+			if !ok {
+				return false
+			}
+			// a (resp. b) must be constant on p.
+			if a.Holds(w) != p.Implies(a) && !p.Disjoint(a) {
+				return false
+			}
+			if b.Holds(w) != p.Implies(b) && !p.Disjoint(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,30 @@
+package cond
+
+import "testing"
+
+// FuzzParse checks that the condition parser never panics and that
+// anything it accepts round-trips through the canonical printer.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"true", "false", "= 5", "!= 0", "< 200", ">= 100 & < 200",
+		"(= 1 | = 2) & != 2", "not (< 3)", "= 1/2", "< 2.5",
+		"((((= 1))))", "= 1 | = 2 | = 3 | = 4",
+		"& &", ")(", "= ", "<= -9999999", "! ! ! = 0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := c.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", printed, src, err)
+		}
+		if !c.Equal(again) {
+			t.Fatalf("round trip changed semantics: %q -> %q", src, printed)
+		}
+	})
+}

@@ -1,0 +1,34 @@
+package dtd
+
+import "testing"
+
+// FuzzParse checks the tree-type parser never panics and accepted types
+// round-trip.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"root: catalog\ncatalog -> product+\n",
+		"root: a\na -> b? c* d+ e\n",
+		"root: a b c\n",
+		"# comment\nroot: a\n\na -> b\n",
+		"root: a\na -> *\n",
+		"a -> b\n",
+		"root: a\na -> b b\n",
+		"root:\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		ty, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := ty.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("canonical form %q does not reparse: %v", printed, err)
+		}
+		if again.String() != printed {
+			t.Fatalf("printer not canonical: %q vs %q", printed, again.String())
+		}
+	})
+}

@@ -1,0 +1,212 @@
+package extquery
+
+import (
+	"testing"
+
+	"incxml/internal/cond"
+	"incxml/internal/pathre"
+	"incxml/internal/rat"
+	"incxml/internal/tree"
+)
+
+func v(n int64) rat.Rat { return rat.FromInt(n) }
+
+// relation encodes a relation R(A1,A2) as root/tuple*/A1,A2, as in the
+// proof of Theorem 4.5.
+func relation(rows [][2]int64) tree.Tree {
+	root := tree.New("root", rat.Zero)
+	for _, r := range rows {
+		root.Children = append(root.Children, tree.New("tuple", rat.Zero,
+			tree.New("A1", v(r[0])),
+			tree.New("A2", v(r[1]))))
+	}
+	return tree.Tree{Root: root}
+}
+
+func TestBranchingSameLabelSiblings(t *testing.T) {
+	// Two tuple children in one pattern — disallowed for ps-queries, fine
+	// here.
+	q := Query{Root: N("root", cond.True(),
+		N("tuple", cond.True(), N("A1", cond.EqInt(1))),
+		N("tuple", cond.True(), N("A1", cond.EqInt(2))))}
+	if !q.Matches(relation([][2]int64{{1, 10}, {2, 20}})) {
+		t.Error("branching query should match")
+	}
+	// Valuations are homomorphisms: both branches may map to the same node.
+	qSame := Query{Root: N("root", cond.True(),
+		N("tuple", cond.True(), N("A1", cond.EqInt(1))),
+		N("tuple", cond.True(), N("A2", cond.EqInt(10))))}
+	if !qSame.Matches(relation([][2]int64{{1, 10}})) {
+		t.Error("homomorphic valuation rejected")
+	}
+}
+
+func TestJoinEquality(t *testing.T) {
+	// FD violation detector A1 -> A2 (Theorem 4.5 construction): two tuples
+	// agreeing on A1 and disagreeing on A2.
+	fd := Query{
+		Root: N("root", cond.True(),
+			N("tuple", cond.True(), V("A1", "X"), V("A2", "Z")),
+			N("tuple", cond.True(), V("A1", "X"), V("A2", "W"))),
+		Diseq: [][2]string{{"Z", "W"}},
+	}
+	if fd.Matches(relation([][2]int64{{1, 10}, {2, 20}})) {
+		t.Error("FD holds but violation detected")
+	}
+	if !fd.Matches(relation([][2]int64{{1, 10}, {1, 20}})) {
+		t.Error("FD violated but not detected")
+	}
+	// Same A1, same A2: no violation (Z != W fails on the only bindings with
+	// matching X... but homomorphisms can map both branches to one tuple).
+	if fd.Matches(relation([][2]int64{{1, 10}, {1, 10}})) {
+		t.Error("duplicate rows flagged as FD violation")
+	}
+}
+
+func TestNegation(t *testing.T) {
+	// Inclusion dependency R[A1] ⊆ R[A2] violation: a tuple whose A1 value
+	// appears in no tuple's A2 (Theorem 4.5 construction).
+	ind := Query{Root: N("root", cond.True(),
+		N("tuple", cond.True(), V("A1", "X")),
+		Negated(N("tuple", cond.True(), V("A2", "X"))))}
+	if ind.Matches(relation([][2]int64{{1, 1}, {2, 1}})) {
+		// A1 values {1,2}; A2 values {1}: 2 not included -> violation exists.
+		// So Matches should be TRUE here; flip the assertion below.
+		t.Log("violation correctly detected")
+	} else {
+		t.Error("IND violation not detected")
+	}
+	if ind.Matches(relation([][2]int64{{1, 1}, {2, 2}})) {
+		t.Error("IND holds but violation detected")
+	}
+}
+
+func TestOptionalSubtrees(t *testing.T) {
+	// Products with optional picture: all products match; pictures included
+	// in the answer when present.
+	src := tree.Tree{Root: tree.NewID("r", "root", rat.Zero,
+		tree.NewID("p1", "product", rat.Zero, tree.NewID("pic1", "picture", v(1))),
+		tree.NewID("p2", "product", rat.Zero))}
+	q := Query{Root: N("root", cond.True(),
+		N("product", cond.True(),
+			Optional(N("picture", cond.True()))))}
+	ans := q.Answer(src)
+	ids := ans.IDs()
+	if !ids["p1"] || !ids["p2"] {
+		t.Error("optional subtree excluded products")
+	}
+	if !ids["pic1"] {
+		t.Error("present optional match not in answer")
+	}
+}
+
+func TestPathExpressions(t *testing.T) {
+	// root --(a* b)--> leaf: matches b nodes reachable through a-chains.
+	deep := tree.Tree{Root: tree.NewID("r", "root", rat.Zero,
+		tree.NewID("a1", "a", rat.Zero,
+			tree.NewID("a2", "a", rat.Zero,
+				tree.NewID("b1", "b", v(7)))),
+		tree.NewID("b2", "b", v(9)))}
+	q := Query{Root: N("root", cond.True(),
+		OnPath(N("", cond.EqInt(7)), pathre.MustParse("a* b")))}
+	if !q.Matches(deep) {
+		t.Error("path query should match b1")
+	}
+	ids := q.Answer(deep).IDs()
+	if !ids["b1"] {
+		t.Error("b1 missing from path answer")
+	}
+	if ids["b2"] && false {
+		t.Error("unreachable")
+	}
+	// b2 is directly under root: path "a* b" with zero a's also matches b2,
+	// but its value 9 fails the condition.
+	if ids["b2"] {
+		t.Error("b2 included despite failing condition")
+	}
+	qAny := Query{Root: N("root", cond.True(),
+		OnPath(N("b", cond.True()), pathre.AnyStar()))}
+	idsAny := qAny.Answer(deep).IDs()
+	if !idsAny["b1"] || !idsAny["b2"] {
+		t.Error("Sigma* b should reach both b nodes")
+	}
+}
+
+func TestExtract(t *testing.T) {
+	src := tree.Tree{Root: tree.NewID("r", "root", rat.Zero,
+		tree.NewID("x", "a", rat.Zero,
+			tree.NewID("y", "b", v(1))))}
+	q := Query{Root: N("root", cond.True(),
+		&Node{Label: "a", Cond: cond.True(), Extract: true})}
+	if got := q.Answer(src).Size(); got != 3 {
+		t.Errorf("bar extraction size = %d, want 3", got)
+	}
+}
+
+func TestBindings(t *testing.T) {
+	src := relation([][2]int64{{1, 10}, {2, 20}})
+	q := Query{Root: N("root", cond.True(),
+		N("tuple", cond.True(), V("A1", "X"), V("A2", "Y")))}
+	bs := q.Bindings(src)
+	if len(bs) != 2 {
+		t.Fatalf("bindings = %d, want 2", len(bs))
+	}
+	seen := map[string]bool{}
+	for _, b := range bs {
+		seen[b["X"].String()+"/"+b["Y"].String()] = true
+	}
+	if !seen["1/10"] || !seen["2/20"] {
+		t.Errorf("bindings wrong: %v", seen)
+	}
+}
+
+func TestConstruct(t *testing.T) {
+	// The §4 example: body binds X to c-children values under one branch and
+	// Y under another; head emits a:f(X) and b:g(Y) under one root. The
+	// output has one a per distinct X and one b per distinct Y.
+	src := tree.Tree{Root: tree.New("root", rat.Zero,
+		tree.New("c", v(1)),
+		tree.New("c", v(2)),
+		tree.New("c", v(3)))}
+	q := Query{Root: N("root", cond.True(),
+		V("c", "X"),
+		V("c", "Y"))}
+	head := H("root", "root", nil,
+		H("a", "f", []string{"X"}),
+		H("b", "g", []string{"Y"}))
+	out, err := q.Construct(src, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[tree.Label]int{}
+	out.Walk(func(n *tree.Node) { counts[n.Label]++ })
+	if counts["a"] != 3 || counts["b"] != 3 {
+		t.Errorf("constructed counts = %v, want 3 a's and 3 b's", counts)
+	}
+	// Unbound head variable errors.
+	badHead := H("root", "root", nil, H("a", "f", []string{"Z"}))
+	if _, err := q.Construct(src, badHead); err == nil {
+		t.Error("unbound head variable accepted")
+	}
+	// Empty body: empty output.
+	qNone := Query{Root: N("nothing", cond.True())}
+	if out, err := qNone.Construct(src, head); err != nil || !out.IsEmpty() {
+		t.Errorf("empty body construct = %v, %v", out, err)
+	}
+}
+
+func TestMatchesRootConditions(t *testing.T) {
+	src := tree.Tree{Root: tree.New("root", v(5))}
+	if !(Query{Root: N("root", cond.EqInt(5))}).Matches(src) {
+		t.Error("root condition match failed")
+	}
+	if (Query{Root: N("root", cond.EqInt(6))}).Matches(src) {
+		t.Error("root condition mismatch accepted")
+	}
+	if (Query{Root: N("x", cond.True())}).Matches(src) {
+		t.Error("wrong root label accepted")
+	}
+	if (Query{}).Matches(src) {
+		t.Error("empty query matches")
+	}
+}

@@ -1,0 +1,215 @@
+// Package heuristics implements the two approaches of Section 3.2 for
+// containing the size of incomplete trees:
+//
+//   - AdditionalQueries (Proposition 3.13) derives, from a workload of
+//     ps-queries, the prefix-path queries whose answers pin down the data
+//     values that would otherwise force disjunctive case analysis; observing
+//     them keeps Algorithm Refine's output polynomial in the query-answer
+//     sequence.
+//
+//   - LossyShrink trades accuracy for size: it merges specializations of the
+//     same label (taking the disjunction of their conditions and
+//     multiplicity atoms), gracefully losing the correlations that made the
+//     representation large. The result represents a superset of the
+//     original rep.
+package heuristics
+
+import (
+	"sort"
+
+	"incxml/internal/cond"
+	"incxml/internal/ctype"
+	"incxml/internal/dtd"
+	"incxml/internal/itree"
+	"incxml/internal/query"
+	"incxml/internal/tree"
+)
+
+// AdditionalQueries returns, for the given workload, the value-pinning
+// queries of Proposition 3.13: for every node m of every query pattern, the
+// root-to-m path with all conditions relaxed to true is asked, parents
+// before children. Duplicates are removed.
+//
+// Asking these queries before (or after) the workload retrieves every data
+// node the workload's conditions discriminate on, eliminating the τ̄/τ̂ case
+// analysis from Algorithm Refine's output and keeping the incomplete tree
+// polynomial in the sequence of query-answer pairs.
+func AdditionalQueries(workload []query.Query) []query.Query {
+	seen := map[string]bool{}
+	var out []query.Query
+	add := func(labels []tree.Label) {
+		conds := make([]cond.Cond, len(labels))
+		for i := range conds {
+			conds[i] = cond.True()
+		}
+		q := query.Path(labels, conds, false)
+		key := q.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, q)
+		}
+	}
+	for _, q := range workload {
+		// Breadth-first so shorter paths (parents) come before longer ones.
+		type item struct {
+			n      *query.Node
+			labels []tree.Label
+		}
+		if q.Root == nil {
+			continue
+		}
+		queue := []item{{q.Root, []tree.Label{q.Root.Label}}}
+		for len(queue) > 0 {
+			it := queue[0]
+			queue = queue[1:]
+			add(it.labels)
+			for _, c := range it.n.Children {
+				queue = append(queue, item{c, append(append([]tree.Label{}, it.labels...), c.Label)})
+			}
+		}
+	}
+	return out
+}
+
+// LossyShrink reduces the representation size to at most maxSize by
+// repeatedly merging, for the label with the most specializations, all its
+// non-data-node symbols into one: the merged symbol's condition is the
+// disjunction of the originals and its multiplicity mapping is the union of
+// their disjuncts. Each merge loses the correlation between which
+// specialization a node had and what its subtree looked like, so
+// rep(result) ⊇ rep(input); in the worst case the tree reverts to the
+// universal type over Σ.
+func LossyShrink(t *itree.T, maxSize int) *itree.T {
+	out := t.Clone()
+	for out.Size() > maxSize {
+		label, syms := mostSpecialized(out)
+		if len(syms) < 2 {
+			break // nothing left to merge
+		}
+		mergeLabel(out, label, syms)
+	}
+	return out
+}
+
+// mostSpecialized finds the base label with the largest number of
+// label-targeted symbols.
+func mostSpecialized(t *itree.T) (tree.Label, []ctype.Symbol) {
+	byLabel := map[tree.Label][]ctype.Symbol{}
+	for _, s := range t.Type.Symbols() {
+		if tg := t.Type.TargetFor(s); !tg.IsNode() {
+			byLabel[tg.Label] = append(byLabel[tg.Label], s)
+		}
+	}
+	var best tree.Label
+	var bestSyms []ctype.Symbol
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, string(l))
+	}
+	sort.Strings(labels)
+	for _, ls := range labels {
+		l := tree.Label(ls)
+		if len(byLabel[l]) > len(bestSyms) {
+			best, bestSyms = l, byLabel[l]
+		}
+	}
+	sort.Slice(bestSyms, func(i, j int) bool { return bestSyms[i] < bestSyms[j] })
+	return best, bestSyms
+}
+
+// mergeLabel collapses the given symbols (all specializing one label) into
+// the first of them.
+func mergeLabel(t *itree.T, label tree.Label, syms []ctype.Symbol) {
+	rep := syms[0]
+	group := map[ctype.Symbol]bool{}
+	for _, s := range syms {
+		group[s] = true
+	}
+	// Merged condition: disjunction.
+	merged := cond.False()
+	for _, s := range syms {
+		merged = merged.Or(t.Type.CondFor(s))
+	}
+	// Merged disjuncts: union, with group members rewritten to rep and
+	// duplicate items combined under ⋆ (losing exact counts).
+	var disj ctype.Disj
+	seenAtom := map[string]bool{}
+	for _, s := range syms {
+		for _, a := range t.Type.DisjFor(s) {
+			na := rewriteAtomLossy(a, group, rep)
+			key := na.String()
+			if !seenAtom[key] {
+				seenAtom[key] = true
+				disj = append(disj, na)
+			}
+		}
+	}
+	ty := t.Type
+	ty.Cond[rep] = merged
+	ty.Mu[rep] = disj
+	ty.Sigma[rep] = ctype.LabelTarget(label)
+	for _, s := range syms[1:] {
+		delete(ty.Cond, s)
+		delete(ty.Mu, s)
+		delete(ty.Sigma, s)
+	}
+	// Rewrite all other occurrences.
+	rewrite := func(s ctype.Symbol) ctype.Symbol {
+		if group[s] {
+			return rep
+		}
+		return s
+	}
+	var roots []ctype.Symbol
+	seenRoot := map[ctype.Symbol]bool{}
+	for _, r := range ty.Roots {
+		nr := rewrite(r)
+		if !seenRoot[nr] {
+			seenRoot[nr] = true
+			roots = append(roots, nr)
+		}
+	}
+	ty.Roots = roots
+	for s, d := range ty.Mu {
+		nd := make(ctype.Disj, 0, len(d))
+		seen := map[string]bool{}
+		for _, a := range d {
+			na := rewriteAtomLossy(a, group, rep)
+			key := na.String()
+			if !seen[key] {
+				seen[key] = true
+				nd = append(nd, na)
+			}
+		}
+		ty.Mu[s] = nd
+	}
+}
+
+// rewriteAtomLossy rewrites group members to rep; duplicate occurrences of
+// rep are collapsed into a single ⋆ item (the lossy step: exact
+// multiplicities of merged specializations are forgotten, but mandatory
+// presence is kept as +).
+func rewriteAtomLossy(a ctype.SAtom, group map[ctype.Symbol]bool, rep ctype.Symbol) ctype.SAtom {
+	var out ctype.SAtom
+	repLo := 0
+	seenRep := false
+	for _, item := range a {
+		if !group[item.Sym] {
+			out = append(out, item)
+			continue
+		}
+		lo, _ := item.Mult.Bounds()
+		if lo > repLo {
+			repLo = lo
+		}
+		seenRep = true
+	}
+	if seenRep {
+		m := dtd.Star
+		if repLo >= 1 {
+			m = dtd.Plus
+		}
+		out = append(out, ctype.SItem{Sym: rep, Mult: m})
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package interval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"incxml/internal/rat"
+)
+
+func ri(n int64) rat.Rat { return rat.FromInt(n) }
+
+// between returns the closed interval [a,b].
+func between(a, b int64) Interval {
+	return Interval{At(ri(a), true), At(ri(b), true)}
+}
+
+// open returns the open interval (a,b).
+func open(a, b int64) Interval {
+	return Interval{At(ri(a), false), At(ri(b), false)}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{At(ri(1), true), At(ri(5), false)} // [1,5)
+	cases := []struct {
+		v    int64
+		want bool
+	}{{0, false}, {1, true}, {3, true}, {5, false}, {6, false}}
+	for _, c := range cases {
+		if got := iv.Contains(ri(c.v)); got != c.want {
+			t.Errorf("[1,5).Contains(%d) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestIntervalValidity(t *testing.T) {
+	if (Interval{At(ri(5), true), At(ri(1), true)}).valid() {
+		t.Error("[5,1] should be invalid")
+	}
+	if (Interval{At(ri(5), true), At(ri(5), false)}).valid() {
+		t.Error("[5,5) should be invalid")
+	}
+	if !(Point(ri(5))).valid() {
+		t.Error("[5,5] should be valid")
+	}
+	if (Interval{NegInf(), NegInf()}).valid() {
+		t.Error("(-inf,-inf) should be invalid")
+	}
+	if !All().valid() {
+		t.Error("(-inf,+inf) should be valid")
+	}
+}
+
+func TestWitnessInside(t *testing.T) {
+	ivs := []Interval{
+		All(),
+		between(1, 5),
+		open(1, 5),
+		{NegInf(), At(ri(3), false)},
+		{NegInf(), At(ri(3), true)},
+		{At(ri(3), false), PosInf()},
+		{At(ri(3), true), PosInf()},
+		Point(ri(7)),
+		{At(ri(0), false), At(ri(1), true)},
+		{At(ri(0), true), At(ri(1), false)},
+	}
+	for _, iv := range ivs {
+		w := iv.Witness()
+		if !iv.Contains(w) {
+			t.Errorf("Witness(%v) = %v not contained", iv, w)
+		}
+	}
+}
+
+func TestOfNormalizes(t *testing.T) {
+	// Overlapping intervals merge.
+	s := Of(between(1, 5), between(3, 8))
+	if s.Size() != 1 || !s.Equal(Of(between(1, 8))) {
+		t.Errorf("merge overlap: got %v", s)
+	}
+	// Adjacent closed/open merge: [1,3] u (3,5) = [1,5).
+	s = Of(between(1, 3), Interval{At(ri(3), false), At(ri(5), false)})
+	want := Of(Interval{At(ri(1), true), At(ri(5), false)})
+	if !s.Equal(want) {
+		t.Errorf("merge adjacent: got %v want %v", s, want)
+	}
+	// Open/open at same point do NOT merge: (1,3) u (3,5) keeps the hole.
+	s = Of(open(1, 3), open(3, 5))
+	if s.Size() != 2 {
+		t.Errorf("(1,3)u(3,5) merged incorrectly: %v", s)
+	}
+	if s.Contains(ri(3)) {
+		t.Error("hole at 3 lost")
+	}
+	// Point plugs the hole: (1,3) u [3,3] u (3,5) = (1,5).
+	s = Of(open(1, 3), Point(ri(3)), open(3, 5))
+	if !s.Equal(Of(open(1, 5))) {
+		t.Errorf("point-plug: got %v", s)
+	}
+	// Invalid intervals are dropped.
+	s = Of(Interval{At(ri(5), true), At(ri(1), true)})
+	if !s.IsEmpty() {
+		t.Errorf("invalid interval kept: %v", s)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	// complement of [1,5) is (-inf,1) u [5,+inf)
+	s := Of(Interval{At(ri(1), true), At(ri(5), false)})
+	c := s.Complement()
+	if c.Contains(ri(1)) || !c.Contains(ri(0)) || !c.Contains(ri(5)) || c.Contains(ri(3)) {
+		t.Errorf("complement wrong: %v", c)
+	}
+	if !Empty().Complement().IsFull() {
+		t.Error("complement of empty is not full")
+	}
+	if !Full().Complement().IsEmpty() {
+		t.Error("complement of full is not empty")
+	}
+	// complement of a point
+	c = Of(Point(ri(3))).Complement()
+	if c.Contains(ri(3)) || !c.Contains(ri(2)) || !c.Contains(ri(4)) {
+		t.Errorf("complement of point wrong: %v", c)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := Of(between(1, 5), between(10, 20))
+	b := Of(between(3, 12))
+	got := a.Intersect(b)
+	want := Of(between(3, 5), between(10, 12))
+	if !got.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Intersect(Empty()).IsEmpty() {
+		t.Error("intersect with empty not empty")
+	}
+	if !a.Intersect(Full()).Equal(a) {
+		t.Error("intersect with full changed set")
+	}
+}
+
+func TestDisjointSubset(t *testing.T) {
+	a := Of(between(1, 5))
+	b := Of(between(6, 9))
+	if !a.Disjoint(b) {
+		t.Error("disjoint sets reported overlapping")
+	}
+	if a.Disjoint(Of(between(5, 6))) {
+		t.Error("[1,5] and [5,6] share 5")
+	}
+	if !Of(between(2, 3)).Subset(a) {
+		t.Error("[2,3] should be subset of [1,5]")
+	}
+	if a.Subset(Of(between(2, 3))) {
+		t.Error("[1,5] is not a subset of [2,3]")
+	}
+}
+
+func TestAsPoint(t *testing.T) {
+	if v, ok := Of(Point(ri(7))).AsPoint(); !ok || !v.Equal(ri(7)) {
+		t.Errorf("AsPoint failed: %v %v", v, ok)
+	}
+	if _, ok := Of(between(1, 2)).AsPoint(); ok {
+		t.Error("[1,2] reported as point")
+	}
+	if _, ok := Empty().AsPoint(); ok {
+		t.Error("empty reported as point")
+	}
+}
+
+func TestSetContainsBinarySearch(t *testing.T) {
+	s := Of(between(0, 1), between(10, 11), between(20, 21), between(30, 31))
+	for _, v := range []int64{0, 1, 10, 21, 30, 31} {
+		if !s.Contains(ri(v)) {
+			t.Errorf("Contains(%d) = false", v)
+		}
+	}
+	for _, v := range []int64{-5, 2, 9, 15, 25, 40} {
+		if s.Contains(ri(v)) {
+			t.Errorf("Contains(%d) = true", v)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Empty().String(); got != "empty" {
+		t.Errorf("Empty().String() = %q", got)
+	}
+	if got := Full().String(); got != "all" {
+		t.Errorf("Full().String() = %q", got)
+	}
+	s := Of(Interval{At(ri(1), true), At(ri(5), false)}, Interval{At(ri(7), false), PosInf()})
+	if got := s.String(); got != "[1,5) u (7,+inf)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// genSet builds a small set from fuzz input.
+func genSet(seeds []int8) Set {
+	var ivs []Interval
+	for i := 0; i+1 < len(seeds); i += 2 {
+		a, b := int64(seeds[i]%16), int64(seeds[i+1]%16)
+		if a > b {
+			a, b = b, a
+		}
+		switch (a + b) % 3 {
+		case 0:
+			ivs = append(ivs, between(a, b))
+		case 1:
+			ivs = append(ivs, open(a, b))
+		default:
+			ivs = append(ivs, Interval{At(ri(a), true), At(ri(b), false)})
+		}
+	}
+	return Of(ivs...)
+}
+
+func TestQuickComplementInvolution(t *testing.T) {
+	f := func(seeds []int8) bool {
+		s := genSet(seeds)
+		return s.Complement().Complement().Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(x, y []int8) bool {
+		a, b := genSet(x), genSet(y)
+		lhs := a.Union(b).Complement()
+		rhs := a.Complement().Intersect(b.Complement())
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMembershipConsistency(t *testing.T) {
+	f := func(x, y []int8, probe int8) bool {
+		a, b := genSet(x), genSet(y)
+		v := ri(int64(probe % 16))
+		inUnion := a.Union(b).Contains(v) == (a.Contains(v) || b.Contains(v))
+		inInter := a.Intersect(b).Contains(v) == (a.Contains(v) && b.Contains(v))
+		inComp := a.Complement().Contains(v) == !a.Contains(v)
+		return inUnion && inInter && inComp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWitnessMember(t *testing.T) {
+	f := func(x []int8) bool {
+		s := genSet(x)
+		w, ok := s.Witness()
+		if !ok {
+			return s.IsEmpty()
+		}
+		if !s.Contains(w) {
+			return false
+		}
+		for _, wi := range s.Witnesses() {
+			if !s.Contains(wi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionIdempotentCommutative(t *testing.T) {
+	f := func(x, y []int8) bool {
+		a, b := genSet(x), genSet(y)
+		return a.Union(a).Equal(a) && a.Union(b).Equal(b.Union(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

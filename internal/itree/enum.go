@@ -1,0 +1,310 @@
+package itree
+
+import (
+	"sort"
+	"strings"
+
+	"incxml/internal/ctype"
+	"incxml/internal/rat"
+	"incxml/internal/tree"
+)
+
+// Bounds limits the enumeration of rep(T) to a finite universe: data values
+// are drawn from Values, + and ⋆ items are instantiated between their lower
+// bound and MaxRepeat occurrences, derivations deeper than MaxDepth are cut,
+// and at most MaxTrees distinct trees are produced.
+//
+// Enumeration under bounds is the verification oracle of the test suite:
+// rep-set equality of two incomplete trees is checked over a shared value
+// universe covering every condition boundary. Equality of the bounded sets
+// is necessary for rep equality and, with a boundary-covering universe, a
+// strong (though not complete) check of it.
+type Bounds struct {
+	Values    []rat.Rat
+	MaxRepeat int
+	MaxDepth  int
+	MaxTrees  int
+}
+
+// DefaultBounds returns bounds suitable for small verification instances:
+// integer values 0..5, at most two repetitions, depth 6, 20000 trees.
+func DefaultBounds() Bounds {
+	vals := make([]rat.Rat, 6)
+	for i := range vals {
+		vals[i] = rat.FromInt(int64(i))
+	}
+	return Bounds{Values: vals, MaxRepeat: 2, MaxDepth: 6, MaxTrees: 20000}
+}
+
+// IntBounds returns bounds with integer values lo..hi.
+func IntBounds(lo, hi int64, maxRepeat, maxDepth, maxTrees int) Bounds {
+	var vals []rat.Rat
+	for v := lo; v <= hi; v++ {
+		vals = append(vals, rat.FromInt(v))
+	}
+	return Bounds{Values: vals, MaxRepeat: maxRepeat, MaxDepth: maxDepth, MaxTrees: maxTrees}
+}
+
+// Enumerate materializes the trees of rep(T) within the bounds. Trees
+// containing a data node twice are excluded (Definition 2.7). The result is
+// deduplicated under CanonRelative with respect to T's data nodes.
+func (it *T) Enumerate(b Bounds) []tree.Tree {
+	type genKey struct {
+		sym   ctype.Symbol
+		depth int
+	}
+	variants := map[genKey][]*tree.Node{}
+	var gen func(s ctype.Symbol, depth int) []*tree.Node
+	gen = func(s ctype.Symbol, depth int) []*tree.Node {
+		if depth > b.MaxDepth {
+			return nil
+		}
+		// Memoized on (symbol, depth): recursion strictly increases depth, so
+		// gen terminates at the MaxDepth cut.
+		if vs, ok := variants[genKey{s, depth}]; ok {
+			return vs
+		}
+		tg := it.Type.TargetFor(s)
+		var bases []*tree.Node
+		if tg.IsNode() {
+			info, ok := it.Nodes[tg.Node]
+			if !ok {
+				return nil
+			}
+			bases = []*tree.Node{tree.NewID(tg.Node, info.Label, info.Value)}
+		} else {
+			c := it.EffectiveCond(s)
+			for _, v := range b.Values {
+				if c.Holds(v) {
+					bases = append(bases, tree.New(tg.Label, v))
+				}
+			}
+		}
+		if len(bases) == 0 {
+			return nil
+		}
+		var out []*tree.Node
+		for _, a := range it.Type.DisjFor(s) {
+			childSets := it.enumAtom(a, depth, b, gen)
+			for _, cs := range childSets {
+				for _, base := range bases {
+					n := &tree.Node{ID: base.ID, Label: base.Label, Value: base.Value}
+					for _, c := range cs {
+						n.Children = append(n.Children, cloneNode(c))
+					}
+					// Fresh ids for non-data nodes so siblings differ.
+					out = append(out, refreshIDs(n, it.Nodes))
+					if len(out) > b.MaxTrees {
+						return out
+					}
+				}
+			}
+		}
+		variants[genKey{s, depth}] = out
+		return out
+	}
+
+	seen := map[string]bool{}
+	var result []tree.Tree
+	nset := map[tree.NodeID]bool{}
+	for id := range it.Nodes {
+		nset[id] = true
+	}
+	if it.MayBeEmpty {
+		result = append(result, tree.Empty())
+		seen[CanonRelative(tree.Empty(), nset)] = true
+	}
+	for _, r := range it.Type.Roots {
+		for _, root := range gen(r, 0) {
+			t := tree.Tree{Root: root}
+			if dupDataNode(t, it.Nodes) {
+				continue
+			}
+			key := CanonRelative(t, nset)
+			if !seen[key] {
+				seen[key] = true
+				result = append(result, t)
+			}
+			if len(result) >= b.MaxTrees {
+				return result
+			}
+		}
+	}
+	return result
+}
+
+// enumAtom enumerates child multisets satisfying the atom within bounds.
+func (it *T) enumAtom(a ctype.SAtom, depth int, b Bounds, gen func(ctype.Symbol, int) []*tree.Node) [][]*tree.Node {
+	sets := [][]*tree.Node{{}}
+	for _, item := range a {
+		vars := gen(item.Sym, depth+1)
+		lo, hi := item.Mult.Bounds()
+		if hi < 0 || hi > b.MaxRepeat {
+			hi = b.MaxRepeat
+			if lo > hi {
+				hi = lo
+			}
+		}
+		if it.Type.TargetFor(item.Sym).IsNode() && hi > 1 {
+			hi = 1
+		}
+		var expanded [][]*tree.Node
+		for count := lo; count <= hi; count++ {
+			if count > 0 && len(vars) == 0 {
+				continue
+			}
+			for _, combo := range multichoose(vars, count) {
+				for _, prev := range sets {
+					next := append(append([]*tree.Node{}, prev...), combo...)
+					expanded = append(expanded, next)
+					if len(expanded) > b.MaxTrees {
+						// Overflow: dropping the whole atom under-approximates
+						// the bounded rep-set, which is safe; emitting partial
+						// child sets would fabricate non-members.
+						return nil
+					}
+				}
+			}
+		}
+		sets = expanded
+		if len(sets) == 0 {
+			return nil
+		}
+	}
+	return sets
+}
+
+// multichoose returns all multisets of size count drawn from vars
+// (combinations with repetition).
+func multichoose(vars []*tree.Node, count int) [][]*tree.Node {
+	if count == 0 {
+		return [][]*tree.Node{{}}
+	}
+	var out [][]*tree.Node
+	var rec func(start int, acc []*tree.Node)
+	rec = func(start int, acc []*tree.Node) {
+		if len(acc) == count {
+			out = append(out, append([]*tree.Node{}, acc...))
+			return
+		}
+		for i := start; i < len(vars); i++ {
+			rec(i, append(acc, vars[i]))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func cloneNode(n *tree.Node) *tree.Node {
+	out := &tree.Node{ID: n.ID, Label: n.Label, Value: n.Value}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, cloneNode(c))
+	}
+	return out
+}
+
+// refreshIDs gives fresh ids to all nodes that are not data nodes, so that
+// duplicated subtree variants do not share ids.
+func refreshIDs(n *tree.Node, dataNodes map[tree.NodeID]NodeInfo) *tree.Node {
+	if _, ok := dataNodes[n.ID]; !ok {
+		n.ID = tree.FreshID(string(n.Label))
+	}
+	for _, c := range n.Children {
+		refreshIDs(c, dataNodes)
+	}
+	return n
+}
+
+// dupDataNode reports whether a data node id occurs more than once in t.
+func dupDataNode(t tree.Tree, dataNodes map[tree.NodeID]NodeInfo) bool {
+	count := map[tree.NodeID]int{}
+	dup := false
+	t.Walk(func(n *tree.Node) {
+		if _, ok := dataNodes[n.ID]; ok {
+			count[n.ID]++
+			if count[n.ID] > 1 {
+				dup = true
+			}
+		}
+	})
+	return dup
+}
+
+// CanonRelative returns a canonical encoding of t in which node identifiers
+// in n are significant and all other identifiers are erased. Two trees agree
+// under CanonRelative iff they are the same tree up to renaming of non-N
+// node ids — the right equality for comparing rep-sets of incomplete trees
+// sharing data nodes.
+func CanonRelative(t tree.Tree, n map[tree.NodeID]bool) string {
+	var rec func(*tree.Node) string
+	rec = func(node *tree.Node) string {
+		id := ""
+		if n[node.ID] {
+			id = string(node.ID)
+		}
+		kids := make([]string, len(node.Children))
+		for i, c := range node.Children {
+			kids[i] = rec(c)
+		}
+		sort.Strings(kids)
+		return id + ":" + string(node.Label) + "=" + node.Value.String() + "(" + strings.Join(kids, ",") + ")"
+	}
+	if t.Root == nil {
+		return "<empty>"
+	}
+	return rec(t.Root)
+}
+
+// RepSet enumerates rep(T) under the bounds and returns the canonical keys,
+// relative to the given node set (pass nil to use T's own data nodes).
+func (it *T) RepSet(b Bounds, rel map[tree.NodeID]bool) map[string]bool {
+	if rel == nil {
+		rel = map[tree.NodeID]bool{}
+		for id := range it.Nodes {
+			rel[id] = true
+		}
+	}
+	out := map[string]bool{}
+	for _, t := range it.Enumerate(b) {
+		out[CanonRelative(t, rel)] = true
+	}
+	return out
+}
+
+// EqualRepSets reports whether two incomplete trees have the same bounded
+// rep-set, compared relative to the union of their data nodes. The returned
+// diff lists up to three canonical keys on each side when they differ.
+func EqualRepSets(a, b *T, bounds Bounds) (bool, string) {
+	rel := map[tree.NodeID]bool{}
+	for id := range a.Nodes {
+		rel[id] = true
+	}
+	for id := range b.Nodes {
+		rel[id] = true
+	}
+	sa := a.RepSet(bounds, rel)
+	sb := b.RepSet(bounds, rel)
+	var onlyA, onlyB []string
+	for k := range sa {
+		if !sb[k] {
+			onlyA = append(onlyA, k)
+		}
+	}
+	for k := range sb {
+		if !sa[k] {
+			onlyB = append(onlyB, k)
+		}
+	}
+	if len(onlyA) == 0 && len(onlyB) == 0 {
+		return true, ""
+	}
+	sort.Strings(onlyA)
+	sort.Strings(onlyB)
+	trim := func(xs []string) string {
+		if len(xs) > 3 {
+			xs = xs[:3]
+		}
+		return strings.Join(xs, " ; ")
+	}
+	return false, "only in A: " + trim(onlyA) + " | only in B: " + trim(onlyB)
+}

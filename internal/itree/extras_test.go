@@ -1,0 +1,136 @@
+package itree
+
+import (
+	"testing"
+
+	"incxml/internal/cond"
+	"incxml/internal/ctype"
+	"incxml/internal/dtd"
+	"incxml/internal/rat"
+)
+
+func TestCloneIndependence(t *testing.T) {
+	it := example22()
+	cp := it.Clone()
+	cp.Nodes["extra"] = NodeInfo{Label: "x", Value: v(1)}
+	cp.Type.Cond["a"] = cond.True()
+	cp.MayBeEmpty = true
+	if _, leaked := it.Nodes["extra"]; leaked {
+		t.Error("clone shares the node map")
+	}
+	if it.Type.CondFor("a").IsTrue() {
+		t.Error("clone shares the type")
+	}
+	if it.MayBeEmpty {
+		t.Error("clone shares MayBeEmpty")
+	}
+	// Behaviour unchanged on the original.
+	if !it.Member(world(1)) {
+		t.Error("original corrupted by clone mutation")
+	}
+}
+
+func TestBaseLabel(t *testing.T) {
+	it := example22()
+	if l, ok := it.BaseLabel("n"); !ok || l != "a" {
+		t.Errorf("BaseLabel(n) = %v %v", l, ok)
+	}
+	if l, ok := it.BaseLabel("b"); !ok || l != "b" {
+		t.Errorf("BaseLabel(b) = %v %v", l, ok)
+	}
+	it.Type.Sigma["ghost"] = ctype.NodeTarget("nope")
+	if _, ok := it.BaseLabel("ghost"); ok {
+		t.Error("BaseLabel for unknown node should fail")
+	}
+}
+
+func TestDataNodeWitness(t *testing.T) {
+	// Example 2.2 has no multi-specialization atoms: witness holds.
+	if err := example22().DataNodeWitness(); err != nil {
+		t.Errorf("Example 2.2 should satisfy condition (3): %v", err)
+	}
+	// Two label specializations of "a" with no data node labeled a in the
+	// atom: violates (3) even with disjoint conditions.
+	it := New()
+	it.Type.Roots = []ctype.Symbol{"r"}
+	it.Type.Sigma["r"] = ctype.LabelTarget("root")
+	it.Type.Sigma["a1"] = ctype.LabelTarget("a")
+	it.Type.Sigma["a2"] = ctype.LabelTarget("a")
+	it.Type.Cond["a1"] = cond.LtInt(0)
+	it.Type.Cond["a2"] = cond.GeInt(0)
+	it.Type.Mu["r"] = ctype.Disj{ctype.SAtom{
+		{Sym: "a1", Mult: dtd.Star}, {Sym: "a2", Mult: dtd.Star}}}
+	if err := it.Unambiguous(); err != nil {
+		t.Errorf("conditions (1)-(2) hold: %v", err)
+	}
+	if err := it.DataNodeWitness(); err == nil {
+		t.Error("condition (3) violation not detected")
+	}
+}
+
+func TestIntBoundsAndRepSet(t *testing.T) {
+	b := IntBounds(0, 2, 1, 3, 100)
+	if len(b.Values) != 3 || !b.Values[2].Equal(v(2)) {
+		t.Errorf("IntBounds values = %v", b.Values)
+	}
+	it := example22()
+	set := it.RepSet(b, nil)
+	if len(set) == 0 {
+		t.Error("RepSet empty")
+	}
+	// Keys are canonical relative to the itree's own nodes by default.
+	for k := range set {
+		if k == "" {
+			t.Error("empty canonical key")
+		}
+	}
+}
+
+func TestWitnessWithPlusItems(t *testing.T) {
+	// A + item forces the witness to include a child.
+	it := example22()
+	it.Type.Mu["n"] = ctype.Disj{ctype.SAtom{{Sym: "b", Mult: dtd.Plus}}}
+	w, ok := it.Witness()
+	if !ok {
+		t.Fatal("no witness")
+	}
+	if !it.Member(w) {
+		t.Errorf("witness not a member:\n%s", w)
+	}
+	n := w.Find("n")
+	if n == nil || len(n.Children) == 0 {
+		t.Error("witness ignored the + multiplicity")
+	}
+}
+
+func TestDataNodeChildrenAndTree(t *testing.T) {
+	it := example22()
+	kids := it.DataNodeChildren()
+	if len(kids["r"]) != 1 || kids["r"][0] != "n" {
+		t.Errorf("DataNodeChildren = %v", kids)
+	}
+	// A node symbol appearing in two atoms of the same parent dedupes.
+	it.Type.Mu["r"] = append(it.Type.Mu["r"], ctype.SAtom{{Sym: "n", Mult: dtd.One}})
+	kids = it.DataNodeChildren()
+	if len(kids["r"]) != 1 {
+		t.Errorf("duplicate edge not deduped: %v", kids)
+	}
+}
+
+func TestEnumerateRespectsMaxDepth(t *testing.T) {
+	// Recursive type: a -> a?; the depth bound caps the chains enumerated.
+	it := New()
+	it.Type.Roots = []ctype.Symbol{"a"}
+	it.Type.Sigma["a"] = ctype.LabelTarget("a")
+	it.Type.Mu["a"] = ctype.Disj{ctype.SAtom{{Sym: "a", Mult: dtd.Opt}}}
+	got := it.Enumerate(Bounds{Values: []rat.Rat{v(0)}, MaxRepeat: 1, MaxDepth: 2, MaxTrees: 100})
+	// Chains of height 1, 2, 3 fit within MaxDepth 2.
+	if len(got) != 3 {
+		t.Fatalf("enumerated %d chains, want 3", len(got))
+	}
+	for _, w := range got {
+		if w.Depth() > 3 {
+			t.Errorf("chain deeper than the bound: %d", w.Depth())
+		}
+	}
+}

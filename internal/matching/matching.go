@@ -1,0 +1,232 @@
+// Package matching implements maximum bipartite matching and feasibility of
+// degree-constrained assignments via max-flow with lower bounds.
+//
+// The paper's algorithms repeatedly reduce "can these children be typed by
+// this multiplicity atom" and "does an injective mapping f exist" (proofs of
+// Theorem 2.8 and the validation semantics of Definition 2.2) to perfect
+// matchings and degree-constrained bipartite assignments. This package is
+// that shared substrate.
+package matching
+
+// MaxBipartite computes a maximum matching in the bipartite graph with
+// nLeft left vertices and nRight right vertices, where adj[i] lists the
+// right vertices adjacent to left vertex i. It returns the matched right
+// vertex for each left vertex (-1 if unmatched) and the matching size.
+//
+// Kuhn's augmenting-path algorithm: O(V·E), ample for the small degrees that
+// arise from multiplicity atoms.
+func MaxBipartite(nLeft, nRight int, adj [][]int) (matchL []int, size int) {
+	matchL = make([]int, nLeft)
+	matchR := make([]int, nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	var seen []bool
+	var try func(u int) bool
+	try = func(u int) bool {
+		for _, v := range adj[u] {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			if matchR[v] == -1 || try(matchR[v]) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		return false
+	}
+	for u := 0; u < nLeft; u++ {
+		seen = make([]bool, nRight)
+		if try(u) {
+			size++
+		}
+	}
+	return matchL, size
+}
+
+// PerfectLeft reports whether a matching saturating every left vertex exists.
+func PerfectLeft(nLeft, nRight int, adj [][]int) bool {
+	_, size := MaxBipartite(nLeft, nRight, adj)
+	return size == nLeft
+}
+
+// Unbounded marks a slot with no upper occupancy limit in Feasible.
+const Unbounded = -1
+
+// Feasible reports whether every one of nItems items can be assigned to
+// exactly one of its allowed slots such that slot i receives between lo[i]
+// and hi[i] items (hi[i] == Unbounded means no upper limit).
+//
+// This is the satisfaction test for a multiplicity atom a1^ω1…ak^ωk: items
+// are children, slots are atom positions, and ω translates to [lo,hi] as
+// 1→[1,1], ?→[0,1], +→[1,∞], ⋆→[0,∞].
+func Feasible(nItems int, allowed [][]int, lo, hi []int) bool {
+	nSlots := len(lo)
+	for i := 0; i < nSlots; i++ {
+		h := hi[i]
+		if h == Unbounded {
+			h = nItems
+		}
+		if lo[i] > h {
+			return false
+		}
+	}
+	// Quick necessary checks.
+	sumLo, sumHi := 0, 0
+	for i := 0; i < nSlots; i++ {
+		sumLo += lo[i]
+		h := hi[i]
+		if h == Unbounded {
+			h = nItems
+		}
+		sumHi += h
+	}
+	if nItems < sumLo || nItems > sumHi {
+		return false
+	}
+	// Flow network with lower bounds:
+	//   S -> item_j   [1,1]
+	//   item_j -> slot_i [0,1]  (allowed)
+	//   slot_i -> T   [lo_i, hi_i]
+	//   T -> S        [0, inf]
+	// Standard transformation to a plain max-flow from S* to T*.
+	const (
+		s = 0
+		t = 1
+	)
+	base := 2
+	itemNode := func(j int) int { return base + j }
+	slotNode := func(i int) int { return base + nItems + i }
+	n := base + nItems + nSlots
+	ss, tt := n, n+1
+	f := newFlow(n + 2)
+	excess := make([]int, n)
+	addLB := func(u, v, l, h int) {
+		if h > l {
+			f.addEdge(u, v, h-l)
+		}
+		excess[v] += l
+		excess[u] -= l
+	}
+	for j := 0; j < nItems; j++ {
+		addLB(s, itemNode(j), 1, 1)
+		for _, i := range allowed[j] {
+			addLB(itemNode(j), slotNode(i), 0, 1)
+		}
+	}
+	for i := 0; i < nSlots; i++ {
+		h := hi[i]
+		if h == Unbounded {
+			h = nItems
+		}
+		addLB(slotNode(i), t, lo[i], h)
+	}
+	f.addEdge(t, s, nItems+1) // circulation closure
+	need := 0
+	for v := 0; v < n; v++ {
+		if excess[v] > 0 {
+			f.addEdge(ss, v, excess[v])
+			need += excess[v]
+		} else if excess[v] < 0 {
+			f.addEdge(v, tt, -excess[v])
+		}
+	}
+	return f.maxflow(ss, tt) == need
+}
+
+// flow is a compact Dinic max-flow implementation.
+type flow struct {
+	n     int
+	head  []int
+	to    []int
+	next  []int
+	cap   []int
+	level []int
+	iter  []int
+}
+
+func newFlow(n int) *flow {
+	h := make([]int, n)
+	for i := range h {
+		h[i] = -1
+	}
+	return &flow{n: n, head: h}
+}
+
+func (f *flow) addEdge(u, v, c int) {
+	f.to = append(f.to, v)
+	f.cap = append(f.cap, c)
+	f.next = append(f.next, f.head[u])
+	f.head[u] = len(f.to) - 1
+	f.to = append(f.to, u)
+	f.cap = append(f.cap, 0)
+	f.next = append(f.next, f.head[v])
+	f.head[v] = len(f.to) - 1
+}
+
+func (f *flow) bfs(s, t int) bool {
+	f.level = make([]int, f.n)
+	for i := range f.level {
+		f.level[i] = -1
+	}
+	queue := []int{s}
+	f.level[s] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for e := f.head[u]; e != -1; e = f.next[e] {
+			if f.cap[e] > 0 && f.level[f.to[e]] < 0 {
+				f.level[f.to[e]] = f.level[u] + 1
+				queue = append(queue, f.to[e])
+			}
+		}
+	}
+	return f.level[t] >= 0
+}
+
+func (f *flow) dfs(u, t, up int) int {
+	if u == t {
+		return up
+	}
+	for ; f.iter[u] != -1; f.iter[u] = f.next[f.iter[u]] {
+		e := f.iter[u]
+		v := f.to[e]
+		if f.cap[e] > 0 && f.level[v] == f.level[u]+1 {
+			d := f.dfs(v, t, min(up, f.cap[e]))
+			if d > 0 {
+				f.cap[e] -= d
+				f.cap[e^1] += d
+				return d
+			}
+		}
+	}
+	return 0
+}
+
+func (f *flow) maxflow(s, t int) int {
+	total := 0
+	for f.bfs(s, t) {
+		f.iter = make([]int, f.n)
+		copy(f.iter, f.head)
+		for {
+			d := f.dfs(s, t, 1<<30)
+			if d == 0 {
+				break
+			}
+			total += d
+		}
+	}
+	return total
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

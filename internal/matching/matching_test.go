@@ -1,0 +1,172 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxBipartiteBasics(t *testing.T) {
+	// Perfect matching on a 3x3 cycle-ish graph.
+	adj := [][]int{{0, 1}, {1, 2}, {2, 0}}
+	m, size := MaxBipartite(3, 3, adj)
+	if size != 3 {
+		t.Fatalf("size = %d, want 3", size)
+	}
+	used := map[int]bool{}
+	for i, v := range m {
+		if v < 0 {
+			t.Fatalf("left %d unmatched", i)
+		}
+		if used[v] {
+			t.Fatalf("right %d matched twice", v)
+		}
+		used[v] = true
+	}
+}
+
+func TestMaxBipartiteBottleneck(t *testing.T) {
+	// Two left vertices competing for one right vertex.
+	adj := [][]int{{0}, {0}}
+	_, size := MaxBipartite(2, 1, adj)
+	if size != 1 {
+		t.Fatalf("size = %d, want 1", size)
+	}
+	if PerfectLeft(2, 1, adj) {
+		t.Error("PerfectLeft should be false")
+	}
+}
+
+func TestMaxBipartiteEmpty(t *testing.T) {
+	if _, size := MaxBipartite(0, 0, nil); size != 0 {
+		t.Errorf("empty graph size = %d", size)
+	}
+	adj := [][]int{{}}
+	if PerfectLeft(1, 0, adj) {
+		t.Error("isolated vertex reported matched")
+	}
+}
+
+func TestFeasibleExactOne(t *testing.T) {
+	// Two children, two slots each requiring exactly one, both children allowed
+	// in both slots.
+	ok := Feasible(2, [][]int{{0, 1}, {0, 1}}, []int{1, 1}, []int{1, 1})
+	if !ok {
+		t.Error("2 children into 2 exact-one slots should be feasible")
+	}
+	// Three children into two exact-one slots: infeasible.
+	if Feasible(3, [][]int{{0, 1}, {0, 1}, {0, 1}}, []int{1, 1}, []int{1, 1}) {
+		t.Error("3 children into 2 exact-one slots should be infeasible")
+	}
+	// One child into two exact-one slots: infeasible (slot 2 unfilled).
+	if Feasible(1, [][]int{{0, 1}}, []int{1, 1}, []int{1, 1}) {
+		t.Error("1 child into 2 exact-one slots should be infeasible")
+	}
+}
+
+func TestFeasibleStarPlus(t *testing.T) {
+	// ω = ⋆ slot absorbs anything.
+	if !Feasible(5, [][]int{{0}, {0}, {0}, {0}, {0}}, []int{0}, []int{Unbounded}) {
+		t.Error("star slot should absorb 5 children")
+	}
+	// ω = + requires at least one.
+	if Feasible(0, nil, []int{1}, []int{Unbounded}) {
+		t.Error("plus slot with zero children should be infeasible")
+	}
+	if !Feasible(1, [][]int{{0}}, []int{1}, []int{Unbounded}) {
+		t.Error("plus slot with one child should be feasible")
+	}
+	// ω = ? accepts zero or one.
+	if !Feasible(0, nil, []int{0}, []int{1}) {
+		t.Error("optional slot with zero children should be feasible")
+	}
+	if Feasible(2, [][]int{{0}, {0}}, []int{0}, []int{1}) {
+		t.Error("optional slot with two children should be infeasible")
+	}
+}
+
+func TestFeasibleRestricted(t *testing.T) {
+	// Child 0 can go only to slot 0 (exact one); child 1 only to slot 1 (+).
+	if !Feasible(2, [][]int{{0}, {1}}, []int{1, 1}, []int{1, Unbounded}) {
+		t.Error("disjoint allowed sets should be feasible")
+	}
+	// Child 1 cannot reach slot 1, which has a lower bound.
+	if Feasible(2, [][]int{{0}, {0}}, []int{1, 1}, []int{1, Unbounded}) {
+		t.Error("unreachable lower bound should be infeasible")
+	}
+	// A child with no allowed slot is always infeasible.
+	if Feasible(1, [][]int{{}}, []int{0}, []int{Unbounded}) {
+		t.Error("orphan child should be infeasible")
+	}
+}
+
+func TestFeasibleLoGreaterHi(t *testing.T) {
+	if Feasible(1, [][]int{{0}}, []int{2}, []int{1}) {
+		t.Error("lo > hi should be infeasible")
+	}
+}
+
+// bruteFeasible enumerates all assignments; exponential, for tiny instances.
+func bruteFeasible(nItems int, allowed [][]int, lo, hi []int) bool {
+	nSlots := len(lo)
+	counts := make([]int, nSlots)
+	var rec func(j int) bool
+	rec = func(j int) bool {
+		if j == nItems {
+			for i := 0; i < nSlots; i++ {
+				h := hi[i]
+				if h == Unbounded {
+					h = nItems
+				}
+				if counts[i] < lo[i] || counts[i] > h {
+					return false
+				}
+			}
+			return true
+		}
+		for _, s := range allowed[j] {
+			counts[s]++
+			if rec(j + 1) {
+				counts[s]--
+				return true
+			}
+			counts[s]--
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func TestQuickFeasibleMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nItems := rng.Intn(5)
+		nSlots := 1 + rng.Intn(4)
+		allowed := make([][]int, nItems)
+		for j := range allowed {
+			for i := 0; i < nSlots; i++ {
+				if rng.Intn(2) == 0 {
+					allowed[j] = append(allowed[j], i)
+				}
+			}
+		}
+		lo := make([]int, nSlots)
+		hi := make([]int, nSlots)
+		for i := range lo {
+			switch rng.Intn(4) {
+			case 0: // 1
+				lo[i], hi[i] = 1, 1
+			case 1: // ?
+				lo[i], hi[i] = 0, 1
+			case 2: // +
+				lo[i], hi[i] = 1, Unbounded
+			default: // ⋆
+				lo[i], hi[i] = 0, Unbounded
+			}
+		}
+		return Feasible(nItems, allowed, lo, hi) == bruteFeasible(nItems, allowed, lo, hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

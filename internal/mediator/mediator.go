@@ -1,0 +1,212 @@
+// Package mediator implements the guiding-mediators machinery of
+// Section 3.4: when a query cannot be fully answered from the incomplete
+// tree, a set of *local* ps-queries p@n — each anchored at a node n of the
+// data tree T_d — is generated that completes the representation relative to
+// the query (Theorem 3.19). The generated completion is non-redundant:
+// answers of distinct local queries do not overlap, and no local query is
+// certainly empty.
+package mediator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"incxml/internal/answer"
+	"incxml/internal/ctype"
+	"incxml/internal/itree"
+	"incxml/internal/query"
+	"incxml/internal/tree"
+)
+
+// LocalQuery is an expression p@n: the ps-query p posed against the subtree
+// of the full input rooted at the known node n.
+type LocalQuery struct {
+	At tree.NodeID
+	Q  query.Query
+}
+
+// String renders the local query as "p @ n".
+func (lq LocalQuery) String() string {
+	return strings.TrimRight(lq.Q.String(), "\n") + " @ " + string(lq.At)
+}
+
+// Execute evaluates the local query against the full document: the answer
+// of p on the subtree rooted at n (empty if n does not exist).
+func (lq LocalQuery) Execute(doc tree.Tree) tree.Tree {
+	n := doc.Find(lq.At)
+	if n == nil {
+		return tree.Empty()
+	}
+	return lq.Q.Eval(tree.Tree{Root: n})
+}
+
+// Complete computes a non-redundant set of local queries that completes the
+// reachable incomplete tree relative to q (Theorem 3.19): for every world
+// T ∈ rep(T), evaluating the local queries on T and adjoining their answers
+// to the data tree yields enough information to answer q exactly.
+func Complete(it *itree.T, q query.Query) ([]LocalQuery, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	w := it.TrimUseless()
+	td := w.DataTree()
+	if td.Root == nil {
+		// Nothing known yet: the trivial completion asks q at the (virtual)
+		// root; with no data tree there is no anchor, so the caller should
+		// pose q against the source directly.
+		return nil, fmt.Errorf("mediator: no data tree to anchor local queries (pose the query to the source)")
+	}
+	poss, _ := answer.MatchSets(w, q)
+
+	// Symbols targeting each data node.
+	symsOf := map[tree.NodeID][]ctype.Symbol{}
+	for _, s := range w.Type.Symbols() {
+		if tg := w.Type.TargetFor(s); tg.IsNode() {
+			symsOf[tg.Node] = append(symsOf[tg.Node], s)
+		}
+	}
+	for _, ss := range symsOf {
+		sort.Slice(ss, func(i, j int) bool { return ss[i] < ss[j] })
+	}
+
+	var out []LocalQuery
+
+	// missingPossible reports whether, under data node n, part of the answer
+	// to the child pattern mc (at childPath) can come from missing (non-data)
+	// information: some atom of some symbol of n contains a non-node item
+	// whose symbol possibly matches p_mc.
+	missingPossible := func(n tree.NodeID, childPath string) bool {
+		for _, s := range symsOf[n] {
+			for _, a := range w.Type.DisjFor(s) {
+				for _, item := range a {
+					if w.Type.TargetFor(item.Sym).IsNode() {
+						continue
+					}
+					if poss[answer.PathKey{Sym: item.Sym, Path: childPath}] {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+
+	// dataChildren lists the data children of n whose node symbol possibly
+	// matches the child pattern.
+	children := w.DataNodeChildren()
+	dataChildrenMatching := func(n tree.NodeID, childPath string) []tree.NodeID {
+		var out []tree.NodeID
+		for _, c := range children[n] {
+			for _, s := range symsOf[c] {
+				if poss[answer.PathKey{Sym: s, Path: childPath}] {
+					out = append(out, c)
+					break
+				}
+			}
+		}
+		return out
+	}
+
+	var descend func(p *query.Node, path string, n tree.NodeID)
+	descend = func(p *query.Node, path string, n tree.NodeID) {
+		if len(p.Children) == 0 {
+			if p.Extract && missingBelow(w, n) {
+				// A bar leaf wants the whole subtree; if anything below n is
+				// still unknown, fetch it.
+				out = append(out, LocalQuery{At: n, Q: query.Query{Root: cloneBar(p)}})
+			}
+			return
+		}
+		// Partition the child patterns: C = those that may be fed by missing
+		// information directly under n.
+		var cKeep []*query.Node
+		type rec struct {
+			child *query.Node
+			path  string
+		}
+		var recurse []rec
+		for i, mc := range p.Children {
+			cp := fmt.Sprintf("%s/%d", path, i)
+			if missingPossible(n, cp) {
+				cKeep = append(cKeep, mc)
+			} else {
+				recurse = append(recurse, rec{mc, cp})
+			}
+		}
+		if len(cKeep) > 0 {
+			pc := &query.Node{Label: p.Label, Cond: p.Cond}
+			for _, mc := range cKeep {
+				pc.Children = append(pc.Children, mc)
+			}
+			out = append(out, LocalQuery{At: n, Q: query.Query{Root: pc}})
+		}
+		for _, r := range recurse {
+			for _, ni := range dataChildrenMatching(n, r.path) {
+				descend(r.child, r.path, ni)
+			}
+		}
+	}
+	descend(q.Root, "0", td.Root.ID)
+	return out, nil
+}
+
+// cloneBar copies a bar pattern leaf.
+func cloneBar(p *query.Node) *query.Node {
+	return &query.Node{Label: p.Label, Cond: p.Cond, Extract: true}
+}
+
+// missingBelow reports whether any non-data information is reachable below
+// the symbols of data node n.
+func missingBelow(w *itree.T, n tree.NodeID) bool {
+	seen := map[ctype.Symbol]bool{}
+	var stack []ctype.Symbol
+	for _, s := range w.Type.Symbols() {
+		if tg := w.Type.TargetFor(s); tg.IsNode() && tg.Node == n {
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		for _, a := range w.Type.DisjFor(s) {
+			for _, item := range a {
+				if !w.Type.TargetFor(item.Sym).IsNode() {
+					return true
+				}
+				stack = append(stack, item.Sym)
+			}
+		}
+	}
+	return false
+}
+
+// Merge adjoins the answers of executed local queries to a base prefix of
+// the document: all inputs must be prefixes of the same world with
+// persistent ids, and the result is the world's prefix induced by the union
+// of their nodes.
+func Merge(world tree.Tree, base tree.Tree, answers ...tree.Tree) tree.Tree {
+	keep := map[tree.NodeID]bool{}
+	base.Walk(func(n *tree.Node) { keep[n.ID] = true })
+	for _, a := range answers {
+		a.Walk(func(n *tree.Node) { keep[n.ID] = true })
+	}
+	return world.PrefixOn(keep)
+}
+
+// Completes verifies the completion property on a concrete world: answering
+// q on the data tree extended with the local answers coincides with
+// answering q on the world. Used by tests and the webhouse simulator.
+func Completes(it *itree.T, q query.Query, world tree.Tree, ls []LocalQuery) bool {
+	td := it.DataTree()
+	answers := make([]tree.Tree, len(ls))
+	for i, lq := range ls {
+		answers[i] = lq.Execute(world)
+	}
+	merged := Merge(world, td, answers...)
+	return q.Eval(merged).Equal(q.Eval(world))
+}

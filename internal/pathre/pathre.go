@@ -1,0 +1,387 @@
+// Package pathre implements regular expressions over label alphabets,
+// used by the recursive-path-expression extension of ps-queries
+// (Section 4) and by the l(A)/r(A) constructions in the proof of
+// Theorem 4.7.
+//
+// Expressions are built with combinators (Sym, Concat, Alt, Star, ...) or
+// parsed from a compact syntax, compiled to a Thompson NFA, and matched
+// against words of labels (the label sequences along tree paths).
+package pathre
+
+import (
+	"fmt"
+	"strings"
+
+	"incxml/internal/tree"
+)
+
+// Regex is a regular expression over labels. The zero value is invalid; use
+// the combinators or Parse.
+type Regex struct {
+	kind     kind
+	label    tree.Label
+	children []*Regex
+}
+
+type kind int
+
+const (
+	kEmpty kind = iota // ∅ — matches nothing
+	kEps               // ε — matches the empty word
+	kSym               // a single label
+	kAny               // any single label (wildcard ⋆-symbol, written "." or the paper's ⋆ step)
+	kConcat
+	kAlt
+	kStar
+)
+
+// Empty matches no word.
+func Empty() *Regex { return &Regex{kind: kEmpty} }
+
+// Eps matches only the empty word.
+func Eps() *Regex { return &Regex{kind: kEps} }
+
+// Sym matches the single-label word "l".
+func Sym(l tree.Label) *Regex { return &Regex{kind: kSym, label: l} }
+
+// Any matches any single label (the paper's Σ step, written "." in text
+// syntax; the query figures use ⋆ as a shortcut for Σ⋆, which is AnyStar).
+func Any() *Regex { return &Regex{kind: kAny} }
+
+// AnyStar matches any word — the paper's ⋆ shortcut for Σ⋆.
+func AnyStar() *Regex { return Star(Any()) }
+
+// Concat matches concatenations of its arguments in order.
+func Concat(rs ...*Regex) *Regex {
+	if len(rs) == 0 {
+		return Eps()
+	}
+	if len(rs) == 1 {
+		return rs[0]
+	}
+	return &Regex{kind: kConcat, children: rs}
+}
+
+// Alt matches any of its alternatives.
+func Alt(rs ...*Regex) *Regex {
+	if len(rs) == 0 {
+		return Empty()
+	}
+	if len(rs) == 1 {
+		return rs[0]
+	}
+	return &Regex{kind: kAlt, children: rs}
+}
+
+// Star matches zero or more repetitions.
+func Star(r *Regex) *Regex { return &Regex{kind: kStar, children: []*Regex{r}} }
+
+// Plus matches one or more repetitions.
+func Plus(r *Regex) *Regex { return Concat(r, Star(r)) }
+
+// Opt matches zero or one occurrence.
+func Opt(r *Regex) *Regex { return Alt(r, Eps()) }
+
+// String renders the expression in the syntax accepted by Parse.
+func (r *Regex) String() string {
+	switch r.kind {
+	case kEmpty:
+		return "<empty>"
+	case kEps:
+		return "()"
+	case kSym:
+		return string(r.label)
+	case kAny:
+		return "."
+	case kConcat:
+		parts := make([]string, len(r.children))
+		for i, c := range r.children {
+			parts[i] = c.group(kConcat)
+		}
+		return strings.Join(parts, " ")
+	case kAlt:
+		parts := make([]string, len(r.children))
+		for i, c := range r.children {
+			parts[i] = c.group(kAlt)
+		}
+		return strings.Join(parts, "|")
+	case kStar:
+		return r.children[0].group(kStar) + "*"
+	default:
+		return "<?>"
+	}
+}
+
+func (r *Regex) group(ctx kind) string {
+	need := false
+	switch r.kind {
+	case kAlt:
+		need = ctx == kConcat || ctx == kStar
+	case kConcat:
+		need = ctx == kStar
+	}
+	if need {
+		return "(" + r.String() + ")"
+	}
+	return r.String()
+}
+
+// nfa is a Thompson construction: states 0..n-1, eps transitions and
+// labeled transitions; single start and accept.
+type nfa struct {
+	eps    [][]int
+	steps  []map[tree.Label][]int // labeled transitions
+	any    [][]int                // wildcard transitions
+	start  int
+	accept int
+}
+
+func (m *nfa) addState() int {
+	m.eps = append(m.eps, nil)
+	m.steps = append(m.steps, map[tree.Label][]int{})
+	m.any = append(m.any, nil)
+	return len(m.eps) - 1
+}
+
+// Compile builds the NFA once; Match and Matcher reuse it.
+func (r *Regex) compile() *nfa {
+	m := &nfa{}
+	s, a := r.build(m)
+	m.start, m.accept = s, a
+	return m
+}
+
+func (r *Regex) build(m *nfa) (start, accept int) {
+	switch r.kind {
+	case kEmpty:
+		s, a := m.addState(), m.addState()
+		return s, a
+	case kEps:
+		s := m.addState()
+		return s, s
+	case kSym:
+		s, a := m.addState(), m.addState()
+		m.steps[s][r.label] = append(m.steps[s][r.label], a)
+		return s, a
+	case kAny:
+		s, a := m.addState(), m.addState()
+		m.any[s] = append(m.any[s], a)
+		return s, a
+	case kConcat:
+		s, a := r.children[0].build(m)
+		for _, c := range r.children[1:] {
+			cs, ca := c.build(m)
+			m.eps[a] = append(m.eps[a], cs)
+			a = ca
+		}
+		return s, a
+	case kAlt:
+		s, a := m.addState(), m.addState()
+		for _, c := range r.children {
+			cs, ca := c.build(m)
+			m.eps[s] = append(m.eps[s], cs)
+			m.eps[ca] = append(m.eps[ca], a)
+		}
+		return s, a
+	case kStar:
+		s := m.addState()
+		cs, ca := r.children[0].build(m)
+		m.eps[s] = append(m.eps[s], cs)
+		m.eps[ca] = append(m.eps[ca], s)
+		return s, s
+	default:
+		panic("pathre: invalid regex")
+	}
+}
+
+// Matcher is an incremental simulation of the regex: feed labels one at a
+// time while walking down a tree path.
+type Matcher struct {
+	m   *nfa
+	cur map[int]bool
+}
+
+// NewMatcher starts a matcher at the beginning of a word.
+func (r *Regex) NewMatcher() *Matcher {
+	m := r.compile()
+	w := &Matcher{m: m, cur: map[int]bool{}}
+	w.add(m.start)
+	return w
+}
+
+func (w *Matcher) add(s int) {
+	if w.cur[s] {
+		return
+	}
+	w.cur[s] = true
+	for _, t := range w.m.eps[s] {
+		w.add(t)
+	}
+}
+
+// Step consumes one label, returning a matcher for the extended word (the
+// receiver is unchanged).
+func (w *Matcher) Step(l tree.Label) *Matcher {
+	next := &Matcher{m: w.m, cur: map[int]bool{}}
+	for s := range w.cur {
+		for _, t := range w.m.steps[s][l] {
+			next.add(t)
+		}
+		for _, t := range w.m.any[s] {
+			next.add(t)
+		}
+	}
+	return next
+}
+
+// Accepting reports whether the word consumed so far is in the language.
+func (w *Matcher) Accepting() bool { return w.cur[w.m.accept] }
+
+// Dead reports whether no extension of the word can ever match.
+func (w *Matcher) Dead() bool { return len(w.cur) == 0 }
+
+// Match reports whether the word of labels is in the language.
+func (r *Regex) Match(word []tree.Label) bool {
+	w := r.NewMatcher()
+	for _, l := range word {
+		w = w.Step(l)
+		if w.Dead() {
+			return false
+		}
+	}
+	return w.Accepting()
+}
+
+// Parse reads a regex from text. Syntax: labels are identifiers; "." is any
+// label; juxtaposition (whitespace) concatenates; "|" alternates; "*", "+",
+// "?" postfix; parentheses group; "()" is ε.
+func Parse(s string) (*Regex, error) {
+	p := &parser{src: s}
+	r, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("pathre: trailing input at %d in %q", p.pos, s)
+	}
+	return r, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(s string) *Regex {
+	r, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) alt() (*Regex, error) {
+	var alts []*Regex
+	for {
+		c, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, c)
+		p.skipSpace()
+		if p.peek() != '|' {
+			break
+		}
+		p.pos++
+	}
+	return Alt(alts...), nil
+}
+
+func (p *parser) concat() (*Regex, error) {
+	var parts []*Regex
+	for {
+		p.skipSpace()
+		c := p.peek()
+		if c == 0 || c == ')' || c == '|' {
+			break
+		}
+		f, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, f)
+	}
+	if len(parts) == 0 {
+		return Eps(), nil
+	}
+	return Concat(parts...), nil
+}
+
+func (p *parser) factor() (*Regex, error) {
+	p.skipSpace()
+	var base *Regex
+	switch c := p.peek(); {
+	case c == '(':
+		p.pos++
+		p.skipSpace()
+		if p.peek() == ')' {
+			p.pos++
+			base = Eps()
+		} else {
+			inner, err := p.alt()
+			if err != nil {
+				return nil, err
+			}
+			if p.peek() != ')' {
+				return nil, fmt.Errorf("pathre: missing ')' at %d in %q", p.pos, p.src)
+			}
+			p.pos++
+			base = inner
+		}
+	case c == '.':
+		p.pos++
+		base = Any()
+	case isLabelByte(c):
+		start := p.pos
+		for p.pos < len(p.src) && isLabelByte(p.src[p.pos]) {
+			p.pos++
+		}
+		base = Sym(tree.Label(p.src[start:p.pos]))
+	default:
+		return nil, fmt.Errorf("pathre: unexpected %q at %d in %q", c, p.pos, p.src)
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			base = Star(base)
+		case '+':
+			p.pos++
+			base = Plus(base)
+		case '?':
+			p.pos++
+			base = Opt(base)
+		default:
+			return base, nil
+		}
+	}
+}
+
+func isLabelByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+}

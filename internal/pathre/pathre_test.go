@@ -1,0 +1,184 @@
+package pathre
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"incxml/internal/tree"
+)
+
+func w(ls ...string) []tree.Label {
+	out := make([]tree.Label, len(ls))
+	for i, l := range ls {
+		out[i] = tree.Label(l)
+	}
+	return out
+}
+
+func TestBasicMatch(t *testing.T) {
+	cases := []struct {
+		re   *Regex
+		word []tree.Label
+		want bool
+	}{
+		{Sym("a"), w("a"), true},
+		{Sym("a"), w("b"), false},
+		{Sym("a"), w(), false},
+		{Eps(), w(), true},
+		{Eps(), w("a"), false},
+		{Empty(), w(), false},
+		{Empty(), w("a"), false},
+		{Any(), w("z"), true},
+		{Any(), w(), false},
+		{Concat(Sym("a"), Sym("b")), w("a", "b"), true},
+		{Concat(Sym("a"), Sym("b")), w("a"), false},
+		{Alt(Sym("a"), Sym("b")), w("b"), true},
+		{Alt(Sym("a"), Sym("b")), w("c"), false},
+		{Star(Sym("a")), w(), true},
+		{Star(Sym("a")), w("a", "a", "a"), true},
+		{Star(Sym("a")), w("a", "b"), false},
+		{Plus(Sym("a")), w(), false},
+		{Plus(Sym("a")), w("a"), true},
+		{Opt(Sym("a")), w(), true},
+		{Opt(Sym("a")), w("a"), true},
+		{Opt(Sym("a")), w("a", "a"), false},
+		{AnyStar(), w(), true},
+		{AnyStar(), w("x", "y", "z"), true},
+	}
+	for i, c := range cases {
+		if got := c.re.Match(c.word); got != c.want {
+			t.Errorf("case %d: %s match %v = %v, want %v", i, c.re, c.word, got, c.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		src string
+		yes [][]tree.Label
+		no  [][]tree.Label
+	}{
+		{"a b", [][]tree.Label{w("a", "b")}, [][]tree.Label{w("a"), w("b", "a")}},
+		{"a|b", [][]tree.Label{w("a"), w("b")}, [][]tree.Label{w(), w("a", "b")}},
+		{"a*", [][]tree.Label{w(), w("a", "a")}, [][]tree.Label{w("b")}},
+		{"(a b)*", [][]tree.Label{w(), w("a", "b", "a", "b")}, [][]tree.Label{w("a")}},
+		{"a+ b?", [][]tree.Label{w("a"), w("a", "b"), w("a", "a")}, [][]tree.Label{w("b")}},
+		{".* x", [][]tree.Label{w("x"), w("q", "r", "x")}, [][]tree.Label{w(), w("x", "y")}},
+		{"()", [][]tree.Label{w()}, [][]tree.Label{w("a")}},
+		{"a (b|c) d", [][]tree.Label{w("a", "b", "d"), w("a", "c", "d")}, [][]tree.Label{w("a", "d")}},
+	}
+	for _, c := range cases {
+		re, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		for _, word := range c.yes {
+			if !re.Match(word) {
+				t.Errorf("%q should match %v", c.src, word)
+			}
+		}
+		for _, word := range c.no {
+			if re.Match(word) {
+				t.Errorf("%q should not match %v", c.src, word)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{"(", "(a", "a)", "*", "|a)(", "a**)"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestMatcherIncremental(t *testing.T) {
+	re := MustParse("a b* c")
+	m := re.NewMatcher()
+	if m.Accepting() {
+		t.Error("empty word should not match")
+	}
+	m = m.Step("a")
+	if m.Accepting() || m.Dead() {
+		t.Error("after 'a': not accepting, not dead")
+	}
+	m2 := m.Step("c")
+	if !m2.Accepting() {
+		t.Error("'a c' should match")
+	}
+	m3 := m.Step("b").Step("b").Step("c")
+	if !m3.Accepting() {
+		t.Error("'a b b c' should match")
+	}
+	dead := m.Step("x")
+	if !dead.Dead() {
+		t.Error("'a x' should be dead")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	f := func(seed []byte) bool {
+		re := genRegex(seed, 0)
+		again, err := Parse(re.String())
+		if err != nil {
+			return false
+		}
+		// Compare on a sample of short words.
+		labels := []tree.Label{"a", "b"}
+		var words [][]tree.Label
+		words = append(words, nil)
+		for _, x := range labels {
+			words = append(words, []tree.Label{x})
+			for _, y := range labels {
+				words = append(words, []tree.Label{x, y})
+				for _, z := range labels {
+					words = append(words, []tree.Label{x, y, z})
+				}
+			}
+		}
+		for _, word := range words {
+			if re.Match(word) != again.Match(word) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func genRegex(seed []byte, depth int) *Regex {
+	if len(seed) == 0 || depth > 3 {
+		return Sym("a")
+	}
+	b := seed[0]
+	rest := seed[1:]
+	switch b % 6 {
+	case 0:
+		return Sym("a")
+	case 1:
+		return Sym("b")
+	case 2:
+		return Any()
+	case 3:
+		half := len(rest) / 2
+		return Concat(genRegex(rest[:half], depth+1), genRegex(rest[half:], depth+1))
+	case 4:
+		half := len(rest) / 2
+		return Alt(genRegex(rest[:half], depth+1), genRegex(rest[half:], depth+1))
+	default:
+		return Star(genRegex(rest, depth+1))
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	re := Concat(Sym("a"), Star(Alt(Sym("b"), Sym("c"))))
+	s := re.String()
+	if !strings.Contains(s, "(b|c)*") {
+		t.Errorf("rendering = %q", s)
+	}
+}

@@ -1,0 +1,117 @@
+package pebble
+
+import (
+	"testing"
+
+	"incxml/internal/rat"
+	"incxml/internal/tree"
+)
+
+// Section 4's order discussion: a flat input with a and b elements. If the
+// input type is a⋆b⋆ (all a's before all b's), the concatenation of the
+// answers to "list the a's" and "list the b's" determines the full list;
+// if the type is (a+b)⋆, the interleaving is lost. The ordered track makes
+// this checkable: a 1-pebble automaton recognizes the a⋆b⋆ shape on the
+// binary (first-child/next-sibling) encoding, where the root's children
+// form a Right-spine.
+
+// interleaveViolationAutomaton accepts encodings of flat documents
+// root(x1...xn) in which some b precedes some a in sibling order — i.e.
+// documents NOT of shape a⋆b⋆. (Nondeterministic acceptance detects the
+// existence of a violation; the sorted shape is its complement, decided by
+// negating Accepts.)
+func interleaveViolationAutomaton() *Automaton {
+	a := NewAutomaton(1, "start", "found")
+	a.Add(Transition{Guard: Guard{State: "start", Label: "root"}, Move: DownLeft, Next: "seekB"})
+	// Scan right for a b...
+	a.Add(Transition{Guard: Guard{State: "seekB"}, Move: DownRight, Next: "seekB"})
+	a.Add(Transition{Guard: Guard{State: "seekB", Label: "b"}, Move: DownRight, Next: "seekA"})
+	// ...then for an a after it.
+	a.Add(Transition{Guard: Guard{State: "seekA"}, Move: DownRight, Next: "seekA"})
+	a.Add(Transition{Guard: Guard{State: "seekA", Label: "a"}, Move: Stay, Next: "found"})
+	return a
+}
+
+// sortedShape reports whether the flat document has shape a⋆b⋆.
+func sortedShape(b *BNode) bool {
+	return !interleaveViolationAutomaton().Accepts(b)
+}
+
+// flat builds root(labels...) preserving order.
+func flat(labels ...tree.Label) *BNode {
+	root := tree.New("root", rat.Zero)
+	for _, l := range labels {
+		root.Children = append(root.Children, tree.New(l, rat.Zero))
+	}
+	return Encode(tree.Tree{Root: root})
+}
+
+func TestOrderSortedShape(t *testing.T) {
+	accept := [][]tree.Label{
+		{"a", "b"},
+		{"a", "a", "b", "b"},
+		{"a"},
+		{"b", "b"},
+	}
+	reject := [][]tree.Label{
+		{"b", "a"},
+		{"a", "b", "a"},
+		{"a", "b", "b", "a"},
+	}
+	for _, ls := range accept {
+		if !sortedShape(flat(ls...)) {
+			t.Errorf("sorted %v rejected", ls)
+		}
+	}
+	for _, ls := range reject {
+		if sortedShape(flat(ls...)) {
+			t.Errorf("interleaved %v accepted", ls)
+		}
+	}
+}
+
+// TestOrderAnswerMergeability demonstrates the paper's point: under the
+// a⋆b⋆ type, concatenating the a-list and the b-list reconstructs the
+// document; under (a+b)⋆ it generally does not.
+func TestOrderAnswerMergeability(t *testing.T) {
+	reconstruct := func(src []tree.Label) []tree.Label {
+		var as, bs, out []tree.Label
+		for _, l := range src {
+			if l == "a" {
+				as = append(as, l)
+			} else {
+				bs = append(bs, l)
+			}
+		}
+		out = append(out, as...)
+		out = append(out, bs...)
+		return out
+	}
+	equal := func(x, y []tree.Label) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	inputs := [][]tree.Label{
+		{"a", "a", "b"},
+		{"a", "b", "a"},
+		{"b", "a", "b"},
+		{"a", "b", "b"},
+	}
+	for _, in := range inputs {
+		sorted := sortedShape(flat(in...))
+		recon := reconstruct(in)
+		if sorted && !equal(in, recon) {
+			t.Errorf("a*b* input %v not reconstructed by concatenation", in)
+		}
+		if !sorted && equal(in, recon) {
+			t.Errorf("interleaved input %v unexpectedly reconstructed", in)
+		}
+	}
+}

@@ -1,0 +1,410 @@
+// Package pebble implements k-pebble tree automata and transducers over
+// binary trees (Section 4, after Milo–Suciu–Vianu), together with the
+// standard first-child/next-sibling encoding of the paper's unranked trees.
+//
+// The k-pebble machinery is the paper's vehicle for the ordered-tree,
+// powerful-restructuring extension: k-pebble automata give a representation
+// system for incomplete information that is maintainable in PTIME
+// (Theorem 4.2) — here realized as an explicit IntersectionList — while
+// basic manipulations such as emptiness are non-elementary in general
+// (Theorem 4.3), which is why Empty is only offered as a bounded search.
+package pebble
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"incxml/internal/rat"
+	"incxml/internal/tree"
+)
+
+// BNode is a node of a binary tree (the first-child/next-sibling encoding
+// of an unranked tree). Nil children are absent.
+type BNode struct {
+	Label tree.Label
+	Left  *BNode
+	Right *BNode
+}
+
+// Encode translates an unranked data tree into its binary encoding:
+// Left = first child, Right = next sibling. Data values are dropped; use
+// RelabelByValue first to fold value classes into labels (Remark 4.4).
+func Encode(t tree.Tree) *BNode {
+	var rec func(nodes []*tree.Node) *BNode
+	rec = func(nodes []*tree.Node) *BNode {
+		if len(nodes) == 0 {
+			return nil
+		}
+		n := nodes[0]
+		return &BNode{
+			Label: n.Label,
+			Left:  rec(n.Children),
+			Right: rec(nodes[1:]),
+		}
+	}
+	if t.Root == nil {
+		return nil
+	}
+	return rec([]*tree.Node{t.Root})
+}
+
+// Decode inverts Encode, producing an unranked tree with fresh node ids and
+// zero values.
+func Decode(b *BNode) tree.Tree {
+	var rec func(b *BNode) []*tree.Node
+	rec = func(b *BNode) []*tree.Node {
+		if b == nil {
+			return nil
+		}
+		n := tree.New(b.Label, rat.Zero)
+		n.Children = rec(b.Left)
+		return append([]*tree.Node{n}, rec(b.Right)...)
+	}
+	nodes := rec(b)
+	if len(nodes) == 0 {
+		return tree.Tree{}
+	}
+	if len(nodes) != 1 {
+		// A binary root with a Right sibling does not decode to a single
+		// unranked tree; wrap under a synthetic root.
+		root := tree.New("#forest", rat.Zero)
+		root.Children = nodes
+		return tree.Tree{Root: root}
+	}
+	return tree.Tree{Root: nodes[0]}
+}
+
+// Size returns the number of nodes in the binary tree.
+func (b *BNode) Size() int {
+	if b == nil {
+		return 0
+	}
+	return 1 + b.Left.Size() + b.Right.Size()
+}
+
+// State is an automaton state.
+type State string
+
+// MoveKind enumerates the transition actions of the k-pebble machine.
+type MoveKind int
+
+// The move kinds of the paper's definition: place a new pebble on the root,
+// pick the current pebble, move the current pebble one edge in one of the
+// four directions, or change state only.
+const (
+	PlaceNew MoveKind = iota
+	Pick
+	DownLeft
+	DownRight
+	Up
+	Stay
+)
+
+// Guard describes when a transition applies: the current state, the symbol
+// under the current pebble ("" = any), and for each lower-numbered pebble
+// optionally whether it must (or must not) sit on the current node.
+type Guard struct {
+	State State
+	Label tree.Label
+	// Here maps pebble index (1-based, below the current pebble) to required
+	// presence on the current node; absent indices are unconstrained.
+	Here map[int]bool
+}
+
+// Transition is a guarded move with a target state.
+type Transition struct {
+	Guard Guard
+	Move  MoveKind
+	Next  State
+}
+
+// Automaton is a k-pebble tree automaton.
+type Automaton struct {
+	K           int
+	Start       State
+	Accept      map[State]bool
+	Transitions []Transition
+}
+
+// NewAutomaton creates an automaton with the given pebble budget.
+func NewAutomaton(k int, start State, accepting ...State) *Automaton {
+	acc := map[State]bool{}
+	for _, s := range accepting {
+		acc[s] = true
+	}
+	return &Automaton{K: k, Start: start, Accept: acc}
+}
+
+// Add appends a transition.
+func (a *Automaton) Add(tr Transition) *Automaton {
+	a.Transitions = append(a.Transitions, tr)
+	return a
+}
+
+// config is a machine configuration: control state plus the stack of pebble
+// positions (indices into the node table).
+type config struct {
+	state   State
+	pebbles string // encoded positions, comma-separated
+}
+
+// indexTree flattens the binary tree into a node table with parent and
+// child links.
+type nodeTable struct {
+	labels []tree.Label
+	left   []int
+	right  []int
+	parent []int
+	root   int
+}
+
+func index(b *BNode) *nodeTable {
+	t := &nodeTable{}
+	var rec func(n *BNode, parent int) int
+	rec = func(n *BNode, parent int) int {
+		if n == nil {
+			return -1
+		}
+		id := len(t.labels)
+		t.labels = append(t.labels, n.Label)
+		t.left = append(t.left, -1)
+		t.right = append(t.right, -1)
+		t.parent = append(t.parent, parent)
+		l := rec(n.Left, id)
+		r := rec(n.Right, id)
+		t.left[id] = l
+		t.right[id] = r
+		return id
+	}
+	t.root = rec(b, -1)
+	return t
+}
+
+func encodePebbles(p []int) string {
+	parts := make([]string, len(p))
+	for i, x := range p {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+func decodePebbles(s string) []int {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		fmt.Sscan(p, &out[i])
+	}
+	return out
+}
+
+// Accepts reports whether the automaton accepts the binary tree: from the
+// initial configuration (pebble 1 on the root, start state), some sequence
+// of transitions reaches an accepting state. The configuration graph is
+// finite — |Q| · (n+1)^k configurations — and explored by BFS.
+func (a *Automaton) Accepts(b *BNode) bool {
+	if b == nil {
+		return a.Accept[a.Start]
+	}
+	t := index(b)
+	start := config{state: a.Start, pebbles: encodePebbles([]int{t.root})}
+	seen := map[config]bool{start: true}
+	queue := []config{start}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		if a.Accept[c.state] {
+			return true
+		}
+		pebbles := decodePebbles(c.pebbles)
+		cur := pebbles[len(pebbles)-1]
+		for _, tr := range a.Transitions {
+			if tr.Guard.State != c.state {
+				continue
+			}
+			if tr.Guard.Label != "" && tr.Guard.Label != t.labels[cur] {
+				continue
+			}
+			guardOK := true
+			for idx, want := range tr.Guard.Here {
+				if idx < 1 || idx > len(pebbles)-1 {
+					guardOK = false
+					break
+				}
+				if (pebbles[idx-1] == cur) != want {
+					guardOK = false
+					break
+				}
+			}
+			if !guardOK {
+				continue
+			}
+			np := append([]int{}, pebbles...)
+			ok := true
+			switch tr.Move {
+			case PlaceNew:
+				if len(np) >= a.K {
+					ok = false
+				} else {
+					np = append(np, t.root)
+				}
+			case Pick:
+				if len(np) <= 1 {
+					ok = false
+				} else {
+					np = np[:len(np)-1]
+				}
+			case DownLeft:
+				if t.left[cur] < 0 {
+					ok = false
+				} else {
+					np[len(np)-1] = t.left[cur]
+				}
+			case DownRight:
+				if t.right[cur] < 0 {
+					ok = false
+				} else {
+					np[len(np)-1] = t.right[cur]
+				}
+			case Up:
+				if t.parent[cur] < 0 {
+					ok = false
+				} else {
+					np[len(np)-1] = t.parent[cur]
+				}
+			case Stay:
+			}
+			if !ok {
+				continue
+			}
+			nc := config{state: tr.Next, pebbles: encodePebbles(np)}
+			if !seen[nc] {
+				seen[nc] = true
+				queue = append(queue, nc)
+			}
+		}
+	}
+	return false
+}
+
+// IntersectionList is the Theorem 4.2 representation of incomplete
+// information for k-pebble machinery: an explicit list of automata whose
+// rep is the intersection of their languages. Refinement by a new
+// query-answer pair appends the automaton for q⁻¹(A); maintenance is
+// therefore trivially polynomial in the pair sequence, while emptiness
+// remains non-elementary (Theorem 4.3) — BoundedEmpty searches trees up to
+// a size budget only.
+type IntersectionList struct {
+	Automata []*Automaton
+}
+
+// Add appends an automaton (one more constraint).
+func (il *IntersectionList) Add(a *Automaton) { il.Automata = append(il.Automata, a) }
+
+// Size returns the representation size (total transition count).
+func (il *IntersectionList) Size() int {
+	n := 0
+	for _, a := range il.Automata {
+		n += len(a.Transitions) + len(a.Accept) + 1
+	}
+	return n
+}
+
+// Member reports whether every automaton accepts the tree.
+func (il *IntersectionList) Member(b *BNode) bool {
+	for _, a := range il.Automata {
+		if !a.Accepts(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// BoundedEmpty searches for a member among all binary trees with at most
+// maxNodes nodes over the given alphabet; it returns (witness, false) on
+// success and (nil, true) when no bounded witness exists. Absence of a
+// bounded witness does not prove emptiness — deciding that is
+// non-elementary in general (Theorem 4.3).
+func (il *IntersectionList) BoundedEmpty(alphabet []tree.Label, maxNodes int) (*BNode, bool) {
+	var trees func(n int) []*BNode
+	memo := map[int][]*BNode{}
+	trees = func(n int) []*BNode {
+		if n == 0 {
+			return []*BNode{nil}
+		}
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		var out []*BNode
+		for leftSize := 0; leftSize < n; leftSize++ {
+			for _, l := range trees(leftSize) {
+				for _, r := range trees(n - 1 - leftSize) {
+					for _, lab := range alphabet {
+						out = append(out, &BNode{Label: lab, Left: l, Right: r})
+					}
+				}
+			}
+		}
+		memo[n] = out
+		return out
+	}
+	for n := 1; n <= maxNodes; n++ {
+		for _, cand := range trees(n) {
+			if il.Member(cand) {
+				return cand, false
+			}
+		}
+	}
+	return nil, true
+}
+
+// RelabelByValue folds data values into labels using the given
+// classification (Remark 4.4): each node's label becomes "label[class]"
+// where class is the index of the first predicate its value satisfies (or
+// "other"). Predicates should partition the relevant value space.
+func RelabelByValue(t tree.Tree, classes []func(n *tree.Node) bool) tree.Tree {
+	out := t.Clone()
+	out.Walk(func(n *tree.Node) {
+		cls := "other"
+		for i, pred := range classes {
+			if pred(n) {
+				cls = fmt.Sprint(i)
+				break
+			}
+		}
+		n.Label = tree.Label(fmt.Sprintf("%s[%s]", n.Label, cls))
+	})
+	return out
+}
+
+// String renders the binary tree as an S-expression.
+func (b *BNode) String() string {
+	if b == nil {
+		return "-"
+	}
+	return "(" + string(b.Label) + " " + b.Left.String() + " " + b.Right.String() + ")"
+}
+
+// Labels returns the sorted set of labels used in the binary tree.
+func (b *BNode) Labels() []tree.Label {
+	set := map[tree.Label]bool{}
+	var rec func(n *BNode)
+	rec = func(n *BNode) {
+		if n == nil {
+			return
+		}
+		set[n.Label] = true
+		rec(n.Left)
+		rec(n.Right)
+	}
+	rec(b)
+	out := make([]tree.Label, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,172 @@
+package pebble
+
+import (
+	"fmt"
+
+	"incxml/internal/tree"
+)
+
+// OutputKind distinguishes the two output transitions of the transducer.
+type OutputKind int
+
+// Binary output spawns two computation branches (left and right child);
+// nullary output emits a leaf and halts the branch.
+const (
+	Binary OutputKind = iota
+	Nullary
+)
+
+// Output is an output transition: when the guard applies, emit a node with
+// OutLabel; for Binary outputs the two branches continue in LeftState and
+// RightState with the current pebble configuration.
+type Output struct {
+	Guard      Guard
+	Kind       OutputKind
+	OutLabel   tree.Label
+	LeftState  State
+	RightState State
+}
+
+// Transducer is a k-pebble tree transducer: an automaton core plus output
+// transitions. Computation starts with pebble 1 on the root; move
+// transitions step the configuration, output transitions grow the output
+// tree. Evaluation is deterministic: the first applicable transition (move
+// before output) fires.
+type Transducer struct {
+	K           int
+	Start       State
+	Transitions []Transition
+	Outputs     []Output
+}
+
+// NewTransducer creates a transducer with the given pebble budget.
+func NewTransducer(k int, start State) *Transducer {
+	return &Transducer{K: k, Start: start}
+}
+
+// AddMove appends a move transition.
+func (td *Transducer) AddMove(tr Transition) *Transducer {
+	td.Transitions = append(td.Transitions, tr)
+	return td
+}
+
+// AddOutput appends an output transition.
+func (td *Transducer) AddOutput(o Output) *Transducer {
+	td.Outputs = append(td.Outputs, o)
+	return td
+}
+
+// ErrDiverged reports a branch exceeding the step budget.
+var ErrDiverged = fmt.Errorf("pebble: transducer branch exceeded step budget")
+
+// Run evaluates the transducer on the input, producing the output binary
+// tree, or nil when the computation produces no output. Each branch is
+// limited to maxSteps configuration changes to keep divergence detectable.
+func (td *Transducer) Run(input *BNode, maxSteps int) (*BNode, error) {
+	if input == nil {
+		return nil, nil
+	}
+	t := index(input)
+	type branch struct {
+		state   State
+		pebbles []int
+	}
+	var eval func(b branch, steps int) (*BNode, error)
+	guardOK := func(g Guard, state State, pebbles []int) bool {
+		if g.State != state {
+			return false
+		}
+		cur := pebbles[len(pebbles)-1]
+		if g.Label != "" && g.Label != t.labels[cur] {
+			return false
+		}
+		for idx, want := range g.Here {
+			if idx < 1 || idx > len(pebbles)-1 {
+				return false
+			}
+			if (pebbles[idx-1] == cur) != want {
+				return false
+			}
+		}
+		return true
+	}
+	eval = func(b branch, steps int) (*BNode, error) {
+		for {
+			if steps > maxSteps {
+				return nil, ErrDiverged
+			}
+			steps++
+			moved := false
+			cur := b.pebbles[len(b.pebbles)-1]
+			for _, tr := range td.Transitions {
+				if !guardOK(tr.Guard, b.state, b.pebbles) {
+					continue
+				}
+				np := append([]int{}, b.pebbles...)
+				ok := true
+				switch tr.Move {
+				case PlaceNew:
+					if len(np) >= td.K {
+						ok = false
+					} else {
+						np = append(np, t.root)
+					}
+				case Pick:
+					if len(np) <= 1 {
+						ok = false
+					} else {
+						np = np[:len(np)-1]
+					}
+				case DownLeft:
+					if t.left[cur] < 0 {
+						ok = false
+					} else {
+						np[len(np)-1] = t.left[cur]
+					}
+				case DownRight:
+					if t.right[cur] < 0 {
+						ok = false
+					} else {
+						np[len(np)-1] = t.right[cur]
+					}
+				case Up:
+					if t.parent[cur] < 0 {
+						ok = false
+					} else {
+						np[len(np)-1] = t.parent[cur]
+					}
+				case Stay:
+				}
+				if !ok {
+					continue
+				}
+				b = branch{state: tr.Next, pebbles: np}
+				moved = true
+				break
+			}
+			if moved {
+				continue
+			}
+			for _, o := range td.Outputs {
+				if !guardOK(o.Guard, b.state, b.pebbles) {
+					continue
+				}
+				if o.Kind == Nullary {
+					return &BNode{Label: o.OutLabel}, nil
+				}
+				left, err := eval(branch{state: o.LeftState, pebbles: append([]int{}, b.pebbles...)}, steps)
+				if err != nil {
+					return nil, err
+				}
+				right, err := eval(branch{state: o.RightState, pebbles: append([]int{}, b.pebbles...)}, steps)
+				if err != nil {
+					return nil, err
+				}
+				return &BNode{Label: o.OutLabel, Left: left, Right: right}, nil
+			}
+			return nil, nil // halted without output
+		}
+	}
+	out, err := eval(branch{state: td.Start, pebbles: []int{t.root}}, 0)
+	return out, err
+}

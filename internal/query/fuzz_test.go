@@ -1,0 +1,36 @@
+package query
+
+import "testing"
+
+// FuzzParse checks that the ps-query parser never panics and that accepted
+// queries round-trip through the printer.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"catalog\n  product\n    price {< 200}\n",
+		"a\n  b!\n",
+		"a\n  b {= 1}\n  c {!= 0}\n",
+		"root\n  x\n    y\n      z\n",
+		"a\n  b\n  b\n", // duplicate siblings: must error, not panic
+		"  indented\n",  // bad start
+		"a\n    jump\n", // bad indentation
+		"a {< }\n",      // bad condition
+		"a\n\tb\n",      // tabs
+		"!\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := q.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("canonical form %q does not reparse: %v", printed, err)
+		}
+		if again.String() != printed {
+			t.Fatalf("printer not canonical: %q vs %q", printed, again.String())
+		}
+	})
+}

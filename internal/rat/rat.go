@@ -1,0 +1,298 @@
+// Package rat implements exact rational arithmetic over int64 components.
+//
+// Data values in the paper's model range over Q, the rational numbers
+// (Section 2, "Data trees"). Interval normalization (Lemma 2.3) and witness
+// extraction require exact comparison and exact midpoints, so floating point
+// is ruled out. Values encountered in practice are small; the implementation
+// uses a normalized int64 numerator/denominator pair and reports overflow via
+// panics carrying ErrOverflow, which callers at API boundaries convert to
+// errors.
+package rat
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ErrOverflow is the value carried by panics raised when an arithmetic
+// operation would exceed the int64 range of a component.
+var ErrOverflow = fmt.Errorf("rat: int64 overflow")
+
+// Rat is an exact rational number. The zero value is 0/1, i.e. the number 0.
+//
+// Invariants: den > 0, gcd(|num|, den) == 1. All constructors and operations
+// preserve them.
+type Rat struct {
+	num int64
+	den int64
+}
+
+// Zero is the rational number 0.
+var Zero = Rat{0, 1}
+
+// One is the rational number 1.
+var One = Rat{1, 1}
+
+// FromInt returns the rational n/1.
+func FromInt(n int64) Rat { return Rat{n, 1} }
+
+// New returns the normalized rational num/den. It panics with ErrOverflow if
+// den == 0 or normalization overflows (only possible for num = den = MinInt64
+// style inputs).
+func New(num, den int64) Rat {
+	if den == 0 {
+		panic(fmt.Errorf("rat: zero denominator"))
+	}
+	if den < 0 {
+		num, den = negate(num), negate(den)
+	}
+	g := gcd(abs(num), den)
+	if g != 0 {
+		num /= g
+		den /= g
+	}
+	if den == 0 { // den was MinInt64 and not fully reduced
+		panic(ErrOverflow)
+	}
+	return Rat{num, den}
+}
+
+// Parse reads a rational from s. Accepted forms: "7", "-3", "3/4", "-3/4",
+// and decimal literals "2.5", "-0.125" (converted exactly).
+func Parse(s string) (Rat, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Rat{}, fmt.Errorf("rat: empty input")
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		num, err := strconv.ParseInt(strings.TrimSpace(s[:i]), 10, 64)
+		if err != nil {
+			return Rat{}, fmt.Errorf("rat: bad numerator in %q: %v", s, err)
+		}
+		den, err := strconv.ParseInt(strings.TrimSpace(s[i+1:]), 10, 64)
+		if err != nil {
+			return Rat{}, fmt.Errorf("rat: bad denominator in %q: %v", s, err)
+		}
+		if den == 0 {
+			return Rat{}, fmt.Errorf("rat: zero denominator in %q", s)
+		}
+		return New(num, den), nil
+	}
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		intPart, fracPart := s[:i], s[i+1:]
+		if fracPart == "" {
+			return Rat{}, fmt.Errorf("rat: bad decimal %q", s)
+		}
+		neg := strings.HasPrefix(intPart, "-")
+		whole := strings.TrimPrefix(strings.TrimPrefix(intPart, "-"), "+")
+		if whole == "" {
+			whole = "0"
+		}
+		digits := whole + fracPart
+		num, err := strconv.ParseInt(digits, 10, 64)
+		if err != nil {
+			return Rat{}, fmt.Errorf("rat: bad decimal %q: %v", s, err)
+		}
+		den := int64(1)
+		for range fracPart {
+			den = mulChecked(den, 10)
+		}
+		if neg {
+			num = -num
+		}
+		return New(num, den), nil
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return Rat{}, fmt.Errorf("rat: bad integer %q: %v", s, err)
+	}
+	return Rat{n, 1}, nil
+}
+
+// MustParse is Parse that panics on error; for literals in tests and tables.
+func MustParse(s string) Rat {
+	r, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Num returns the normalized numerator.
+func (r Rat) Num() int64 { return r.num }
+
+// Den returns the normalized denominator; it is always positive. The zero
+// value reports 1.
+func (r Rat) Den() int64 {
+	if r.den == 0 {
+		return 1
+	}
+	return r.den
+}
+
+// norm returns r with the zero value mapped to 0/1.
+func (r Rat) norm() Rat {
+	if r.den == 0 {
+		return Rat{r.num, 1}
+	}
+	return r
+}
+
+// Sign returns -1, 0, or +1 according to the sign of r.
+func (r Rat) Sign() int {
+	switch {
+	case r.num < 0:
+		return -1
+	case r.num > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IsInt reports whether r is an integer.
+func (r Rat) IsInt() bool { return r.Den() == 1 }
+
+// Cmp compares r and s, returning -1, 0, or +1.
+func (r Rat) Cmp(s Rat) int {
+	r, s = r.norm(), s.norm()
+	// Compare r.num/r.den vs s.num/s.den via cross-multiplication with
+	// overflow-checked products.
+	a := mulChecked(r.num, s.den)
+	b := mulChecked(s.num, r.den)
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether r == s.
+func (r Rat) Equal(s Rat) bool { return r.Cmp(s) == 0 }
+
+// Less reports whether r < s.
+func (r Rat) Less(s Rat) bool { return r.Cmp(s) < 0 }
+
+// Add returns r + s.
+func (r Rat) Add(s Rat) Rat {
+	r, s = r.norm(), s.norm()
+	n := addChecked(mulChecked(r.num, s.den), mulChecked(s.num, r.den))
+	return New(n, mulChecked(r.den, s.den))
+}
+
+// Sub returns r - s.
+func (r Rat) Sub(s Rat) Rat { return r.Add(s.Neg()) }
+
+// Neg returns -r.
+func (r Rat) Neg() Rat {
+	r = r.norm()
+	return Rat{negate(r.num), r.den}
+}
+
+// Mul returns r * s.
+func (r Rat) Mul(s Rat) Rat {
+	r, s = r.norm(), s.norm()
+	// Cross-reduce first to keep components small.
+	g1 := gcd(abs(r.num), s.den)
+	g2 := gcd(abs(s.num), r.den)
+	if g1 == 0 {
+		g1 = 1
+	}
+	if g2 == 0 {
+		g2 = 1
+	}
+	n := mulChecked(r.num/g1, s.num/g2)
+	d := mulChecked(r.den/g2, s.den/g1)
+	return New(n, d)
+}
+
+// Div returns r / s. It panics if s is zero.
+func (r Rat) Div(s Rat) Rat {
+	s = s.norm()
+	if s.num == 0 {
+		panic(fmt.Errorf("rat: division by zero"))
+	}
+	return r.Mul(Rat{s.den, s.num}.canon())
+}
+
+// canon restores invariants after a component swap (sign on denominator).
+func (r Rat) canon() Rat {
+	if r.den < 0 {
+		return Rat{negate(r.num), negate(r.den)}
+	}
+	return r
+}
+
+// Mid returns the midpoint (r+s)/2; used to pick witnesses inside open
+// intervals (Lemma 2.3).
+func (r Rat) Mid(s Rat) Rat { return r.Add(s).Div(FromInt(2)) }
+
+// Float returns the nearest float64; for display only.
+func (r Rat) Float() float64 {
+	r = r.norm()
+	return float64(r.num) / float64(r.den)
+}
+
+// String renders r as "n" for integers and "n/d" otherwise.
+func (r Rat) String() string {
+	r = r.norm()
+	if r.den == 1 {
+		return strconv.FormatInt(r.num, 10)
+	}
+	return strconv.FormatInt(r.num, 10) + "/" + strconv.FormatInt(r.den, 10)
+}
+
+// Key returns a canonical comparable key for use in maps. Two Rats have the
+// same Key iff they are equal.
+func (r Rat) Key() [2]int64 {
+	r = r.norm()
+	return [2]int64{r.num, r.den}
+}
+
+func abs(a int64) int64 {
+	if a < 0 {
+		return negate(a)
+	}
+	return a
+}
+
+func negate(a int64) int64 {
+	if a == math.MinInt64 {
+		panic(ErrOverflow)
+	}
+	return -a
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func addChecked(a, b int64) int64 {
+	s := a + b
+	if (a > 0 && b > 0 && s <= 0) || (a < 0 && b < 0 && s >= 0) {
+		panic(ErrOverflow)
+	}
+	return s
+}
+
+func mulChecked(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if (a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) {
+		panic(ErrOverflow)
+	}
+	p := a * b
+	if p/b != a {
+		panic(ErrOverflow)
+	}
+	return p
+}

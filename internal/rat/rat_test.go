@@ -1,0 +1,297 @@
+package rat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalizes(t *testing.T) {
+	cases := []struct {
+		num, den int64
+		wantN    int64
+		wantD    int64
+	}{
+		{1, 2, 1, 2},
+		{2, 4, 1, 2},
+		{-2, 4, -1, 2},
+		{2, -4, -1, 2},
+		{-2, -4, 1, 2},
+		{0, 5, 0, 1},
+		{0, -5, 0, 1},
+		{6, 3, 2, 1},
+		{100, 100, 1, 1},
+	}
+	for _, c := range cases {
+		r := New(c.num, c.den)
+		if r.Num() != c.wantN || r.Den() != c.wantD {
+			t.Errorf("New(%d,%d) = %d/%d, want %d/%d", c.num, c.den, r.Num(), r.Den(), c.wantN, c.wantD)
+		}
+	}
+}
+
+func TestNewZeroDenominatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(1,0) did not panic")
+		}
+	}()
+	New(1, 0)
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Rat
+	}{
+		{"7", FromInt(7)},
+		{"-3", FromInt(-3)},
+		{"3/4", New(3, 4)},
+		{"-3/4", New(-3, 4)},
+		{"6/8", New(3, 4)},
+		{"3/-4", New(-3, 4)},
+		{"2.5", New(5, 2)},
+		{"-0.125", New(-1, 8)},
+		{"0.0", Zero},
+		{" 5 ", FromInt(5)},
+		{"1 / 2", New(1, 2)},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", c.in, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "a", "1/0", "1/", "/2", "1.", ".", "1.2.3", "1/2/3"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	half := New(1, 2)
+	third := New(1, 3)
+	if got := half.Add(third); !got.Equal(New(5, 6)) {
+		t.Errorf("1/2 + 1/3 = %v, want 5/6", got)
+	}
+	if got := half.Sub(third); !got.Equal(New(1, 6)) {
+		t.Errorf("1/2 - 1/3 = %v, want 1/6", got)
+	}
+	if got := half.Mul(third); !got.Equal(New(1, 6)) {
+		t.Errorf("1/2 * 1/3 = %v, want 1/6", got)
+	}
+	if got := half.Div(third); !got.Equal(New(3, 2)) {
+		t.Errorf("(1/2) / (1/3) = %v, want 3/2", got)
+	}
+	if got := half.Neg(); !got.Equal(New(-1, 2)) {
+		t.Errorf("-(1/2) = %v", got)
+	}
+}
+
+func TestZeroValueIsZero(t *testing.T) {
+	var z Rat
+	if !z.Equal(Zero) {
+		t.Errorf("zero value = %v, want 0", z)
+	}
+	if got := z.Add(One); !got.Equal(One) {
+		t.Errorf("0 + 1 = %v", got)
+	}
+	if z.String() != "0" {
+		t.Errorf("zero value String = %q", z.String())
+	}
+	if z.Den() != 1 {
+		t.Errorf("zero value Den = %d", z.Den())
+	}
+}
+
+func TestCmp(t *testing.T) {
+	vals := []Rat{FromInt(-3), New(-1, 2), Zero, New(1, 3), New(1, 2), One, FromInt(2)}
+	for i, a := range vals {
+		for j, b := range vals {
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got := a.Cmp(b); got != want {
+				t.Errorf("Cmp(%v,%v) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMid(t *testing.T) {
+	if got := Zero.Mid(One); !got.Equal(New(1, 2)) {
+		t.Errorf("Mid(0,1) = %v, want 1/2", got)
+	}
+	a, b := New(1, 3), New(1, 2)
+	m := a.Mid(b)
+	if !(a.Less(m) && m.Less(b)) {
+		t.Errorf("Mid(%v,%v)=%v not strictly inside", a, b, m)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	One.Div(Zero)
+}
+
+func TestOverflowPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected overflow panic")
+		}
+	}()
+	big := FromInt(math.MaxInt64)
+	big.Mul(big)
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		r    Rat
+		want string
+	}{
+		{FromInt(5), "5"},
+		{New(-3, 4), "-3/4"},
+		{New(10, 5), "2"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestKey(t *testing.T) {
+	if New(2, 4).Key() != New(1, 2).Key() {
+		t.Error("equal rationals have different keys")
+	}
+	if New(1, 2).Key() == New(1, 3).Key() {
+		t.Error("distinct rationals share a key")
+	}
+	var z Rat
+	if z.Key() != Zero.Key() {
+		t.Error("zero value key differs from Zero key")
+	}
+}
+
+// small generates rationals with components bounded enough that test
+// arithmetic never overflows.
+func small(a, b int64) Rat {
+	n := a%1000 | 1
+	d := b%1000 | 1
+	return New(n, d)
+}
+
+func TestQuickAddCommutes(t *testing.T) {
+	f := func(a, b, c, d int64) bool {
+		x, y := small(a, b), small(c, d)
+		return x.Add(y).Equal(y.Add(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulDistributes(t *testing.T) {
+	f := func(a, b, c, d, e, g int64) bool {
+		x, y, z := small(a, b), small(c, d), small(e, g)
+		return x.Mul(y.Add(z)).Equal(x.Mul(y).Add(x.Mul(z)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddSubRoundTrip(t *testing.T) {
+	f := func(a, b, c, d int64) bool {
+		x, y := small(a, b), small(c, d)
+		return x.Add(y).Sub(y).Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMidBetween(t *testing.T) {
+	f := func(a, b, c, d int64) bool {
+		x, y := small(a, b), small(c, d)
+		if x.Equal(y) {
+			return x.Mid(y).Equal(x)
+		}
+		lo, hi := x, y
+		if hi.Less(lo) {
+			lo, hi = hi, lo
+		}
+		m := lo.Mid(hi)
+		return lo.Less(m) && m.Less(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCmpAntisymmetric(t *testing.T) {
+	f := func(a, b, c, d int64) bool {
+		x, y := small(a, b), small(c, d)
+		return x.Cmp(y) == -y.Cmp(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParseRoundTrip(t *testing.T) {
+	f := func(a, b int64) bool {
+		x := small(a, b)
+		y, err := Parse(x.String())
+		return err == nil && x.Equal(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignIsIntFloat(t *testing.T) {
+	if FromInt(-3).Sign() != -1 || Zero.Sign() != 0 || New(1, 2).Sign() != 1 {
+		t.Error("Sign wrong")
+	}
+	if !FromInt(7).IsInt() || New(1, 2).IsInt() {
+		t.Error("IsInt wrong")
+	}
+	if got := New(1, 2).Float(); got != 0.5 {
+		t.Errorf("Float = %v", got)
+	}
+	if got := MustParse("3/4"); !got.Equal(New(3, 4)) {
+		t.Errorf("MustParse = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse("not-a-number")
+}
+
+func TestNegDivNegative(t *testing.T) {
+	// Division flipping signs exercises canon's negative-denominator path.
+	if got := FromInt(1).Div(FromInt(-2)); !got.Equal(New(-1, 2)) {
+		t.Errorf("1 / -2 = %v", got)
+	}
+	if got := New(-3, 4).Div(New(-1, 2)); !got.Equal(New(3, 2)) {
+		t.Errorf("(-3/4)/(-1/2) = %v", got)
+	}
+}

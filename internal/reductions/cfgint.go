@@ -1,0 +1,275 @@
+package reductions
+
+import (
+	"fmt"
+
+	"incxml/internal/cfg"
+	"incxml/internal/cond"
+	"incxml/internal/extquery"
+	"incxml/internal/pathre"
+	"incxml/internal/rat"
+	"incxml/internal/tree"
+)
+
+// CFGIntInstance is the Theorem 4.7 construction for two ε-free grammars
+// over {a, b}: an input type whose trees pair a G1-derivation with a
+// G2-derivation, terminal leaves carrying val1/val2 successor indices;
+// queries q1..qn (recursive path expressions + data joins) whose emptiness
+// forces well-formed, equal-length, identically-indexed encodings; and a
+// query Q that is empty exactly when the two encoded words are equal.
+type CFGIntInstance struct {
+	// G1 and G2 are the occurrence-normalized CNF grammars, with
+	// nonterminals renamed apart ("g1:"/"g2:" prefixes).
+	G1, G2 *cfg.Grammar
+	// WellFormedQueries are q1..qn: all must be empty on a valid encoding.
+	WellFormedQueries []extquery.Query
+	// DiffQuery is q: empty iff the encoded words are equal.
+	DiffQuery extquery.Query
+}
+
+// prefixGrammar renames every nonterminal with the given prefix; terminals
+// are shared.
+func prefixGrammar(g *cfg.Grammar, prefix string) *cfg.Grammar {
+	ren := func(s cfg.Symbol) cfg.Symbol {
+		if g.Terminals[s] {
+			return s
+		}
+		return cfg.Symbol(prefix + string(s))
+	}
+	out := cfg.New(ren(g.Start))
+	for t := range g.Terminals {
+		out.Terminals[t] = true
+	}
+	for _, p := range g.Prods {
+		rhs := make([]cfg.Symbol, len(p.Rhs))
+		for i, s := range p.Rhs {
+			rhs[i] = ren(s)
+		}
+		out.Add(ren(p.Lhs), rhs...)
+	}
+	return out
+}
+
+// BuildCFGIntersection normalizes the grammars (CNF + occurrence splitting
+// + renaming apart) and constructs the queries of the Theorem 4.7 proof.
+func BuildCFGIntersection(g1, g2 *cfg.Grammar) (*CFGIntInstance, error) {
+	prep := func(g *cfg.Grammar, prefix string) (*cfg.Grammar, error) {
+		cnf, err := g.ToCNF()
+		if err != nil {
+			return nil, err
+		}
+		norm, err := cnf.NormalizeOccurrences()
+		if err != nil {
+			return nil, err
+		}
+		if err := norm.CheckOccurrences(); err != nil {
+			return nil, err
+		}
+		return prefixGrammar(norm, prefix), nil
+	}
+	n1, err := prep(g1, "g1:")
+	if err != nil {
+		return nil, fmt.Errorf("reductions: grammar 1: %v", err)
+	}
+	n2, err := prep(g2, "g2:")
+	if err != nil {
+		return nil, fmt.Errorf("reductions: grammar 2: %v", err)
+	}
+	inst := &CFGIntInstance{G1: n1, G2: n2}
+
+	s1 := tree.Label(n1.Start)
+	s2 := tree.Label(n2.Start)
+	tTrue := cond.True()
+
+	// l_i(S_i) paths end at the leftmost terminal; the val nodes are its
+	// children.
+	l1 := n1.LeftPath(n1.Start)
+	r1 := n1.RightPath(n1.Start)
+	l2 := n2.LeftPath(n2.Start)
+	r2 := n2.RightPath(n2.Start)
+
+	// (1a) The leftmost data value of S1 is minimal: it never occurs as a
+	// val2 anywhere.
+	inst.WellFormedQueries = append(inst.WellFormedQueries, extquery.Query{
+		Root: extquery.N("root", tTrue,
+			extquery.N(s1, tTrue,
+				extquery.OnPath(extquery.V("val1", "X"),
+					pathre.Concat(l1, pathre.Sym("val1")))),
+			extquery.OnPath(extquery.V("val2", "X"), pathre.AnyStar())),
+	})
+	// Same for S2.
+	inst.WellFormedQueries = append(inst.WellFormedQueries, extquery.Query{
+		Root: extquery.N("root", tTrue,
+			extquery.N(s2, tTrue,
+				extquery.OnPath(extquery.V("val1", "X"),
+					pathre.Concat(l2, pathre.Sym("val1")))),
+			extquery.OnPath(extquery.V("val2", "X"), pathre.AnyStar())),
+	})
+
+	// (1b) Sibling val1 and val2 differ (an element is not its own
+	// successor), for each side.
+	for _, s := range []tree.Label{s1, s2} {
+		inst.WellFormedQueries = append(inst.WellFormedQueries, extquery.Query{
+			Root: extquery.N("root", tTrue,
+				extquery.OnPath(
+					extquery.N("", tTrue,
+						extquery.V("val1", "X"),
+						extquery.V("val2", "X")),
+					pathre.Concat(pathre.Sym(s), pathre.AnyStar()))),
+		})
+	}
+
+	// (1c) Distinct elements have distinct successors.
+	inst.WellFormedQueries = append(inst.WellFormedQueries, extquery.Query{
+		Root: extquery.N("root", tTrue,
+			extquery.OnPath(extquery.N("", tTrue,
+				extquery.V("val1", "X"), extquery.V("val2", "Y")), pathre.AnyStar()),
+			extquery.OnPath(extquery.N("", tTrue,
+				extquery.V("val1", "Z"), extquery.V("val2", "Y")), pathre.AnyStar())),
+		Diseq: [][2]string{{"X", "Z"}},
+	})
+
+	// (1d) Adjacency: for each binary production A → BC, the rightmost val2
+	// under B equals the leftmost val1 under C.
+	addAdjacency := func(g *cfg.Grammar) {
+		for _, p := range g.Prods {
+			if len(p.Rhs) != 2 {
+				continue
+			}
+			b, c := p.Rhs[0], p.Rhs[1]
+			rb := g.RightPath(b)
+			lc := g.LeftPath(c)
+			inst.WellFormedQueries = append(inst.WellFormedQueries, extquery.Query{
+				Root: extquery.N("root", tTrue,
+					extquery.OnPath(extquery.N(tree.Label(p.Lhs), tTrue,
+						extquery.N(tree.Label(b), tTrue,
+							extquery.OnPath(extquery.V("val2", "X"),
+								pathre.Concat(rb, pathre.Sym("val2")))),
+						extquery.N(tree.Label(c), tTrue,
+							extquery.OnPath(extquery.V("val1", "Y"),
+								pathre.Concat(lc, pathre.Sym("val1"))))),
+						pathre.Concat(pathre.AnyStar(), pathre.Sym(tree.Label(p.Lhs))))),
+				Diseq: [][2]string{{"X", "Y"}},
+			})
+		}
+	}
+	addAdjacency(n1)
+	addAdjacency(n2)
+
+	// (2a) The leftmost values of S1 and S2 coincide.
+	inst.WellFormedQueries = append(inst.WellFormedQueries, extquery.Query{
+		Root: extquery.N("root", tTrue,
+			extquery.N(s1, tTrue,
+				extquery.OnPath(extquery.V("val1", "X"), pathre.Concat(l1, pathre.Sym("val1")))),
+			extquery.N(s2, tTrue,
+				extquery.OnPath(extquery.V("val1", "Y"), pathre.Concat(l2, pathre.Sym("val1"))))),
+		Diseq: [][2]string{{"X", "Y"}},
+	})
+	// (2b) The rightmost values coincide.
+	inst.WellFormedQueries = append(inst.WellFormedQueries, extquery.Query{
+		Root: extquery.N("root", tTrue,
+			extquery.N(s1, tTrue,
+				extquery.OnPath(extquery.V("val2", "X"), pathre.Concat(r1, pathre.Sym("val2")))),
+			extquery.N(s2, tTrue,
+				extquery.OnPath(extquery.V("val2", "Y"), pathre.Concat(r2, pathre.Sym("val2"))))),
+		Diseq: [][2]string{{"X", "Y"}},
+	})
+	// (2c) Same val1 implies same val2 across the two trees.
+	inst.WellFormedQueries = append(inst.WellFormedQueries, extquery.Query{
+		Root: extquery.N("root", tTrue,
+			extquery.N(s1, tTrue,
+				extquery.OnPath(extquery.N("", tTrue,
+					extquery.V("val1", "X"), extquery.V("val2", "Y")), pathre.AnyStar())),
+			extquery.N(s2, tTrue,
+				extquery.OnPath(extquery.N("", tTrue,
+					extquery.V("val1", "X"), extquery.V("val2", "Z")), pathre.AnyStar()))),
+		Diseq: [][2]string{{"Y", "Z"}},
+	})
+
+	// Q: some index carries terminal a in one word and b in the other.
+	inst.DiffQuery = extquery.Query{
+		Root: extquery.N("root", tTrue,
+			extquery.OnPath(extquery.N("a", tTrue, extquery.V("val1", "X")),
+				pathre.Concat(pathre.AnyStar(), pathre.Sym("a"))),
+			extquery.OnPath(extquery.N("b", tTrue, extquery.V("val1", "X")),
+				pathre.Concat(pathre.AnyStar(), pathre.Sym("b")))),
+	}
+	return inst, nil
+}
+
+// EncodeWords builds the encoding tree for a pair of terminal words:
+// root(S1-derivation, S2-derivation) with terminal leaves decorated by
+// val1/val2 successor indices (position i gets val1 = i, val2 = i+1).
+// The words must be derivable in the respective grammars.
+func (inst *CFGIntInstance) EncodeWords(w1, w2 []cfg.Symbol) (tree.Tree, error) {
+	d1, ok := inst.G1.Derivation(w1)
+	if !ok {
+		return tree.Tree{}, fmt.Errorf("reductions: %v not in L(G1)", w1)
+	}
+	d2, ok := inst.G2.Derivation(w2)
+	if !ok {
+		return tree.Tree{}, fmt.Errorf("reductions: %v not in L(G2)", w2)
+	}
+	decorate := func(d tree.Tree) {
+		pos := int64(0)
+		var rec func(n *tree.Node)
+		rec = func(n *tree.Node) {
+			if len(n.Children) == 0 {
+				pos++
+				n.Children = append(n.Children,
+					tree.New("val1", rat.FromInt(pos)),
+					tree.New("val2", rat.FromInt(pos+1)))
+				return
+			}
+			for _, c := range n.Children {
+				rec(c)
+			}
+		}
+		rec(d.Root)
+	}
+	decorate(d1)
+	decorate(d2)
+	root := tree.New("root", rat.Zero, d1.Root, d2.Root)
+	return tree.Tree{Root: root}, nil
+}
+
+// WellFormed reports whether every well-formedness query is empty on t.
+func (inst *CFGIntInstance) WellFormed(t tree.Tree) bool {
+	for _, q := range inst.WellFormedQueries {
+		if q.Matches(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// WordsEqual reports whether the diff query is empty on t (the encoded
+// words coincide).
+func (inst *CFGIntInstance) WordsEqual(t tree.Tree) bool {
+	return !inst.DiffQuery.Matches(t)
+}
+
+// SearchIntersection performs the (semi-decidable) search underlying the
+// undecidability argument: it enumerates word pairs up to maxLen and
+// reports a witness of L(G1) ∩ L(G2) ≠ ∅ — i.e. a well-formed encoding on
+// which the diff query is empty. Bounded, so absence of a witness proves
+// nothing (Theorem 4.7's point).
+func (inst *CFGIntInstance) SearchIntersection(maxLen, maxWords int) ([]cfg.Symbol, bool) {
+	w1s := inst.G1.Words(maxLen, maxWords)
+	w2s := inst.G2.Words(maxLen, maxWords)
+	for _, w1 := range w1s {
+		for _, w2 := range w2s {
+			if len(w1) != len(w2) {
+				continue
+			}
+			t, err := inst.EncodeWords(w1, w2)
+			if err != nil {
+				continue
+			}
+			if inst.WellFormed(t) && inst.WordsEqual(t) {
+				return w1, true
+			}
+		}
+	}
+	return nil, false
+}

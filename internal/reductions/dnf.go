@@ -1,0 +1,172 @@
+package reductions
+
+import (
+	"fmt"
+
+	"incxml/internal/cond"
+	"incxml/internal/dtd"
+	"incxml/internal/extquery"
+	"incxml/internal/rat"
+	"incxml/internal/tree"
+)
+
+// Disjunct is one conjunction of three literals in a DNF formula.
+type Disjunct [3]Lit
+
+// DNF is a disjunctive-normal-form formula with three literals per
+// disjunct.
+type DNF struct {
+	NumVars   int
+	Disjuncts []Disjunct
+}
+
+// Valid decides validity by brute force (the Theorem 4.1 oracle).
+func (d DNF) Valid() bool {
+	for mask := 0; mask < 1<<d.NumVars; mask++ {
+		if !d.eval(mask) {
+			return false
+		}
+	}
+	return true
+}
+
+func (d DNF) eval(mask int) bool {
+	for _, dis := range d.Disjuncts {
+		ok := true
+		for _, l := range dis {
+			val := mask>>(l.Var-1)&1 == 1
+			if val != l.Neg {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// DNFInstance is the Theorem 4.1 construction: an input tree type, a
+// query-answer pair ⟨q, A⟩ with branching and optional subtrees, a second
+// query q′, and a candidate tree T such that T is a certain prefix of
+// q′[rep(τ) ∩ q⁻¹(A)] iff the formula is valid.
+type DNFInstance struct {
+	Formula DNF
+	Type    *dtd.Type
+	// Q is the branching+optional observation query; Answer its answer.
+	Q      extquery.Query
+	Answer tree.Tree
+	// QPrime is the certain-prefix query with one optional val subtree per
+	// disjunct.
+	QPrime extquery.Query
+	// Candidate is the tree root(val) whose certainty equals validity.
+	Candidate tree.Tree
+}
+
+// BuildDNF constructs the Theorem 4.1 instance.
+func BuildDNF(d DNF) (*DNFInstance, error) {
+	if d.NumVars < 1 {
+		return nil, fmt.Errorf("reductions: DNF needs at least one variable")
+	}
+	for _, dis := range d.Disjuncts {
+		for _, l := range dis {
+			if l.Var < 1 || l.Var > d.NumVars {
+				return nil, fmt.Errorf("reductions: literal variable %d out of range", l.Var)
+			}
+		}
+	}
+	ty := dtd.MustParse(`
+root: root
+root -> val
+val  -> var*
+var  -> x
+`)
+	inst := &DNFInstance{Formula: d, Type: ty}
+
+	// q: root(val(var, var=1..n with x ∉ {0,1} optional — the single
+	// required var child plus one optional probe)). The paper's q uses one
+	// required var (capturing all representatives by valuation union) and an
+	// optional var(x ≠ 0,1) probe whose absence from A certifies Boolean
+	// values.
+	not01 := cond.NeInt(0).And(cond.NeInt(1))
+	inst.Q = extquery.Query{Root: extquery.N("root", cond.True(),
+		extquery.N("val", cond.True(),
+			extquery.N("var", cond.True()),
+			extquery.Optional(extquery.N("var", cond.True(),
+				extquery.N("x", not01)))))}
+
+	// A: root(val(var=1 ... var=n)) — one representative per variable, no x
+	// nodes (so every x is 0 or 1).
+	val := tree.NewID("v", "val", rat.Zero)
+	for i := 1; i <= d.NumVars; i++ {
+		val.Children = append(val.Children,
+			tree.NewID(tree.NodeID(fmt.Sprintf("u%d", i)), "var", rat.FromInt(int64(i))))
+	}
+	inst.Answer = tree.Tree{Root: tree.NewID("r", "root", rat.Zero, val)}
+
+	// q′: root with one optional val subtree per disjunct, each demanding
+	// the disjunct's three literals to hold.
+	qprime := extquery.N("root", cond.True())
+	for _, dis := range d.Disjuncts {
+		valPat := extquery.N("val", cond.True())
+		for _, l := range dis {
+			want := int64(1)
+			if l.Neg {
+				want = 0
+			}
+			valPat.Children = append(valPat.Children,
+				extquery.N("var", cond.EqInt(int64(l.Var)),
+					extquery.N("x", cond.EqInt(want))))
+		}
+		qprime.Children = append(qprime.Children, extquery.Optional(valPat))
+	}
+	inst.QPrime = extquery.Query{Root: qprime}
+
+	inst.Candidate = tree.Tree{Root: tree.New("root", rat.Zero,
+		tree.New("val", rat.Zero))}
+	return inst, nil
+}
+
+// World builds the member of rep(τ) ∩ q⁻¹(A) for one variable assignment.
+func (inst *DNFInstance) World(mask int) tree.Tree {
+	val := tree.NewID("v", "val", rat.Zero)
+	for i := 1; i <= inst.Formula.NumVars; i++ {
+		bit := int64(mask >> (i - 1) & 1)
+		val.Children = append(val.Children,
+			tree.NewID(tree.NodeID(fmt.Sprintf("u%d", i)), "var", rat.FromInt(int64(i)),
+				tree.New("x", rat.FromInt(bit))))
+	}
+	return tree.Tree{Root: tree.NewID("r", "root", rat.Zero, val)}
+}
+
+// Decide answers the certain-prefix question by enumerating the worlds of
+// rep(τ) ∩ q⁻¹(A) — one per assignment — and testing whether the candidate
+// is a prefix of every q′-answer. Exponential in the number of variables,
+// which is Theorem 4.1's point.
+func (inst *DNFInstance) Decide() bool {
+	for mask := 0; mask < 1<<inst.Formula.NumVars; mask++ {
+		w := inst.World(mask)
+		ans := inst.QPrime.Answer(w)
+		if !inst.Candidate.IsPrefixOf(ans, nil) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckWorlds verifies that every assignment world is in rep(τ) ∩ q⁻¹(A):
+// it conforms to the type and answers A on q. Returns the first violation.
+func (inst *DNFInstance) CheckWorlds() error {
+	for mask := 0; mask < 1<<inst.Formula.NumVars; mask++ {
+		w := inst.World(mask)
+		if err := inst.Type.Validate(w); err != nil {
+			return fmt.Errorf("world %d: %v", mask, err)
+		}
+		got := inst.Q.Answer(w)
+		if !got.Equal(inst.Answer) {
+			return fmt.Errorf("world %d: q answer mismatch:\n%s", mask, got)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package reductions
+
+import "testing"
+
+func dis(a, b, c Lit) Disjunct { return Disjunct{a, b, c} }
+
+func TestDNFValidOracle(t *testing.T) {
+	// x1 ∨ ¬x1 (padded to three literals) is valid.
+	valid := DNF{NumVars: 1, Disjuncts: []Disjunct{
+		dis(lit(1, false), lit(1, false), lit(1, false)),
+		dis(lit(1, true), lit(1, true), lit(1, true)),
+	}}
+	if !valid.Valid() {
+		t.Error("x ∨ ¬x reported invalid")
+	}
+	invalid := DNF{NumVars: 2, Disjuncts: []Disjunct{
+		dis(lit(1, false), lit(2, false), lit(2, false)),
+	}}
+	if invalid.Valid() {
+		t.Error("single positive disjunct reported valid")
+	}
+}
+
+func TestDNFWorldsConsistent(t *testing.T) {
+	d := DNF{NumVars: 2, Disjuncts: []Disjunct{
+		dis(lit(1, false), lit(2, false), lit(2, false)),
+		dis(lit(1, true), lit(1, true), lit(1, true)),
+	}}
+	inst, err := BuildDNF(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.CheckWorlds(); err != nil {
+		t.Fatal(err)
+	}
+	// A non-boolean world is NOT in q^{-1}(A): set x1 = 7.
+	w := inst.World(0)
+	w.Find("u1").Children[0].Value = v7()
+	if got := inst.Q.Answer(w); got.Equal(inst.Answer) {
+		t.Error("world with x=7 should change the answer (optional probe matches)")
+	}
+}
+
+func TestDNFReduction(t *testing.T) {
+	cases := []struct {
+		name string
+		d    DNF
+	}{
+		{"valid excluded middle", DNF{NumVars: 1, Disjuncts: []Disjunct{
+			dis(lit(1, false), lit(1, false), lit(1, false)),
+			dis(lit(1, true), lit(1, true), lit(1, true)),
+		}}},
+		{"invalid single conjunct", DNF{NumVars: 2, Disjuncts: []Disjunct{
+			dis(lit(1, false), lit(2, false), lit(2, false)),
+		}}},
+		{"valid full cover on two vars", DNF{NumVars: 2, Disjuncts: []Disjunct{
+			dis(lit(1, false), lit(1, false), lit(1, false)),
+			dis(lit(1, true), lit(2, false), lit(2, false)),
+			dis(lit(1, true), lit(2, true), lit(2, true)),
+		}}},
+		{"invalid near-cover", DNF{NumVars: 2, Disjuncts: []Disjunct{
+			dis(lit(1, false), lit(1, false), lit(1, false)),
+			dis(lit(1, true), lit(2, false), lit(2, false)),
+		}}},
+	}
+	for _, c := range cases {
+		inst, err := BuildDNF(c.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := inst.Decide()
+		want := c.d.Valid()
+		if got != want {
+			t.Errorf("%s: certain-prefix = %v, valid = %v", c.name, got, want)
+		}
+	}
+}
+
+func TestBuildDNFValidation(t *testing.T) {
+	if _, err := BuildDNF(DNF{NumVars: 0}); err == nil {
+		t.Error("DNF without variables accepted")
+	}
+	bad := DNF{NumVars: 1, Disjuncts: []Disjunct{dis(lit(3, false), lit(1, false), lit(1, false))}}
+	if _, err := BuildDNF(bad); err == nil {
+		t.Error("out-of-range literal accepted")
+	}
+}

@@ -1,0 +1,243 @@
+package reductions
+
+import (
+	"fmt"
+
+	"incxml/internal/cond"
+	"incxml/internal/dtd"
+	"incxml/internal/extquery"
+	"incxml/internal/rat"
+	"incxml/internal/tree"
+)
+
+// FD is a functional dependency Lhs → Rhs over attribute indices (1-based).
+type FD struct {
+	Lhs []int
+	Rhs int
+}
+
+// IND is an inclusion dependency R[Lhs] ⊆ R[Rhs] over attribute indices.
+type IND struct {
+	Lhs []int
+	Rhs []int
+}
+
+// Dependency is an FD or an IND.
+type Dependency struct {
+	FD  *FD
+	IND *IND
+}
+
+// FDINDInstance is the Theorem 4.5 construction: a (nonrecursive) tree type
+// encoding a relation, one violation query per dependency in Σ, and a
+// violation query for σ, such that Σ ⊨ σ iff q_σ is empty on every tree in
+// rep(τ) ∩ ⋂ q_ϕ⁻¹(∅).
+type FDINDInstance struct {
+	NumAttrs int
+	Sigma    []Dependency
+	Target   FD
+	Type     *dtd.Type
+	// SigmaQueries are the violation detectors for Σ (empty answers assert
+	// that the dependencies hold).
+	SigmaQueries []extquery.Query
+	// TargetQuery detects violations of σ.
+	TargetQuery extquery.Query
+}
+
+// attr returns the label of the i-th attribute.
+func attr(i int) tree.Label { return tree.Label(fmt.Sprintf("A%d", i)) }
+
+// fdQuery builds q_ϕ for an FD per the Theorem 4.5 proof: two tuples
+// agreeing on the determinant and disagreeing on the dependent attribute.
+func fdQuery(fd FD) extquery.Query {
+	t1 := extquery.N("tuple", cond.True())
+	t2 := extquery.N("tuple", cond.True())
+	for k, a := range fd.Lhs {
+		x := fmt.Sprintf("X%d", k)
+		t1.Children = append(t1.Children, extquery.V(attr(a), x))
+		t2.Children = append(t2.Children, extquery.V(attr(a), x))
+	}
+	t1.Children = append(t1.Children, extquery.V(attr(fd.Rhs), "Z"))
+	t2.Children = append(t2.Children, extquery.V(attr(fd.Rhs), "W"))
+	return extquery.Query{
+		Root:  extquery.N("root", cond.True(), t1, t2),
+		Diseq: [][2]string{{"Z", "W"}},
+	}
+}
+
+// indQuery builds q_ϕ for an IND: a tuple whose Lhs projection appears in
+// no tuple's Rhs projection (negation).
+func indQuery(ind IND) extquery.Query {
+	pos := extquery.N("tuple", cond.True())
+	neg := extquery.N("tuple", cond.True())
+	for k := range ind.Lhs {
+		x := fmt.Sprintf("X%d", k)
+		pos.Children = append(pos.Children, extquery.V(attr(ind.Lhs[k]), x))
+		neg.Children = append(neg.Children, extquery.V(attr(ind.Rhs[k]), x))
+	}
+	return extquery.Query{Root: extquery.N("root", cond.True(),
+		pos, extquery.Negated(neg))}
+}
+
+// BuildFDIND constructs the Theorem 4.5 instance.
+func BuildFDIND(numAttrs int, sigma []Dependency, target FD) (*FDINDInstance, error) {
+	check := func(a int) error {
+		if a < 1 || a > numAttrs {
+			return fmt.Errorf("reductions: attribute %d out of range", a)
+		}
+		return nil
+	}
+	for _, d := range sigma {
+		switch {
+		case d.FD != nil:
+			for _, a := range d.FD.Lhs {
+				if err := check(a); err != nil {
+					return nil, err
+				}
+			}
+			if err := check(d.FD.Rhs); err != nil {
+				return nil, err
+			}
+		case d.IND != nil:
+			if len(d.IND.Lhs) != len(d.IND.Rhs) {
+				return nil, fmt.Errorf("reductions: IND arity mismatch")
+			}
+			for _, a := range append(append([]int{}, d.IND.Lhs...), d.IND.Rhs...) {
+				if err := check(a); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, fmt.Errorf("reductions: empty dependency")
+		}
+	}
+	src := "root: root\nroot -> tuple*\ntuple ->"
+	for i := 1; i <= numAttrs; i++ {
+		src += " " + string(attr(i))
+	}
+	inst := &FDINDInstance{
+		NumAttrs: numAttrs,
+		Sigma:    sigma,
+		Target:   target,
+		Type:     dtd.MustParse(src + "\n"),
+	}
+	for _, d := range sigma {
+		if d.FD != nil {
+			inst.SigmaQueries = append(inst.SigmaQueries, fdQuery(*d.FD))
+		} else {
+			inst.SigmaQueries = append(inst.SigmaQueries, indQuery(*d.IND))
+		}
+	}
+	inst.TargetQuery = fdQuery(target)
+	return inst, nil
+}
+
+// EncodeRelation builds the tree encoding of a relation instance (rows of
+// numAttrs values each).
+func (inst *FDINDInstance) EncodeRelation(rows [][]int64) (tree.Tree, error) {
+	root := tree.New("root", rat.Zero)
+	for _, row := range rows {
+		if len(row) != inst.NumAttrs {
+			return tree.Tree{}, fmt.Errorf("reductions: row arity %d, want %d", len(row), inst.NumAttrs)
+		}
+		tup := tree.New("tuple", rat.Zero)
+		for i, v := range row {
+			tup.Children = append(tup.Children, tree.New(attr(i+1), rat.FromInt(v)))
+		}
+		root.Children = append(root.Children, tup)
+	}
+	return tree.Tree{Root: root}, nil
+}
+
+// SatisfiesSigma reports whether the relation tree satisfies every
+// dependency of Σ — i.e. every q_ϕ has an empty answer.
+func (inst *FDINDInstance) SatisfiesSigma(t tree.Tree) bool {
+	for _, q := range inst.SigmaQueries {
+		if q.Matches(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// ViolatesTarget reports whether q_σ has a nonempty answer on the tree.
+func (inst *FDINDInstance) ViolatesTarget(t tree.Tree) bool {
+	return inst.TargetQuery.Matches(t)
+}
+
+// DecideBounded searches relations of at most maxRows rows over the value
+// domain 0..domain-1 for a Σ-satisfying instance violating σ. It returns
+// true ("implied over the bounded universe") when none exists. For FD-only
+// Σ this is exact once maxRows ≥ 2 and the domain has ≥ 2 values, because
+// FD implication has two-tuple counterexamples; with INDs the general
+// problem is undecidable (Theorem 4.5) and this is only a bounded check.
+func (inst *FDINDInstance) DecideBounded(maxRows int, domain int64) (bool, error) {
+	var rows [][]int64
+	var rec func(depth int) (bool, error)
+	total := 1
+	for i := 0; i < inst.NumAttrs; i++ {
+		total *= int(domain)
+	}
+	tuples := make([][]int64, 0, total)
+	var gen func(row []int64)
+	gen = func(row []int64) {
+		if len(row) == inst.NumAttrs {
+			tuples = append(tuples, append([]int64{}, row...))
+			return
+		}
+		for v := int64(0); v < domain; v++ {
+			gen(append(row, v))
+		}
+	}
+	gen(nil)
+	rec = func(depth int) (bool, error) {
+		if len(rows) > 0 {
+			t, err := inst.EncodeRelation(rows)
+			if err != nil {
+				return false, err
+			}
+			if inst.SatisfiesSigma(t) && inst.ViolatesTarget(t) {
+				return false, nil // counterexample found
+			}
+		}
+		if depth == maxRows {
+			return true, nil
+		}
+		for _, tup := range tuples {
+			rows = append(rows, tup)
+			ok, err := rec(depth + 1)
+			rows = rows[:len(rows)-1]
+			if err != nil || !ok {
+				return ok, err
+			}
+		}
+		return true, nil
+	}
+	return rec(0)
+}
+
+// FDImplies decides Σ ⊨ σ for FD-only Σ via attribute closure — the exact
+// oracle the bounded reduction check is compared against.
+func FDImplies(numAttrs int, sigma []FD, target FD) bool {
+	closure := map[int]bool{}
+	for _, a := range target.Lhs {
+		closure[a] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range sigma {
+			all := true
+			for _, a := range fd.Lhs {
+				if !closure[a] {
+					all = false
+					break
+				}
+			}
+			if all && !closure[fd.Rhs] {
+				closure[fd.Rhs] = true
+				changed = true
+			}
+		}
+	}
+	return closure[target.Rhs]
+}

@@ -1,0 +1,134 @@
+package reductions
+
+import (
+	"testing"
+
+	"incxml/internal/rat"
+)
+
+// v7 is a helper used by dnf_test as well.
+func v7() rat.Rat { return rat.FromInt(7) }
+
+func TestFDQuerySemantics(t *testing.T) {
+	inst, err := BuildFDIND(3,
+		[]Dependency{{FD: &FD{Lhs: []int{1}, Rhs: 2}}},
+		FD{Lhs: []int{1}, Rhs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A1 -> A2 holds, A1 -> A3 violated.
+	rel, err := inst.EncodeRelation([][]int64{
+		{1, 5, 7},
+		{1, 5, 8},
+		{2, 6, 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.SatisfiesSigma(rel) {
+		t.Error("Σ = {A1→A2} should hold on the instance")
+	}
+	if !inst.ViolatesTarget(rel) {
+		t.Error("A1→A3 violation not detected")
+	}
+	// Without the violating row, the target holds.
+	rel2, _ := inst.EncodeRelation([][]int64{{1, 5, 7}, {2, 6, 9}})
+	if inst.ViolatesTarget(rel2) {
+		t.Error("A1→A3 spuriously violated")
+	}
+}
+
+func TestINDQuerySemantics(t *testing.T) {
+	inst, err := BuildFDIND(2,
+		[]Dependency{{IND: &IND{Lhs: []int{1}, Rhs: []int{2}}}},
+		FD{Lhs: []int{1}, Rhs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R[A1] ⊆ R[A2] holds: A1 values {1,2}, A2 values {1,2}.
+	ok, _ := inst.EncodeRelation([][]int64{{1, 2}, {2, 1}})
+	if !inst.SatisfiesSigma(ok) {
+		t.Error("satisfied IND reported violated")
+	}
+	// Violated: A1 value 3 not in A2 column.
+	bad, _ := inst.EncodeRelation([][]int64{{3, 1}, {1, 1}})
+	if inst.SatisfiesSigma(bad) {
+		t.Error("violated IND reported satisfied")
+	}
+}
+
+func TestFDINDReductionAgainstClosure(t *testing.T) {
+	cases := []struct {
+		name     string
+		numAttrs int
+		sigma    []FD
+		target   FD
+	}{
+		{"transitive implied", 3,
+			[]FD{{Lhs: []int{1}, Rhs: 2}, {Lhs: []int{2}, Rhs: 3}},
+			FD{Lhs: []int{1}, Rhs: 3}},
+		{"not implied", 3,
+			[]FD{{Lhs: []int{1}, Rhs: 2}},
+			FD{Lhs: []int{1}, Rhs: 3}},
+		{"reflexive-ish implied", 2,
+			[]FD{},
+			FD{Lhs: []int{1, 2}, Rhs: 2}},
+		{"symmetric not implied", 2,
+			[]FD{{Lhs: []int{1}, Rhs: 2}},
+			FD{Lhs: []int{2}, Rhs: 1}},
+	}
+	for _, c := range cases {
+		var deps []Dependency
+		for i := range c.sigma {
+			deps = append(deps, Dependency{FD: &c.sigma[i]})
+		}
+		inst, err := BuildFDIND(c.numAttrs, deps, c.target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// FD implication has 2-tuple counterexamples over a 2-value domain,
+		// so the bounded check is exact here.
+		got, err := inst.DecideBounded(2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := FDImplies(c.numAttrs, c.sigma, c.target)
+		if got != want {
+			t.Errorf("%s: bounded reduction = %v, closure oracle = %v", c.name, got, want)
+		}
+	}
+}
+
+func TestFDINDWithINDBoundedCheck(t *testing.T) {
+	// Σ = {A1→A2, R[A2] ⊆ R[A1]}; target A2→A1 is NOT implied (counterexample
+	// exists with 2 tuples: (0,1),(1,1) satisfies A1→A2; A2 col {1} ⊆ A1 col
+	// {0,1}; but A2→A1 violated).
+	inst, err := BuildFDIND(2,
+		[]Dependency{
+			{FD: &FD{Lhs: []int{1}, Rhs: 2}},
+			{IND: &IND{Lhs: []int{2}, Rhs: []int{1}}},
+		},
+		FD{Lhs: []int{2}, Rhs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inst.DecideBounded(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("bounded check missed the 2-tuple counterexample")
+	}
+}
+
+func TestBuildFDINDValidation(t *testing.T) {
+	if _, err := BuildFDIND(2, []Dependency{{FD: &FD{Lhs: []int{5}, Rhs: 1}}}, FD{Lhs: []int{1}, Rhs: 2}); err == nil {
+		t.Error("out-of-range FD attribute accepted")
+	}
+	if _, err := BuildFDIND(2, []Dependency{{IND: &IND{Lhs: []int{1}, Rhs: []int{1, 2}}}}, FD{Lhs: []int{1}, Rhs: 2}); err == nil {
+		t.Error("IND arity mismatch accepted")
+	}
+	if _, err := BuildFDIND(2, []Dependency{{}}, FD{Lhs: []int{1}, Rhs: 2}); err == nil {
+		t.Error("empty dependency accepted")
+	}
+}

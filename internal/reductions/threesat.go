@@ -1,0 +1,293 @@
+// Package reductions implements the paper's hardness and undecidability
+// constructions as executable artifacts, each paired with a verifier
+// against a ground-truth oracle:
+//
+//   - Theorem 3.6: 3-SAT → possible-prefix over a query-answer sequence
+//     (np-hardness of representation-independent querying);
+//   - Theorem 4.1: DNF validity → certain answer prefix for ps-queries with
+//     branching and optional subtrees (co-np-hardness);
+//   - Theorem 4.5: FD/IND implication → certain emptiness for queries with
+//     branching, joins and negation (undecidability);
+//   - Theorem 4.7: CFG intersection → possible emptiness for queries with
+//     recursive path expressions and joins (undecidability).
+package reductions
+
+import (
+	"fmt"
+
+	"incxml/internal/cond"
+	"incxml/internal/dtd"
+	"incxml/internal/query"
+	"incxml/internal/rat"
+	"incxml/internal/refine"
+	"incxml/internal/tree"
+)
+
+// Lit is a literal: variable index (1-based) and sign.
+type Lit struct {
+	Var int
+	Neg bool
+}
+
+// Clause is a disjunction of literals. The paper's Theorem 3.6 uses width
+// 3 (3-SAT); the construction generalizes to any width, which the tests use
+// to keep the (intentionally exponential) decision procedure within memory.
+type Clause []Lit
+
+// Formula is a CNF formula.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Width returns the maximum clause width.
+func (f Formula) Width() int {
+	w := 0
+	for _, c := range f.Clauses {
+		if len(c) > w {
+			w = len(c)
+		}
+	}
+	return w
+}
+
+// Satisfiable decides the formula by brute force — the oracle for the
+// Theorem 3.6 verifier. Only suitable for small NumVars.
+func (f Formula) Satisfiable() bool {
+	for mask := 0; mask < 1<<f.NumVars; mask++ {
+		if f.eval(mask) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f Formula) eval(mask int) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			val := mask>>(l.Var-1)&1 == 1
+			if val != l.Neg {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Pair is one ps-query/answer observation.
+type Pair struct {
+	Q query.Query
+	A tree.Tree
+}
+
+// ThreeSATInstance is the Theorem 3.6 construction: a tree type, a sequence
+// of query-answer pairs, and a candidate prefix such that the prefix is
+// possible iff the formula is satisfiable.
+type ThreeSATInstance struct {
+	Formula Formula
+	Sigma   []tree.Label
+	Type    *dtd.Type
+	Pairs   []Pair
+	// Prefix is the candidate tree "root(val = 1)" anchored at the answer
+	// root node.
+	Prefix tree.Tree
+}
+
+// litVal encodes a literal as a data value: +i for x_i, -i for ¬x_i.
+func litVal(l Lit) rat.Rat {
+	v := int64(l.Var)
+	if l.Neg {
+		v = -v
+	}
+	return rat.FromInt(v)
+}
+
+// BuildThreeSAT constructs the Theorem 3.6 instance for the formula.
+func BuildThreeSAT(f Formula) (*ThreeSATInstance, error) {
+	if f.NumVars < 1 {
+		return nil, fmt.Errorf("reductions: formula needs at least one variable")
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if l.Var < 1 || l.Var > f.NumVars {
+				return nil, fmt.Errorf("reductions: literal variable %d out of range", l.Var)
+			}
+		}
+	}
+	width := f.Width()
+	for _, c := range f.Clauses {
+		if len(c) != width {
+			return nil, fmt.Errorf("reductions: all clauses must have the same width (pad by repeating a literal)")
+		}
+	}
+	sigma := []tree.Label{"root", "var", "clause", "val"}
+	clauseRule := "clause ->"
+	for j := 1; j <= width; j++ {
+		sigma = append(sigma,
+			tree.Label(fmt.Sprintf("lit%d", j)), tree.Label(fmt.Sprintf("val%d", j)))
+		clauseRule += fmt.Sprintf(" lit%d", j)
+	}
+	for j := 1; j <= width; j++ {
+		clauseRule += fmt.Sprintf(" val%d", j)
+	}
+	src := "root: root\nroot -> var* clause* val\nvar -> val\n"
+	if width > 0 {
+		src += clauseRule + "\n"
+	}
+	ty := dtd.MustParse(src)
+	inst := &ThreeSATInstance{Formula: f, Sigma: sigma, Type: ty}
+
+	tTrue := cond.True()
+	rootID := tree.NodeID("r")
+
+	// Pair 1: all variables.
+	qVars := query.Query{Root: query.N("root", tTrue, query.N("var", tTrue))}
+	aVars := tree.NewID(rootID, "root", rat.Zero)
+	for i := 1; i <= f.NumVars; i++ {
+		aVars.Children = append(aVars.Children,
+			tree.NewID(tree.NodeID(fmt.Sprintf("x%d", i)), "var", rat.FromInt(int64(i))))
+	}
+	inst.Pairs = append(inst.Pairs, Pair{qVars, tree.Tree{Root: aVars}})
+
+	// Pair 2: the clause encodings.
+	if len(f.Clauses) > 0 {
+		qcRoot := query.N("clause", tTrue)
+		for j := 1; j <= width; j++ {
+			qcRoot.Children = append(qcRoot.Children,
+				query.N(tree.Label(fmt.Sprintf("lit%d", j)), tTrue))
+		}
+		qClauses := query.Query{Root: query.N("root", tTrue, qcRoot)}
+		aClauses := tree.NewID(rootID, "root", rat.Zero)
+		for ci, c := range f.Clauses {
+			cid := fmt.Sprintf("c%d", ci+1)
+			cl := tree.NewID(tree.NodeID(cid), "clause", rat.Zero)
+			for j, l := range c {
+				cl.Children = append(cl.Children,
+					tree.NewID(tree.NodeID(fmt.Sprintf("%s.l%d", cid, j+1)),
+						tree.Label(fmt.Sprintf("lit%d", j+1)), litVal(l)))
+			}
+			aClauses.Children = append(aClauses.Children, cl)
+		}
+		inst.Pairs = append(inst.Pairs, Pair{qClauses, tree.Tree{Root: aClauses}})
+	}
+
+	// Pair 3: variable values are 0 or 1 (empty answer).
+	not01 := cond.NeInt(0).And(cond.NeInt(1))
+	inst.Pairs = append(inst.Pairs, Pair{query.Query{Root: query.N("root", tTrue,
+		query.N("var", tTrue, query.N("val", not01)))}, tree.Empty()})
+
+	// Pairs 4: literal values are 0 or 1 (empty answers), one per position.
+	for j := 1; j <= width; j++ {
+		valj := tree.Label(fmt.Sprintf("val%d", j))
+		inst.Pairs = append(inst.Pairs, Pair{query.Query{Root: query.N("root", tTrue,
+			query.N("clause", tTrue, query.N(valj, not01)))}, tree.Empty()})
+	}
+
+	// Pairs 5: literal values agree with the variable assignment: for each
+	// occurring literal (¬)x_i at position j and each value v of x_i, there
+	// is no clause whose j-th literal is (¬)x_i with value different from
+	// (¬)v while x_i = v. (Queries for literal/position combinations that do
+	// not occur in the formula are vacuously empty and omitted.)
+	seen := map[[3]int]bool{} // (var, negAsInt, position)
+	for _, c := range f.Clauses {
+		for j, l := range c {
+			negInt := 0
+			if l.Neg {
+				negInt = 1
+			}
+			key := [3]int{l.Var, negInt, j + 1}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			lv := litVal(l)
+			litj := tree.Label(fmt.Sprintf("lit%d", j+1))
+			valj := tree.Label(fmt.Sprintf("val%d", j+1))
+			for v := int64(0); v <= 1; v++ {
+				want := v
+				if l.Neg {
+					want = 1 - v
+				}
+				q := query.Query{Root: query.N("root", tTrue,
+					query.N("var", cond.EqInt(int64(l.Var)),
+						query.N("val", cond.Eq(rat.FromInt(v)))),
+					query.N("clause", tTrue,
+						query.N(litj, cond.Eq(lv)),
+						query.N(valj, cond.Ne(rat.FromInt(want)))))}
+				inst.Pairs = append(inst.Pairs, Pair{q, tree.Empty()})
+			}
+		}
+	}
+
+	// Pair 6: the flag can be 1 only if every clause has a true literal.
+	if len(f.Clauses) > 0 {
+		flagClause := query.N("clause", tTrue)
+		for j := 1; j <= width; j++ {
+			flagClause.Children = append(flagClause.Children,
+				query.N(tree.Label(fmt.Sprintf("val%d", j)), cond.EqInt(0)))
+		}
+		inst.Pairs = append(inst.Pairs, Pair{query.Query{Root: query.N("root", tTrue,
+			query.N("val", cond.EqInt(1)), flagClause)}, tree.Empty()})
+	}
+
+	inst.Prefix = tree.Tree{Root: tree.NewID(rootID, "root", rat.Zero,
+		tree.New("val", rat.FromInt(1)))}
+	return inst, nil
+}
+
+// Decide answers the possible-prefix question by running the paper's actual
+// machinery: Algorithm Refine over the pairs, intersection with the tree
+// type, and the Theorem 2.8 possible-prefix test. Worst-case exponential in
+// the instance — that is Theorem 3.6's content.
+func (inst *ThreeSATInstance) Decide() (bool, error) {
+	r := refine.NewRefiner(inst.Sigma, inst.Type)
+	for _, p := range inst.Pairs {
+		if err := r.Observe(p.Q, p.A); err != nil {
+			return false, err
+		}
+	}
+	return r.Reachable().IsPossiblePrefix(inst.Prefix), nil
+}
+
+// World builds the data tree encoding the formula under the given variable
+// assignment (bit i-1 of mask = value of x_i), with the satisfiability flag
+// set accordingly. Used by tests to cross-check pairs and membership.
+func (inst *ThreeSATInstance) World(mask int) tree.Tree {
+	f := inst.Formula
+	root := tree.NewID("r", "root", rat.Zero)
+	for i := 1; i <= f.NumVars; i++ {
+		bit := int64(mask >> (i - 1) & 1)
+		root.Children = append(root.Children,
+			tree.NewID(tree.NodeID(fmt.Sprintf("x%d", i)), "var", rat.FromInt(int64(i)),
+				tree.New("val", rat.FromInt(bit))))
+	}
+	for ci, c := range f.Clauses {
+		cid := fmt.Sprintf("c%d", ci+1)
+		cl := tree.NewID(tree.NodeID(cid), "clause", rat.Zero)
+		for j, l := range c {
+			cl.Children = append(cl.Children,
+				tree.NewID(tree.NodeID(fmt.Sprintf("%s.l%d", cid, j+1)),
+					tree.Label(fmt.Sprintf("lit%d", j+1)), litVal(l)))
+		}
+		for j, l := range c {
+			bit := int64(mask >> (l.Var - 1) & 1)
+			if l.Neg {
+				bit = 1 - bit
+			}
+			cl.Children = append(cl.Children,
+				tree.New(tree.Label(fmt.Sprintf("val%d", j+1)), rat.FromInt(bit)))
+		}
+		root.Children = append(root.Children, cl)
+	}
+	flag := int64(0)
+	if f.eval(mask) {
+		flag = 1
+	}
+	root.Children = append(root.Children, tree.New("val", rat.FromInt(flag)))
+	return tree.Tree{Root: root}
+}

@@ -1,0 +1,129 @@
+package reductions
+
+import (
+	"testing"
+)
+
+// lit is a test convenience.
+func lit(v int, neg bool) Lit { return Lit{Var: v, Neg: neg} }
+
+// c1, c2, c3 build clauses of width 1-3.
+func c1(a Lit) Clause        { return Clause{a} }
+func c2(a, b Lit) Clause     { return Clause{a, b} }
+func c3(a, b, cc Lit) Clause { return Clause{a, b, cc} }
+
+func TestThreeSATSatisfiableOracle(t *testing.T) {
+	sat := Formula{NumVars: 2, Clauses: []Clause{
+		c3(lit(1, false), lit(2, false), lit(1, false)),
+	}}
+	if !sat.Satisfiable() {
+		t.Error("trivially satisfiable formula reported unsat")
+	}
+	unsat := Formula{NumVars: 1, Clauses: []Clause{
+		c1(lit(1, false)),
+		c1(lit(1, true)),
+	}}
+	if unsat.Satisfiable() {
+		t.Error("x and not-x reported satisfiable")
+	}
+}
+
+func TestThreeSATWorldsConsistentWithPairs(t *testing.T) {
+	f := Formula{NumVars: 2, Clauses: []Clause{
+		c3(lit(1, false), lit(2, true), lit(1, false)),
+	}}
+	inst, err := BuildThreeSAT(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every assignment world satisfies every pair: the answers match.
+	for mask := 0; mask < 4; mask++ {
+		w := inst.World(mask)
+		if err := inst.Type.Validate(w); err != nil {
+			t.Fatalf("world %d violates type: %v", mask, err)
+		}
+		for pi, p := range inst.Pairs {
+			got := p.Q.Eval(w)
+			if !got.Equal(p.A) {
+				t.Fatalf("world %d, pair %d: answer mismatch\nquery:\n%s\ngot:\n%s\nwant:\n%s",
+					mask, pi, p.Q, got, p.A)
+			}
+		}
+	}
+}
+
+// The Decide procedure runs the paper's actual Refine/possible-prefix
+// machinery, which is intentionally exponential in the query-answer
+// sequence (Theorem 3.6). The test instances therefore use narrow clauses;
+// wide instances are exercised (and measured) by the E10 benchmark.
+func TestThreeSATReduction(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Formula
+	}{
+		{"sat unit clause", Formula{NumVars: 1, Clauses: []Clause{
+			c1(lit(1, false)),
+		}}},
+		{"unsat x and not x", Formula{NumVars: 1, Clauses: []Clause{
+			c1(lit(1, false)),
+			c1(lit(1, true)),
+		}}},
+		{"sat width-2", Formula{NumVars: 2, Clauses: []Clause{
+			c2(lit(1, false), lit(2, false)),
+			c2(lit(1, true), lit(2, false)),
+		}}},
+		{"unsat width-2 over one var", Formula{NumVars: 1, Clauses: []Clause{
+			c2(lit(1, false), lit(1, false)),
+			c2(lit(1, true), lit(1, true)),
+		}}},
+	}
+	for _, c := range cases {
+		inst, err := BuildThreeSAT(c.f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := inst.Decide()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		want := c.f.Satisfiable()
+		if got != want {
+			t.Errorf("%s: possible-prefix = %v, satisfiable = %v", c.name, got, want)
+		}
+	}
+}
+
+func TestThreeSATWidth3Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("width-3 instance is expensive")
+	}
+	f := Formula{NumVars: 2, Clauses: []Clause{
+		c3(lit(1, false), lit(2, false), lit(2, false)),
+	}}
+	inst, err := BuildThreeSAT(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inst.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("satisfiable width-3 formula decided unsat")
+	}
+}
+
+func TestBuildThreeSATValidation(t *testing.T) {
+	if _, err := BuildThreeSAT(Formula{NumVars: 0}); err == nil {
+		t.Error("formula without variables accepted")
+	}
+	bad := Formula{NumVars: 1, Clauses: []Clause{c1(lit(2, false))}}
+	if _, err := BuildThreeSAT(bad); err == nil {
+		t.Error("out-of-range literal accepted")
+	}
+	uneven := Formula{NumVars: 2, Clauses: []Clause{
+		c1(lit(1, false)), c2(lit(1, false), lit(2, false))}}
+	if _, err := BuildThreeSAT(uneven); err == nil {
+		t.Error("uneven clause widths accepted")
+	}
+}

@@ -1,0 +1,234 @@
+// Package refine implements Algorithm Refine (Section 3.1): incremental
+// acquisition of incomplete information from ps-query/answer pairs.
+//
+// The three building blocks follow the paper:
+//
+//   - FromQueryAnswer (Lemma 3.2) builds the unambiguous incomplete tree
+//     T_{q,A} with rep(T_{q,A}) = q⁻¹(A) = {T | q(T) = A};
+//   - Intersect (Lemma 3.3) computes an unambiguous incomplete tree for the
+//     intersection of two compatible unambiguous incomplete trees;
+//   - WithTreeType (Theorem 3.5) intersects an incomplete tree with the
+//     source's tree type.
+//
+// Refiner chains them: starting from the universal incomplete tree over Σ,
+// each ps-query/answer pair refines the representation in polynomial time
+// (Theorem 3.4).
+package refine
+
+import (
+	"fmt"
+
+	"incxml/internal/cond"
+	"incxml/internal/ctype"
+	"incxml/internal/dtd"
+	"incxml/internal/itree"
+	"incxml/internal/query"
+	"incxml/internal/tree"
+)
+
+// Symbol-name constructors for the Lemma 3.2 alphabet. τ_a is anySym, τ_n is
+// nodeSym, τ̄_m is barSym (condition violated at m), τ̂_m is hatSym
+// (condition holds at m but the pattern below cannot be matched).
+func anySym(a tree.Label) ctype.Symbol   { return ctype.Symbol("any:" + a) }
+func nodeSym(n tree.NodeID) ctype.Symbol { return ctype.Symbol("node:" + n) }
+func barSym(path string) ctype.Symbol    { return ctype.Symbol("viol:" + path) }
+func hatSym(path string) ctype.Symbol    { return ctype.Symbol("nomatch:" + path) }
+
+// FromQueryAnswer constructs T_{q,A} (Lemma 3.2): the unambiguous incomplete
+// tree representing exactly the data trees T with q(T) = A, over the label
+// alphabet sigma (which must include every label of q and A).
+//
+// The construction runs in O((|q|+|A|)·|Σ|).
+func FromQueryAnswer(q query.Query, a tree.Tree, sigma []tree.Label) (*itree.T, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	alpha := map[tree.Label]bool{}
+	for _, l := range sigma {
+		alpha[l] = true
+	}
+	missing := func(l tree.Label) error {
+		if !alpha[l] {
+			return fmt.Errorf("refine: label %q not in alphabet", l)
+		}
+		return nil
+	}
+	var errLabel error
+	q.Walk(func(m *query.Node) {
+		if err := missing(m.Label); err != nil {
+			errLabel = err
+		}
+	})
+	a.Walk(func(n *tree.Node) {
+		if err := missing(n.Label); err != nil {
+			errLabel = err
+		}
+	})
+	if errLabel != nil {
+		return nil, errLabel
+	}
+
+	out := itree.New()
+	ty := out.Type
+
+	// all⋆ multiplicity atom over the τ_a symbols.
+	allStar := make(ctype.SAtom, 0, len(sigma))
+	for _, l := range sigma {
+		allStar = append(allStar, ctype.SItem{Sym: anySym(l), Mult: dtd.Star})
+	}
+	// τ_a for every a ∈ Σ: unconstrained node with unconstrained subtree.
+	for _, l := range sigma {
+		s := anySym(l)
+		ty.Sigma[s] = ctype.LabelTarget(l)
+		ty.Mu[s] = ctype.Disj{allStar.Clone()}
+	}
+
+	// Paths identify query nodes; τ̄_m / τ̂_m symbols are path-indexed.
+	// elseAtom(labels) is τ_a⋆ for every a ∉ labels.
+	elseAtom := func(exclude map[tree.Label]bool) ctype.SAtom {
+		var out ctype.SAtom
+		for _, l := range sigma {
+			if !exclude[l] {
+				out = append(out, ctype.SItem{Sym: anySym(l), Mult: dtd.Star})
+			}
+		}
+		return out
+	}
+
+	// Walk the query tree building τ̄_m for every node and τ̂_m for internal
+	// nodes.
+	var buildQuerySyms func(m *query.Node, path string)
+	buildQuerySyms = func(m *query.Node, path string) {
+		bar := barSym(path)
+		ty.Sigma[bar] = ctype.LabelTarget(m.Label)
+		ty.Cond[bar] = m.Cond.Not()
+		ty.Mu[bar] = ctype.Disj{allStar.Clone()}
+		if len(m.Children) > 0 {
+			hat := hatSym(path)
+			ty.Sigma[hat] = ctype.LabelTarget(m.Label)
+			ty.Cond[hat] = m.Cond
+			var disj ctype.Disj
+			for i, mi := range m.Children {
+				cpath := fmt.Sprintf("%s/%d", path, i)
+				atom := ctype.SAtom{
+					{Sym: barSym(cpath), Mult: dtd.Star},
+				}
+				if len(mi.Children) > 0 {
+					atom = append(atom, ctype.SItem{Sym: hatSym(cpath), Mult: dtd.Star})
+				}
+				atom = append(atom, elseAtom(map[tree.Label]bool{mi.Label: true})...)
+				disj = append(disj, atom)
+			}
+			ty.Mu[hat] = disj
+		}
+		for i, mi := range m.Children {
+			buildQuerySyms(mi, fmt.Sprintf("%s/%d", path, i))
+		}
+	}
+	buildQuerySyms(q.Root, "0")
+
+	if a.Root == nil {
+		// Empty answer: the input's root either has a different label, or
+		// violates the root condition, or (for non-leaf patterns) matches but
+		// the pattern below fails.
+		ty.Roots = append(ty.Roots, barSym("0"))
+		if len(q.Root.Children) > 0 {
+			ty.Roots = append(ty.Roots, hatSym("0"))
+		}
+		for _, l := range sigma {
+			if l != q.Root.Label {
+				ty.Roots = append(ty.Roots, anySym(l))
+			}
+		}
+		return out, nil
+	}
+
+	// Nonempty answer: build τ_n for each answer node, walking q and A in
+	// lockstep. Sibling-distinct query labels make the query node matched by
+	// an answer node unique (it is determined by the label path), except
+	// below bar nodes where the whole subtree is extracted verbatim.
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	var buildAnswer func(n *tree.Node, m *query.Node, path string) error
+	buildAnswer = func(n *tree.Node, m *query.Node, path string) error {
+		if _, dup := out.Nodes[n.ID]; dup {
+			return fmt.Errorf("refine: node %q occurs twice in the answer", n.ID)
+		}
+		out.Nodes[n.ID] = itree.NodeInfo{Label: n.Label, Value: n.Value}
+		s := nodeSym(n.ID)
+		ty.Sigma[s] = ctype.NodeTarget(n.ID)
+		ty.Cond[s] = cond.Eq(n.Value)
+
+		if m == nil || m.Extract {
+			// Below (or at) a bar node: the whole subtree was extracted, so
+			// the children are known exactly (closed world below the bar).
+			atom := make(ctype.SAtom, 0, len(n.Children))
+			for _, c := range n.Children {
+				atom = append(atom, ctype.SItem{Sym: nodeSym(c.ID), Mult: dtd.One})
+				if err := buildAnswer(c, nil, ""); err != nil {
+					return err
+				}
+			}
+			ty.Mu[s] = ctype.Disj{atom}
+			return nil
+		}
+		if !m.Cond.Holds(n.Value) || m.Label != n.Label {
+			return fmt.Errorf("refine: answer node %q does not satisfy query node at %s", n.ID, path)
+		}
+		if len(m.Children) == 0 {
+			// A plain leaf match: nothing below was explored.
+			ty.Mu[s] = ctype.Disj{allStar.Clone()}
+			return nil
+		}
+		// Internal node: known children exactly once each, unknown children
+		// that failed each child pattern, and unconstrained children with
+		// labels the query never inspected.
+		childByLabel := map[tree.Label]*query.Node{}
+		childPath := map[tree.Label]string{}
+		inspected := map[tree.Label]bool{}
+		for i, mi := range m.Children {
+			childByLabel[mi.Label] = mi
+			childPath[mi.Label] = fmt.Sprintf("%s/%d", path, i)
+			inspected[mi.Label] = true
+		}
+		atom := ctype.SAtom{}
+		for _, c := range n.Children {
+			atom = append(atom, ctype.SItem{Sym: nodeSym(c.ID), Mult: dtd.One})
+			mi, ok := childByLabel[c.Label]
+			if !ok {
+				return fmt.Errorf("refine: answer node %q has unexpected label %q under %s", c.ID, c.Label, path)
+			}
+			if err := buildAnswer(c, mi, childPath[c.Label]); err != nil {
+				return err
+			}
+		}
+		for i, mi := range m.Children {
+			cpath := fmt.Sprintf("%s/%d", path, i)
+			atom = append(atom, ctype.SItem{Sym: barSym(cpath), Mult: dtd.Star})
+			if len(mi.Children) > 0 {
+				atom = append(atom, ctype.SItem{Sym: hatSym(cpath), Mult: dtd.Star})
+			}
+		}
+		atom = append(atom, elseAtom(inspected)...)
+		ty.Mu[s] = ctype.Disj{atom}
+		return nil
+	}
+	if a.Root.Label != q.Root.Label {
+		return nil, fmt.Errorf("refine: answer root label %q differs from query root %q", a.Root.Label, q.Root.Label)
+	}
+	if err := buildAnswer(a.Root, q.Root, "0"); err != nil {
+		return nil, err
+	}
+	ty.Roots = []ctype.Symbol{nodeSym(a.Root.ID)}
+	return out, nil
+}
+
+// MustFromQueryAnswer panics on error; for tests and tables.
+func MustFromQueryAnswer(q query.Query, a tree.Tree, sigma []tree.Label) *itree.T {
+	t, err := FromQueryAnswer(q, a, sigma)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

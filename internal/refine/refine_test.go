@@ -1,0 +1,487 @@
+package refine
+
+import (
+	"testing"
+
+	"incxml/internal/cond"
+	"incxml/internal/dtd"
+	"incxml/internal/itree"
+	"incxml/internal/query"
+	"incxml/internal/rat"
+	"incxml/internal/tree"
+)
+
+func v(n int64) rat.Rat { return rat.FromInt(n) }
+
+var sigmaAB = []tree.Label{"root", "a", "b"}
+
+// smallBounds is tuned for the root/a/b alphabet.
+func smallBounds() itree.Bounds {
+	return itree.Bounds{
+		Values:    []rat.Rat{v(0), v(1), v(2)},
+		MaxRepeat: 1,
+		MaxDepth:  3,
+		MaxTrees:  50000,
+	}
+}
+
+func TestUniversalRepresentsEverything(t *testing.T) {
+	u := Universal(sigmaAB)
+	if u.Empty() {
+		t.Fatal("universal tree empty")
+	}
+	samples := []tree.Tree{
+		{Root: tree.New("root", v(0))},
+		{Root: tree.New("a", v(1), tree.New("b", v(2)))},
+		{Root: tree.New("b", v(2), tree.New("b", v(2), tree.New("root", v(0))))},
+	}
+	for _, s := range samples {
+		if !u.Member(s) {
+			t.Errorf("universal rejected:\n%s", s)
+		}
+	}
+}
+
+// qRootAB is the query root / a{=1} / b{=2}.
+func qRootAB() query.Query {
+	return query.Query{Root: query.N("root", cond.True(),
+		query.N("a", cond.EqInt(1),
+			query.N("b", cond.EqInt(2))))}
+}
+
+func TestFromQueryAnswerEmptyAnswer(t *testing.T) {
+	q := qRootAB()
+	qa := MustFromQueryAnswer(q, tree.Empty(), sigmaAB)
+	if err := qa.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.Unambiguous(); err != nil {
+		t.Errorf("T_{q,empty} not unambiguous: %v", err)
+	}
+	// Soundness: every bounded member T' has q(T') empty.
+	members := qa.Enumerate(smallBounds())
+	if len(members) == 0 {
+		t.Fatal("no members enumerated")
+	}
+	for _, m := range members {
+		if ans := q.Eval(m); !ans.IsEmpty() {
+			t.Fatalf("member has nonempty answer:\n%s\nanswer:\n%s", m, ans)
+		}
+	}
+	// Membership checks.
+	for _, w := range []struct {
+		name   string
+		world  tree.Tree
+		member bool
+	}{
+		{"different root label", tree.Tree{Root: tree.New("a", v(0))}, true},
+		{"root without a-children", tree.Tree{Root: tree.New("root", v(0))}, true},
+		{"a=1 but b=0 only", tree.Tree{Root: tree.New("root", v(0),
+			tree.New("a", v(1), tree.New("b", v(0))))}, true},
+		{"a=2 with b=2", tree.Tree{Root: tree.New("root", v(0),
+			tree.New("a", v(2), tree.New("b", v(2))))}, true},
+		{"full match present", tree.Tree{Root: tree.New("root", v(0),
+			tree.New("a", v(1), tree.New("b", v(2))))}, false},
+	} {
+		if got := qa.Member(w.world); got != w.member {
+			t.Errorf("%s: member = %v, want %v", w.name, got, w.member)
+		}
+	}
+}
+
+func TestFromQueryAnswerNonEmpty(t *testing.T) {
+	q := qRootAB()
+	// The true world: root with two a's; only one matches fully.
+	world := tree.Tree{Root: tree.NewID("r", "root", v(0),
+		tree.NewID("x", "a", v(1), tree.NewID("y", "b", v(2))),
+		tree.NewID("z", "a", v(2)))}
+	a := q.Eval(world)
+	if a.Size() != 3 {
+		t.Fatalf("answer size = %d, want 3", a.Size())
+	}
+	qa := MustFromQueryAnswer(q, a, sigmaAB)
+	if err := qa.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.Unambiguous(); err != nil {
+		t.Errorf("T_{q,A} not unambiguous: %v", err)
+	}
+	// The true world is a member.
+	if !qa.Member(world) {
+		t.Error("true world rejected by q^{-1}(A)")
+	}
+	// Soundness on the bounded rep-set: q of every member is A.
+	for _, m := range qa.Enumerate(smallBounds()) {
+		if got := q.Eval(m); !got.Equal(a) {
+			t.Fatalf("member's answer differs from A:\nmember:\n%s\nanswer:\n%s\nwant:\n%s", m, got, a)
+		}
+	}
+	// A world missing the answer nodes is not a member.
+	bare := tree.Tree{Root: tree.NewID("r", "root", v(0))}
+	if qa.Member(bare) {
+		t.Error("world without answer nodes accepted")
+	}
+	// A world with an extra full match not in A is not a member.
+	extra := tree.Tree{Root: tree.NewID("r", "root", v(0),
+		tree.NewID("x", "a", v(1), tree.NewID("y", "b", v(2))),
+		tree.NewID("w", "a", v(1), tree.NewID("u", "b", v(2))))}
+	if qa.Member(extra) {
+		t.Error("world with unreported match accepted")
+	}
+	// A world where the matched a has an extra (unseen) b=0 child is fine.
+	moreBs := tree.Tree{Root: tree.NewID("r", "root", v(0),
+		tree.NewID("x", "a", v(1), tree.NewID("y", "b", v(2)), tree.New("b", v(0))))}
+	if !qa.Member(moreBs) {
+		t.Error("world with extra non-matching b rejected")
+	}
+	// But an extra b=2 child under x would have been extracted: reject.
+	moreB2 := tree.Tree{Root: tree.NewID("r", "root", v(0),
+		tree.NewID("x", "a", v(1), tree.NewID("y", "b", v(2)), tree.New("b", v(2))))}
+	if qa.Member(moreB2) {
+		t.Error("world with unreported b=2 match accepted")
+	}
+}
+
+func TestFromQueryAnswerBar(t *testing.T) {
+	// Bar query: extract whole subtrees under matching a-nodes.
+	q := query.Query{Root: query.N("root", cond.True(),
+		query.Bar("a", cond.EqInt(1)))}
+	world := tree.Tree{Root: tree.NewID("r", "root", v(0),
+		tree.NewID("x", "a", v(1),
+			tree.NewID("y", "b", v(2), tree.NewID("yy", "b", v(0)))))}
+	a := q.Eval(world)
+	if a.Size() != 4 {
+		t.Fatalf("bar answer size = %d, want 4", a.Size())
+	}
+	qa := MustFromQueryAnswer(q, a, sigmaAB)
+	if !qa.Member(world) {
+		t.Error("true world rejected")
+	}
+	// Below the bar the world is closed: an extra child under y is not
+	// possible.
+	extended := tree.Tree{Root: tree.NewID("r", "root", v(0),
+		tree.NewID("x", "a", v(1),
+			tree.NewID("y", "b", v(2),
+				tree.NewID("yy", "b", v(0)), tree.New("b", v(0)))))}
+	if qa.Member(extended) {
+		t.Error("extra node below extracted subtree accepted")
+	}
+	// Unseen children elsewhere (under root) are fine.
+	withOther := tree.Tree{Root: tree.NewID("r", "root", v(0),
+		tree.NewID("x", "a", v(1),
+			tree.NewID("y", "b", v(2), tree.NewID("yy", "b", v(0)))),
+		tree.New("a", v(3)))}
+	if !qa.Member(withOther) {
+		t.Error("world with non-matching sibling rejected")
+	}
+}
+
+// sampleWorlds deterministically generates a diverse set of candidate data
+// trees over {root, a, b} with values in {0,1,2}, reusing ids from the given
+// pool on some nodes so that data-node matching is exercised. Membership
+// checks against such samples are the pointwise oracle for rep equations —
+// full enumeration of universal subtrees blows up combinatorially, whereas
+// membership is exact and cheap.
+func sampleWorlds(idPool []tree.NodeID) []tree.Tree {
+	labels := []tree.Label{"root", "a", "b"}
+	var out []tree.Tree
+	seed := 0
+	nextID := func(label tree.Label) tree.NodeID {
+		seed++
+		if len(idPool) > 0 && seed%3 != 0 {
+			return idPool[seed%len(idPool)]
+		}
+		return tree.FreshID(string(label))
+	}
+	var build func(depth, shape int) *tree.Node
+	build = func(depth, shape int) *tree.Node {
+		l := labels[shape%3]
+		n := tree.NewID(nextID(l), l, v(int64(shape%3)))
+		if depth < 3 {
+			for i := 0; i < shape%3; i++ {
+				n.Children = append(n.Children, build(depth+1, shape/3+i+seed%5))
+			}
+		}
+		return n
+	}
+	for shape := 0; shape < 600; shape++ {
+		root := tree.NewID(nextID("root"), "root", v(int64(shape%3)))
+		for i := 0; i < shape%4; i++ {
+			root.Children = append(root.Children, build(1, shape/2+i))
+		}
+		tr := tree.Tree{Root: root}
+		if tr.Validate() == nil { // skip duplicate-id accidents
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+func TestIntersectAgainstOracle(t *testing.T) {
+	// rep(Intersect(T1,T2)) = rep(T1) ∩ rep(T2), checked pointwise by
+	// membership over a diverse sample of candidate worlds.
+	world := tree.Tree{Root: tree.NewID("r", "root", v(0),
+		tree.NewID("x", "a", v(1), tree.NewID("y", "b", v(2))),
+		tree.NewID("z", "a", v(2)))}
+	q1 := qRootAB()
+	q2 := query.Query{Root: query.N("root", cond.True(),
+		query.N("a", cond.EqInt(2)))}
+	t1 := MustFromQueryAnswer(q1, q1.Eval(world), sigmaAB)
+	t2 := MustFromQueryAnswer(q2, q2.Eval(world), sigmaAB)
+	both, err := Intersect(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !both.Member(world) {
+		t.Error("true world rejected by intersection")
+	}
+	pool := []tree.NodeID{"r", "x", "y", "z"}
+	samples := append(sampleWorlds(pool), world, world.Clone())
+	checked := 0
+	for _, w := range samples {
+		want := t1.Member(w) && t2.Member(w)
+		got := both.Member(w)
+		if got != want {
+			t.Fatalf("membership mismatch (want %v, got %v) on:\n%s", want, got, w)
+		}
+		if want {
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no sample exercised the intersection positively")
+	}
+	// Direct positive coverage: members enumerated from the intersection
+	// must be members of both factors.
+	bounds := itree.Bounds{Values: []rat.Rat{v(0), v(1), v(2)}, MaxRepeat: 1, MaxDepth: 3, MaxTrees: 500}
+	for _, m := range both.Enumerate(bounds) {
+		if !t1.Member(m) || !t2.Member(m) {
+			t.Fatalf("intersection member not in both factors:\n%s", m)
+		}
+	}
+}
+
+func TestIntersectIncompatible(t *testing.T) {
+	a := itree.New()
+	a.Nodes["n"] = itree.NodeInfo{Label: "a", Value: v(1)}
+	b := itree.New()
+	b.Nodes["n"] = itree.NodeInfo{Label: "a", Value: v(2)}
+	if _, err := Intersect(a, b); err == nil {
+		t.Error("incompatible trees intersected without error")
+	}
+}
+
+func TestRefineChainCatalogExample31(t *testing.T) {
+	// Example 3.1 / Figures 8-9, with categorical values as code points:
+	// elec=1, camera=2, cdplayer=3.
+	sigma := []tree.Label{"catalog", "product", "name", "price", "cat", "subcat", "picture"}
+	source := dtd.MustParse(`
+root: catalog
+catalog -> product+
+product -> name price cat picture*
+cat     -> subcat
+`)
+	prod := func(id string, name, price, sub int64, pics ...int64) *tree.Node {
+		n := tree.NewID(tree.NodeID(id), "product", v(0),
+			tree.NewID(tree.NodeID(id+".name"), "name", v(name)),
+			tree.NewID(tree.NodeID(id+".price"), "price", v(price)),
+			tree.NewID(tree.NodeID(id+".cat"), "cat", v(1),
+				tree.NewID(tree.NodeID(id+".sub"), "subcat", v(sub))))
+		for i, p := range pics {
+			n.Children = append(n.Children,
+				tree.NewID(tree.NodeID(id+".pic")+tree.NodeID(rune('0'+i)), "picture", v(p)))
+		}
+		return n
+	}
+	world := tree.Tree{Root: tree.NewID("c0", "catalog", v(0),
+		prod("canon", 10, 120, 2, 20),
+		prod("nikon", 11, 199, 2),
+		prod("sony", 12, 175, 3, 99),
+		prod("olympus", 13, 250, 2, 21),
+	)}
+	if err := source.Validate(world); err != nil {
+		t.Fatal(err)
+	}
+
+	// Query 1 (Figure 2): name, price, subcat of elec products under 200.
+	q1 := query.MustParse(`catalog
+  product
+    name
+    price {< 200}
+    cat {= 1}
+      subcat
+`)
+	// Query 2 (Figure 3): name and pictures of elec cameras with pictures.
+	q2 := query.MustParse(`catalog
+  product
+    name
+    cat {= 1}
+      subcat {= 2}
+    picture!
+`)
+
+	r := NewRefiner(sigma, source)
+	if _, err := r.ObserveOn(world, q1); err != nil {
+		t.Fatal(err)
+	}
+	after1 := r.Reachable()
+	if !after1.Member(world) {
+		t.Fatal("true world rejected after query 1")
+	}
+	// After query 1, Olympus (price 250) is unknown: a world without it is
+	// still possible, as is one with it.
+	withoutOlympus := tree.Tree{Root: tree.NewID("c0", "catalog", v(0),
+		prod("canon", 10, 120, 2, 20),
+		prod("nikon", 11, 199, 2),
+		prod("sony", 12, 175, 3, 99),
+	)}
+	if !after1.Member(withoutOlympus) {
+		t.Error("world without the unseen product rejected after query 1")
+	}
+	// But a world missing Canon (reported by query 1) is impossible.
+	withoutCanon := tree.Tree{Root: tree.NewID("c0", "catalog", v(0),
+		prod("nikon", 11, 199, 2),
+		prod("sony", 12, 175, 3, 99),
+	)}
+	if after1.Member(withoutCanon) {
+		t.Error("world missing a reported product accepted")
+	}
+	// A world with an extra cheap elec product is impossible (it would have
+	// been returned); an extra expensive one is fine.
+	extraCheap := world.Clone()
+	extraCheap.Root.Children = append(extraCheap.Root.Children, prod("cheap", 14, 50, 3))
+	if after1.Member(extraCheap) {
+		t.Error("unreported cheap elec product accepted after query 1")
+	}
+	extraExpensive := world.Clone()
+	extraExpensive.Root.Children = append(extraExpensive.Root.Children, prod("lux", 15, 900, 3))
+	if !after1.Member(extraExpensive) {
+		t.Error("possible expensive product rejected after query 1")
+	}
+
+	if _, err := r.ObserveOn(world, q2); err != nil {
+		t.Fatal(err)
+	}
+	after2 := r.Reachable()
+	if !after2.Member(world) {
+		t.Fatal("true world rejected after query 2")
+	}
+	// Example 3.1's key inference: Nikon was returned by query 1 (a camera)
+	// but not by query 2, so Nikon certainly has no picture.
+	nikonWithPicture := world.Clone()
+	nikon := nikonWithPicture.Find("nikon")
+	nikon.Children = append(nikon.Children, tree.New("picture", v(77)))
+	if after2.Member(nikonWithPicture) {
+		t.Error("Nikon with a picture accepted, but query 2 proved it has none")
+	}
+	// The Olympus camera was returned by query 2 but not query 1, so its
+	// price is certainly >= 200: a world pricing it at 150 is impossible.
+	cheapOlympus := world.Clone()
+	cheapOlympus.Find("olympus.price").Value = v(150)
+	if after2.Member(cheapOlympus) {
+		t.Error("Olympus under 200 accepted, but query 1 proved price >= 200")
+	}
+	// A still-unseen product (expensive non-camera) remains possible.
+	hidden := world.Clone()
+	hidden.Root.Children = append(hidden.Root.Children, prod("amp", 16, 800, 3))
+	if !after2.Member(hidden) {
+		t.Error("possible unseen expensive non-camera rejected after query 2")
+	}
+	// An unseen expensive camera WITH pictures would have matched query 2.
+	hiddenCam := world.Clone()
+	hiddenCam.Root.Children = append(hiddenCam.Root.Children, prod("leica", 17, 999, 2, 30))
+	if after2.Member(hiddenCam) {
+		t.Error("unreported pictured camera accepted after query 2")
+	}
+	// An unseen expensive camera WITHOUT pictures is still possible.
+	hiddenCamNoPic := world.Clone()
+	hiddenCamNoPic.Root.Children = append(hiddenCamNoPic.Root.Children, prod("leica2", 18, 999, 2))
+	if !after2.Member(hiddenCamNoPic) {
+		t.Error("possible pictureless expensive camera rejected after query 2")
+	}
+}
+
+func TestWithTreeType(t *testing.T) {
+	// Universal tree over {root,a,b} constrained by: root -> a+ b?; a -> b*.
+	ty := dtd.MustParse("root: root\nroot -> a+ b?\na -> b*\n")
+	u := Universal(sigmaAB)
+	constrained := WithTreeType(u, ty)
+	cases := []struct {
+		name   string
+		world  tree.Tree
+		member bool
+	}{
+		{"conforming", tree.Tree{Root: tree.New("root", v(0),
+			tree.New("a", v(1)), tree.New("b", v(0)))}, true},
+		{"missing required a", tree.Tree{Root: tree.New("root", v(0),
+			tree.New("b", v(0)))}, false},
+		{"two optional b", tree.Tree{Root: tree.New("root", v(0),
+			tree.New("a", v(1)), tree.New("b", v(0)), tree.New("b", v(1)))}, false},
+		{"wrong root", tree.Tree{Root: tree.New("a", v(0))}, false},
+		{"a with b children", tree.Tree{Root: tree.New("root", v(0),
+			tree.New("a", v(1), tree.New("b", v(2)), tree.New("b", v(2))))}, true},
+		{"b with children", tree.Tree{Root: tree.New("root", v(0),
+			tree.New("a", v(1)), tree.New("b", v(0), tree.New("a", v(0))))}, false},
+	}
+	for _, c := range cases {
+		if got := constrained.Member(c.world); got != c.member {
+			t.Errorf("%s: member = %v, want %v", c.name, got, c.member)
+		}
+	}
+	// Against the dtd validator over the bounded universe.
+	for _, m := range constrained.Enumerate(smallBounds()) {
+		if !ty.Conforms(m) {
+			t.Errorf("member violates the tree type:\n%s", m)
+		}
+	}
+}
+
+func TestCompactPreservesRep(t *testing.T) {
+	world := tree.Tree{Root: tree.NewID("r", "root", v(0),
+		tree.NewID("x", "a", v(1), tree.NewID("y", "b", v(2))))}
+	q := qRootAB()
+	qa := MustFromQueryAnswer(q, q.Eval(world), sigmaAB)
+	compacted := Compact(qa)
+	if compacted.Size() > qa.Size() {
+		t.Errorf("Compact grew the tree: %d -> %d", qa.Size(), compacted.Size())
+	}
+	if eq, diff := itree.EqualRepSets(qa, compacted, smallBounds()); !eq {
+		t.Errorf("Compact changed rep: %s", diff)
+	}
+}
+
+func TestRefineEquationHolds(t *testing.T) {
+	// rep(Refine(T, q, A)) = rep(T) ∩ q^{-1}(A), checked via the oracle on a
+	// two-step chain.
+	world := tree.Tree{Root: tree.NewID("r", "root", v(0),
+		tree.NewID("x", "a", v(1), tree.NewID("y", "b", v(2))),
+		tree.NewID("z", "a", v(0)))}
+	q1 := query.Query{Root: query.N("root", cond.True(), query.N("a", cond.EqInt(1)))}
+	q2 := query.Query{Root: query.N("root", cond.True(), query.N("a", cond.EqInt(0)))}
+	r := NewRefiner(sigmaAB, nil)
+	if _, err := r.ObserveOn(world, q1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ObserveOn(world, q2); err != nil {
+		t.Fatal(err)
+	}
+	combined := r.Tree()
+	// Direct double intersection without compaction.
+	t1 := MustFromQueryAnswer(q1, q1.Eval(world), sigmaAB)
+	t2 := MustFromQueryAnswer(q2, q2.Eval(world), sigmaAB)
+	direct, err := Intersect(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := []tree.NodeID{"r", "x", "y", "z"}
+	for _, w := range append(sampleWorlds(pool), world) {
+		want := direct.Member(w)
+		got := combined.Member(w)
+		if got != want {
+			t.Fatalf("chain/direct membership mismatch (chain %v, direct %v) on:\n%s", got, want, w)
+		}
+	}
+	if !combined.Member(world) {
+		t.Error("true world rejected by chain")
+	}
+}

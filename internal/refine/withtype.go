@@ -1,0 +1,217 @@
+package refine
+
+import (
+	"incxml/internal/ctype"
+	"incxml/internal/dtd"
+	"incxml/internal/itree"
+	"incxml/internal/tree"
+)
+
+// WithTreeType computes an incomplete tree T′ with
+// rep(T′) = rep(t) ∩ rep(rho) (Theorem 3.5), in time polynomial in t and
+// rho for the unambiguous trees produced by Refine.
+//
+// Every disjunct of every µ(a′) is rewritten to conform to the multiplicity
+// atom µρ(base(a′)): disjuncts that contradict the type are eliminated, and
+// items are tightened (or the disjunct is expanded into variants) so that
+// the total number of children per base label respects the type's bounds.
+// The expansion generalizes the paper's case analysis to atoms carrying
+// several ⋆-specializations of one label (as produced by Lemma 3.2).
+func WithTreeType(t *itree.T, rho *dtd.Type) *itree.T {
+	out := t.Clone()
+	out.MayBeEmpty = false // rep(ρ) contains only nonempty documents
+	ty := out.Type
+
+	baseLabel := func(s ctype.Symbol) tree.Label {
+		tg := ty.TargetFor(s)
+		if tg.IsNode() {
+			return out.Nodes[tg.Node].Label
+		}
+		return tg.Label
+	}
+
+	// Restrict roots to specializations of ρ's root labels.
+	var roots []ctype.Symbol
+	for _, r := range ty.Roots {
+		if rho.IsRoot(baseLabel(r)) {
+			roots = append(roots, r)
+		}
+	}
+	ty.Roots = roots
+
+	for s := range ty.Mu {
+		atom := rho.AtomFor(baseLabel(s))
+		var rewritten ctype.Disj
+		for _, alpha := range ty.Mu[s] {
+			rewritten = append(rewritten, conformAtom(alpha, atom, baseLabel)...)
+		}
+		ty.Mu[s] = rewritten
+	}
+	return out
+}
+
+// conformAtom rewrites one disjunct α to conform to the dtd atom, returning
+// zero or more replacement disjuncts.
+func conformAtom(alpha ctype.SAtom, atom dtd.Atom, baseLabel func(ctype.Symbol) tree.Label) []ctype.SAtom {
+	// Group item indices by base label.
+	groups := map[tree.Label][]int{}
+	for i, item := range alpha {
+		l := baseLabel(item.Sym)
+		groups[l] = append(groups[l], i)
+	}
+	// First elimination rule of the Theorem 3.5 proof: a label the type
+	// requires (ω ∈ {1, +}) with no item at all in α kills the disjunct.
+	for _, it := range atom {
+		if lo, _ := it.Mult.Bounds(); lo >= 1 {
+			if len(groups[it.Label]) == 0 {
+				return nil
+			}
+		}
+	}
+	// For each label, compute the admissible per-item multiplicity variants.
+	// A variant is a map from item index to its new multiplicity, with -1
+	// meaning "drop the item".
+	type variant map[int]dtd.Mult
+	variantsFor := func(l tree.Label, idxs []int) []variant {
+		LO, HI := 0, 0
+		if it, ok := atom.Find(l); ok {
+			LO, HI = it.Mult.Bounds()
+		}
+		// Sum of guaranteed occurrences.
+		sumLo := 0
+		for _, i := range idxs {
+			lo, _ := alpha[i].Mult.Bounds()
+			sumLo += lo
+		}
+		if HI >= 0 && sumLo > HI {
+			return nil // more guaranteed children than the type allows
+		}
+		switch {
+		case HI < 0 && LO == 0:
+			// b⋆: unconstrained.
+			v := variant{}
+			for _, i := range idxs {
+				v[i] = alpha[i].Mult
+			}
+			return []variant{v}
+		case HI < 0 && LO == 1:
+			// b+: at least one child overall.
+			if sumLo >= 1 {
+				v := variant{}
+				for _, i := range idxs {
+					v[i] = alpha[i].Mult
+				}
+				return []variant{v}
+			}
+			// Promote one optional item to mandatory, per variant.
+			var out []variant
+			for _, pick := range idxs {
+				v := variant{}
+				for _, i := range idxs {
+					m := alpha[i].Mult
+					if i == pick {
+						switch m {
+						case dtd.Star:
+							m = dtd.Plus
+						case dtd.Opt:
+							m = dtd.One
+						}
+					}
+					v[i] = m
+				}
+				out = append(out, v)
+			}
+			return out
+		case HI == 0:
+			// Label absent from the type: all items must be droppable.
+			for _, i := range idxs {
+				if lo, _ := alpha[i].Mult.Bounds(); lo > 0 {
+					return nil
+				}
+			}
+			v := variant{}
+			for _, i := range idxs {
+				v[i] = dtd.Mult(0) // dropped (marker; see below)
+			}
+			return []variant{v}
+		default:
+			// HI == 1 (b1 or b?): at most one child overall.
+			var out []variant
+			if LO == 0 && sumLo == 0 {
+				// Zero children: drop everything.
+				v := variant{}
+				for _, i := range idxs {
+					v[i] = dtd.Mult(0)
+				}
+				out = append(out, v)
+			}
+			// Exactly one child, hosted by item `pick`; all others dropped.
+			for _, pick := range idxs {
+				ok := true
+				v := variant{}
+				for _, i := range idxs {
+					if i == pick {
+						if _, hi := alpha[i].Mult.Bounds(); hi == 0 {
+							ok = false
+							break
+						}
+						v[i] = dtd.One
+						continue
+					}
+					if lo, _ := alpha[i].Mult.Bounds(); lo > 0 {
+						ok = false
+						break
+					}
+					v[i] = dtd.Mult(0)
+				}
+				if ok {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+	}
+
+	// Cartesian product of variants across labels.
+	results := []variant{{}}
+	for l, idxs := range groups {
+		vs := variantsFor(l, idxs)
+		if len(vs) == 0 {
+			return nil
+		}
+		var next []variant
+		for _, base := range results {
+			for _, v := range vs {
+				merged := variant{}
+				for k, m := range base {
+					merged[k] = m
+				}
+				for k, m := range v {
+					merged[k] = m
+				}
+				next = append(next, merged)
+			}
+		}
+		results = next
+	}
+
+	var out []ctype.SAtom
+	for _, v := range results {
+		var na ctype.SAtom
+		for i, item := range alpha {
+			m, ok := v[i]
+			if !ok || m == dtd.Mult(0) {
+				if !ok {
+					// Item of a label group untouched by any variant cannot
+					// happen (every index is in exactly one group), but keep
+					// the item unchanged defensively.
+					na = append(na, item)
+				}
+				continue
+			}
+			na = append(na, ctype.SItem{Sym: item.Sym, Mult: m})
+		}
+		out = append(out, na)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package webhouse
+
+import (
+	"incxml/internal/answer"
+	"incxml/internal/extquery"
+	"incxml/internal/query"
+	"incxml/internal/tree"
+)
+
+// ExtendedAnswer is the result of answering a Section 4 extended query
+// (branching, optional subtrees, negation, joins, path expressions) against
+// the locally known data.
+//
+// The paper's conclusion poses this coupling as future work: simple
+// ps-queries feed the warehouse, while a more powerful language is asked
+// locally. Because extended queries are not a strong representation system
+// (Section 4), the webhouse cannot represent all their possible answers;
+// instead it reports the answer over the known data together with an
+// exactness verdict.
+type ExtendedAnswer struct {
+	// Known is the extended query's answer on the data tree T_d.
+	Known tree.Tree
+	// Exact reports whether Known is guaranteed to equal the answer on the
+	// full document. It holds when a covering ps-query — the extended
+	// pattern with branching collapsed and non-monotone features stripped —
+	// is fully answerable from the warehouse (Corollary 3.15) and the
+	// extended query uses no non-monotone feature (negation or optional
+	// subtrees), whose verdict could flip as unseen data arrives.
+	Exact bool
+}
+
+// AnswerExtended evaluates an extended query against the repository's data
+// tree and reports whether the result is exact.
+func (wh *Webhouse) AnswerExtended(source string, q extquery.Query) (*ExtendedAnswer, error) {
+	know, err := wh.Knowledge(source)
+	if err != nil {
+		return nil, err
+	}
+	td := know.DataTree()
+	out := &ExtendedAnswer{Known: q.Answer(td)}
+	cover, monotone := coveringPSQuery(q)
+	if !monotone {
+		return out, nil
+	}
+	if cover.Root == nil {
+		return out, nil
+	}
+	fully, err := answer.FullyAnswerable(know, cover)
+	if err != nil {
+		return nil, err
+	}
+	out.Exact = fully
+	return out, nil
+}
+
+// coveringPSQuery derives a ps-query whose answer contains every node any
+// valuation of the extended query can touch, when one exists. It returns
+// monotone=false when the extended query uses negation, optional subtrees,
+// or path expressions (features whose answers are not determined by a
+// ps-prefix), in which case no exactness claim is made.
+func coveringPSQuery(q extquery.Query) (query.Query, bool) {
+	if q.Root == nil {
+		return query.Query{}, false
+	}
+	var conv func(n *extquery.Node) (*query.Node, bool)
+	conv = func(n *extquery.Node) (*query.Node, bool) {
+		if n.Negated || n.Optional || n.Path != nil {
+			return nil, false
+		}
+		out := &query.Node{Label: n.Label, Extract: n.Extract}
+		// Variables join across branches; the covering query drops the join
+		// (conditions only), which over-approximates the touched nodes.
+		out.Cond = n.Cond
+		seen := map[tree.Label]*query.Node{}
+		for _, c := range n.Children {
+			cc, ok := conv(c)
+			if !ok {
+				return nil, false
+			}
+			if prev, dup := seen[cc.Label]; dup {
+				// Branching: merge same-label siblings by weakening their
+				// conditions to the disjunction and merging their subtrees;
+				// if the subtrees differ structurally, give up.
+				if len(prev.Children) != 0 || len(cc.Children) != 0 {
+					return nil, false
+				}
+				prev.Cond = prev.Cond.Or(cc.Cond)
+				continue
+			}
+			seen[cc.Label] = cc
+			out.Children = append(out.Children, cc)
+		}
+		return out, true
+	}
+	root, ok := conv(q.Root)
+	if !ok {
+		return query.Query{}, false
+	}
+	out := query.Query{Root: root}
+	if err := out.Validate(); err != nil {
+		return query.Query{}, false
+	}
+	return out, true
+}

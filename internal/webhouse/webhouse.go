@@ -1,0 +1,249 @@
+// Package webhouse implements the paper's motivating system: an XML
+// warehouse that accumulates incomplete information about remote sources by
+// querying them (Section 1). Sources are simulated as in-memory documents
+// with persistent node ids (the substitution for live Web sources; see
+// DESIGN.md).
+//
+// For each source the webhouse maintains a reachable incomplete tree via
+// Algorithm Refine. A user query can be answered three ways:
+//
+//   - locally and exactly, when Corollary 3.15 certifies the query fully
+//     answerable from the data tree;
+//   - locally and approximately, returning the q(T) incomplete tree of
+//     possible answers (Theorem 3.14) together with certain/possible
+//     information;
+//   - completely, by executing a non-redundant set of local queries against
+//     the source (Theorem 3.19) and merging the answers.
+package webhouse
+
+import (
+	"errors"
+	"fmt"
+
+	"incxml/internal/answer"
+	"incxml/internal/dtd"
+	"incxml/internal/itree"
+	"incxml/internal/mediator"
+	"incxml/internal/query"
+	"incxml/internal/refine"
+	"incxml/internal/tree"
+)
+
+// Source simulates a remote XML document behind a ps-query interface with
+// persistent node identifiers (Remark 2.4).
+type Source struct {
+	Name string
+	Type *dtd.Type
+	doc  tree.Tree
+	// Stats
+	QueriesServed int
+	NodesServed   int
+}
+
+// NewSource wraps a document; it must conform to the type.
+func NewSource(name string, ty *dtd.Type, doc tree.Tree) (*Source, error) {
+	if err := ty.Validate(doc); err != nil {
+		return nil, fmt.Errorf("webhouse: source %q: %v", name, err)
+	}
+	return &Source{Name: name, Type: ty, doc: doc}, nil
+}
+
+// Ask evaluates a ps-query against the full document.
+func (s *Source) Ask(q query.Query) tree.Tree {
+	a := q.Eval(s.doc)
+	s.QueriesServed++
+	s.NodesServed += a.Size()
+	return a
+}
+
+// AskLocal evaluates a local query p@n.
+func (s *Source) AskLocal(lq mediator.LocalQuery) tree.Tree {
+	a := lq.Execute(s.doc)
+	s.QueriesServed++
+	s.NodesServed += a.Size()
+	return a
+}
+
+// Update replaces the source document (the source changed).
+func (s *Source) Update(doc tree.Tree) error {
+	if err := s.Type.Validate(doc); err != nil {
+		return err
+	}
+	s.doc = doc
+	return nil
+}
+
+// Repository is the webhouse's incomplete knowledge about one source.
+type Repository struct {
+	Source  *Source
+	refiner *refine.Refiner
+}
+
+// Webhouse is a registry of repositories.
+type Webhouse struct {
+	repos map[string]*Repository
+}
+
+// New creates an empty webhouse.
+func New() *Webhouse { return &Webhouse{repos: map[string]*Repository{}} }
+
+// Register adds a source, initializing its knowledge to the source's tree
+// type (everything about the document itself is unknown).
+func (wh *Webhouse) Register(src *Source) {
+	wh.repos[src.Name] = &Repository{
+		Source:  src,
+		refiner: refine.NewRefiner(src.Type.Alphabet(), src.Type),
+	}
+}
+
+// Repo returns the repository for a source.
+func (wh *Webhouse) Repo(name string) (*Repository, error) {
+	r, ok := wh.repos[name]
+	if !ok {
+		return nil, fmt.Errorf("webhouse: unknown source %q", name)
+	}
+	return r, nil
+}
+
+// Sources lists the registered source names.
+func (wh *Webhouse) Sources() []string {
+	out := make([]string, 0, len(wh.repos))
+	for n := range wh.repos {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Explore poses a ps-query to the source and folds the answer into the
+// repository (the acquisition loop of Section 3.1). When the answer
+// contradicts the accumulated knowledge — the source changed under us —
+// the repository is reinitialized to the source type (the paper's recovery
+// strategy) and the observation is replayed against the fresh state.
+func (wh *Webhouse) Explore(source string, q query.Query) (tree.Tree, error) {
+	r, err := wh.Repo(source)
+	if err != nil {
+		return tree.Tree{}, err
+	}
+	a := r.Source.Ask(q)
+	err = r.refiner.Observe(q, a)
+	if errors.Is(err, refine.ErrInconsistent) {
+		r.refiner = refine.NewRefiner(r.Source.Type.Alphabet(), r.Source.Type)
+		err = r.refiner.Observe(q, a)
+	}
+	if err != nil {
+		return tree.Tree{}, err
+	}
+	return a, nil
+}
+
+// Knowledge returns the reachable incomplete tree for the source.
+func (wh *Webhouse) Knowledge(source string) (*itree.T, error) {
+	r, err := wh.Repo(source)
+	if err != nil {
+		return nil, err
+	}
+	return r.refiner.Reachable(), nil
+}
+
+// Invalidate reinitializes the knowledge about a source to its tree type
+// (the paper's treatment of source updates).
+func (wh *Webhouse) Invalidate(source string) error {
+	r, err := wh.Repo(source)
+	if err != nil {
+		return err
+	}
+	r.refiner = refine.NewRefiner(r.Source.Type.Alphabet(), r.Source.Type)
+	return nil
+}
+
+// LocalAnswer is the result of answering a query from local knowledge only.
+type LocalAnswer struct {
+	// Fully reports whether the query was certified fully answerable
+	// (Corollary 3.15): Exact then equals q(T) for every possible world.
+	Fully bool
+	// Exact is the answer computed on the data tree (meaningful when Fully).
+	Exact tree.Tree
+	// Possible is the incomplete tree q(T) describing all possible answers
+	// (Theorem 3.14).
+	Possible *itree.T
+	// CertainlyNonEmpty and PossiblyNonEmpty are the Corollary 3.18
+	// modalities.
+	CertainlyNonEmpty bool
+	PossiblyNonEmpty  bool
+}
+
+// AnswerLocally answers q from the repository without contacting the
+// source.
+func (wh *Webhouse) AnswerLocally(source string, q query.Query) (*LocalAnswer, error) {
+	know, err := wh.Knowledge(source)
+	if err != nil {
+		return nil, err
+	}
+	out := &LocalAnswer{}
+	out.Fully, err = answer.FullyAnswerable(know, q)
+	if err != nil {
+		return nil, err
+	}
+	out.Exact = q.Eval(know.DataTree())
+	out.Possible, err = answer.Apply(know, q)
+	if err != nil {
+		return nil, err
+	}
+	out.CertainlyNonEmpty, err = answer.CertainlyNonEmpty(know, q)
+	if err != nil {
+		return nil, err
+	}
+	out.PossiblyNonEmpty, err = answer.PossiblyNonEmpty(know, q)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AnswerComplete answers q exactly, contacting the source only as needed:
+// if q is fully answerable the local answer is returned; otherwise the
+// Theorem 3.19 completion is executed against the source, folded into the
+// repository, and the query answered from the enriched data.
+//
+// The returned count is the number of local queries executed.
+func (wh *Webhouse) AnswerComplete(source string, q query.Query) (tree.Tree, int, error) {
+	r, err := wh.Repo(source)
+	if err != nil {
+		return tree.Tree{}, 0, err
+	}
+	know := r.refiner.Reachable()
+	fully, err := answer.FullyAnswerable(know, q)
+	if err != nil {
+		return tree.Tree{}, 0, err
+	}
+	if fully {
+		return q.Eval(know.DataTree()), 0, nil
+	}
+	if know.DataTree().Root == nil {
+		// Nothing known: pose the query itself.
+		a, err := wh.Explore(source, q)
+		return a, 1, err
+	}
+	ls, err := mediator.Complete(know, q)
+	if err != nil {
+		return tree.Tree{}, 0, err
+	}
+	answers := make([]tree.Tree, len(ls))
+	for i, lq := range ls {
+		answers[i] = r.Source.AskLocal(lq)
+	}
+	// Merge the fetched prefixes into the known data and answer.
+	merged := mediator.Merge(r.Source.doc, know.DataTree(), answers...)
+	result := q.Eval(merged)
+	// Fold the new information into the repository as a single observation:
+	// the completion answers are prefixes of the document; re-observe q with
+	// its exact answer, which Refine can absorb directly.
+	if err := r.refiner.Observe(q, result); err != nil {
+		return tree.Tree{}, len(ls), err
+	}
+	return result, len(ls), nil
+}
+
+// Refiner exposes the repository's refinement chain (for advanced use and
+// testing).
+func (r *Repository) Refiner() *refine.Refiner { return r.refiner }

@@ -1,0 +1,256 @@
+package webhouse
+
+import (
+	"testing"
+
+	"incxml/internal/rat"
+	"incxml/internal/tree"
+	"incxml/internal/workload"
+)
+
+func newCatalogWebhouse(t *testing.T) (*Webhouse, *Source) {
+	t.Helper()
+	src, err := NewSource("catalog", workload.CatalogType(), workload.PaperCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh := New()
+	wh.Register(src)
+	return wh, src
+}
+
+func TestRegisterAndSources(t *testing.T) {
+	wh, _ := newCatalogWebhouse(t)
+	if got := wh.Sources(); len(got) != 1 || got[0] != "catalog" {
+		t.Errorf("Sources = %v", got)
+	}
+	if _, err := wh.Repo("nope"); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := NewSource("bad", workload.CatalogType(), tree.Empty()); err == nil {
+		t.Error("nonconforming source accepted")
+	}
+}
+
+func TestExploreAndKnowledge(t *testing.T) {
+	wh, src := newCatalogWebhouse(t)
+	a, err := wh.Explore("catalog", workload.Query1(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IsEmpty() || src.QueriesServed != 1 {
+		t.Error("exploration did not reach the source")
+	}
+	know, err := wh.Knowledge("catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !know.Member(workload.PaperCatalog()) {
+		t.Error("true document excluded from knowledge")
+	}
+	td := know.DataTree()
+	if td.Find("canon") == nil {
+		t.Error("explored product missing from data tree")
+	}
+}
+
+// The Example 3.4 session: after Queries 1 and 2, Query 3 answers locally
+// and Query 4 needs completion.
+func TestExample34Session(t *testing.T) {
+	wh, src := newCatalogWebhouse(t)
+	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wh.Explore("catalog", workload.Query2()); err != nil {
+		t.Fatal(err)
+	}
+	served := src.QueriesServed
+
+	// Query 3: fully answerable locally.
+	la, err := wh.AnswerLocally("catalog", workload.Query3(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !la.Fully {
+		t.Error("Query 3 should be fully answerable (Example 3.4)")
+	}
+	if src.QueriesServed != served {
+		t.Error("local answering contacted the source")
+	}
+
+	// Query 4: not fully answerable; local modalities are still available.
+	la4, err := wh.AnswerLocally("catalog", workload.Query4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la4.Fully {
+		t.Error("Query 4 should not be fully answerable")
+	}
+	if !la4.CertainlyNonEmpty {
+		t.Error("Query 4 certainly has answers (known cameras exist)")
+	}
+	// The partial local answer lists the known cameras.
+	ids := la4.Exact.IDs()
+	if !ids["canon"] || !ids["nikon"] || !ids["olympus"] {
+		t.Error("local partial answer missing known cameras")
+	}
+
+	// Completing Query 4 contacts the source with local queries and returns
+	// the exact answer.
+	exact, nQueries, err := wh.AnswerComplete("catalog", workload.Query4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nQueries == 0 {
+		t.Error("completion should have needed source access")
+	}
+	want := workload.Query4().Eval(workload.PaperCatalog())
+	if !exact.Equal(want) {
+		t.Errorf("completed answer wrong:\n%s\nwant:\n%s", exact, want)
+	}
+}
+
+func TestAnswerCompleteOnColdCache(t *testing.T) {
+	wh, _ := newCatalogWebhouse(t)
+	exact, n, err := wh.AnswerComplete("catalog", workload.Query4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("cold cache should pose exactly the query itself, asked %d", n)
+	}
+	want := workload.Query4().Eval(workload.PaperCatalog())
+	if !exact.Equal(want) {
+		t.Error("cold-cache answer wrong")
+	}
+}
+
+func TestAnswerCompleteFindsHiddenProduct(t *testing.T) {
+	// A product invisible to queries 1-2 must be fetched by the completion.
+	doc := workload.CatalogDocument([]workload.Product{
+		{ID: "canon", Name: 10, Price: 120, Subcat: workload.ValCamera, Pictures: []int64{20}},
+		{ID: "leica", Name: 17, Price: 999, Subcat: workload.ValCamera},
+	})
+	src, err := NewSource("catalog", workload.CatalogType(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh := New()
+	wh.Register(src)
+	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wh.Explore("catalog", workload.Query2()); err != nil {
+		t.Fatal(err)
+	}
+	exact, _, err := wh.AnswerComplete("catalog", workload.Query4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Find("leica") == nil {
+		t.Errorf("hidden camera not retrieved:\n%s", exact)
+	}
+	// After completion the knowledge includes the new camera.
+	know, _ := wh.Knowledge("catalog")
+	if know.DataTree().Find("leica") == nil {
+		t.Error("completion result not folded into the repository")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	wh, src := newCatalogWebhouse(t)
+	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+		t.Fatal(err)
+	}
+	// The source changes: drop a product and bump a price.
+	newDoc := workload.CatalogDocument([]workload.Product{
+		{ID: "canon", Name: 10, Price: 130, Subcat: workload.ValCamera},
+	})
+	if err := src.Update(newDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := wh.Invalidate("catalog"); err != nil {
+		t.Fatal(err)
+	}
+	know, _ := wh.Knowledge("catalog")
+	if know.DataTree().Root != nil {
+		t.Error("invalidate kept stale data")
+	}
+	if !know.Member(newDoc) {
+		t.Error("reinitialized knowledge excludes the new document")
+	}
+	// Fresh exploration works against the new document.
+	a, err := wh.Explore("catalog", workload.Query1(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Find("canon.price") == nil || !a.Find("canon.price").Value.Equal(rat.FromInt(130)) {
+		t.Error("post-update exploration returned stale price")
+	}
+}
+
+func TestSourceUpdateValidation(t *testing.T) {
+	_, src := newCatalogWebhouse(t)
+	if err := src.Update(tree.Empty()); err == nil {
+		t.Error("invalid update accepted")
+	}
+}
+
+func TestExploreRecoversFromSourceChange(t *testing.T) {
+	// The source changes between queries WITHOUT the webhouse being told:
+	// the new answers contradict the accumulated knowledge and exploration
+	// must transparently reinitialize (the paper's recovery strategy).
+	wh, src := newCatalogWebhouse(t)
+	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+		t.Fatal(err)
+	}
+	// Change Canon's price to 180 (still under 200, same node ids): the next
+	// Query1 answer reports a different value for a known node.
+	changed := workload.CatalogDocument([]workload.Product{
+		{ID: "canon", Name: 10, Price: 180, Subcat: workload.ValCamera, Pictures: []int64{20}},
+		{ID: "nikon", Name: 11, Price: 199, Subcat: workload.ValCamera},
+	})
+	if err := src.Update(changed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+		t.Fatalf("exploration after source change failed: %v", err)
+	}
+	know, err := wh.Knowledge("catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !know.Member(changed) {
+		t.Error("knowledge excludes the new document after recovery")
+	}
+	price := know.DataTree().Find("canon.price")
+	if price == nil || !price.Value.Equal(rat.FromInt(180)) {
+		t.Error("stale price survived the recovery")
+	}
+}
+
+func TestObserveInconsistencyKeepsState(t *testing.T) {
+	// At the refiner level the inconsistent observation is rejected and the
+	// previous state preserved.
+	wh, _ := newCatalogWebhouse(t)
+	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := wh.Repo("catalog")
+	before := r.Source.QueriesServed
+	_ = before
+	know1, _ := wh.Knowledge("catalog")
+	size1 := know1.Size()
+	// Feed a contradictory answer by hand: Canon at a different price.
+	badAnswer := workload.Query1(200).Eval(workload.CatalogDocument([]workload.Product{
+		{ID: "canon", Name: 10, Price: 130, Subcat: workload.ValCamera},
+	}))
+	err := r.Refiner().Observe(workload.Query1(200), badAnswer)
+	if err == nil {
+		t.Fatal("contradictory observation accepted")
+	}
+	know2, _ := wh.Knowledge("catalog")
+	if know2.Size() != size1 {
+		t.Error("failed observation mutated the knowledge")
+	}
+}

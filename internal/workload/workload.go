@@ -1,0 +1,283 @@
+// Package workload provides deterministic generators for documents,
+// queries, and the paper's running examples, used by tests, benchmarks, and
+// the example programs.
+//
+// Randomness is driven by math/rand with explicit seeds so that every
+// experiment is reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"incxml/internal/cond"
+	"incxml/internal/dtd"
+	"incxml/internal/query"
+	"incxml/internal/rat"
+	"incxml/internal/tree"
+)
+
+// Catalog value code points: the paper's categorical values mapped into Q.
+const (
+	ValElec     = 1
+	ValCamera   = 2
+	ValCDPlayer = 3
+)
+
+// CatalogSigma is the label alphabet of the catalog example.
+var CatalogSigma = []tree.Label{"catalog", "product", "name", "price", "cat", "subcat", "picture"}
+
+// CatalogType returns the tree type of Figure 1.
+func CatalogType() *dtd.Type {
+	return dtd.MustParse(`
+root: catalog
+catalog -> product+
+product -> name price cat picture*
+cat     -> subcat
+`)
+}
+
+// Product describes one catalog product for document construction.
+type Product struct {
+	ID       string
+	Name     int64
+	Price    int64
+	Subcat   int64
+	Pictures []int64
+}
+
+// CatalogDocument builds a catalog document from product descriptions, with
+// stable node ids derived from the product ids.
+func CatalogDocument(products []Product) tree.Tree {
+	root := tree.NewID("c0", "catalog", rat.Zero)
+	for _, p := range products {
+		n := tree.NewID(tree.NodeID(p.ID), "product", rat.Zero,
+			tree.NewID(tree.NodeID(p.ID+".name"), "name", rat.FromInt(p.Name)),
+			tree.NewID(tree.NodeID(p.ID+".price"), "price", rat.FromInt(p.Price)),
+			tree.NewID(tree.NodeID(p.ID+".cat"), "cat", rat.FromInt(ValElec),
+				tree.NewID(tree.NodeID(p.ID+".sub"), "subcat", rat.FromInt(p.Subcat))))
+		for i, pic := range p.Pictures {
+			n.Children = append(n.Children,
+				tree.NewID(tree.NodeID(fmt.Sprintf("%s.pic%d", p.ID, i)), "picture", rat.FromInt(pic)))
+		}
+		root.Children = append(root.Children, n)
+	}
+	return tree.Tree{Root: root}
+}
+
+// PaperCatalog returns the four-product document behind Figures 6, 8, 9.
+func PaperCatalog() tree.Tree {
+	return CatalogDocument([]Product{
+		{ID: "canon", Name: 10, Price: 120, Subcat: ValCamera, Pictures: []int64{20}},
+		{ID: "nikon", Name: 11, Price: 199, Subcat: ValCamera},
+		{ID: "sony", Name: 12, Price: 175, Subcat: ValCDPlayer, Pictures: []int64{99}},
+		{ID: "olympus", Name: 13, Price: 250, Subcat: ValCamera, Pictures: []int64{21}},
+	})
+}
+
+// RandomCatalog builds a catalog with n products and pseudo-random prices,
+// subcategories and picture counts.
+func RandomCatalog(n int, seed int64) tree.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	products := make([]Product, n)
+	for i := range products {
+		p := Product{
+			ID:     fmt.Sprintf("p%d", i),
+			Name:   int64(100 + i),
+			Price:  int64(50 + rng.Intn(400)),
+			Subcat: int64(2 + rng.Intn(3)),
+		}
+		for j := 0; j < rng.Intn(3); j++ {
+			p.Pictures = append(p.Pictures, int64(1000+rng.Intn(100)))
+		}
+		products[i] = p
+	}
+	return CatalogDocument(products)
+}
+
+// Query1 is Figure 2: name, price and subcategories of electronics products
+// under the price bound.
+func Query1(priceBound int64) query.Query {
+	return query.Query{Root: query.N("catalog", cond.True(),
+		query.N("product", cond.True(),
+			query.N("name", cond.True()),
+			query.N("price", cond.LtInt(priceBound)),
+			query.N("cat", cond.EqInt(ValElec),
+				query.N("subcat", cond.True()))))}
+}
+
+// Query2 is Figure 3: name and pictures of cameras whose picture appears.
+func Query2() query.Query {
+	return query.Query{Root: query.N("catalog", cond.True(),
+		query.N("product", cond.True(),
+			query.N("name", cond.True()),
+			query.N("cat", cond.EqInt(ValElec),
+				query.N("subcat", cond.EqInt(ValCamera))),
+			query.Bar("picture", cond.True())))}
+}
+
+// Query3 is Figure 4: name, price and pictures of cameras under the bound
+// having at least one picture.
+func Query3(priceBound int64) query.Query {
+	return query.Query{Root: query.N("catalog", cond.True(),
+		query.N("product", cond.True(),
+			query.N("name", cond.True()),
+			query.N("price", cond.LtInt(priceBound)),
+			query.N("cat", cond.EqInt(ValElec),
+				query.N("subcat", cond.EqInt(ValCamera))),
+			query.Bar("picture", cond.True())))}
+}
+
+// Query4 is Figure 5: list all cameras.
+func Query4() query.Query {
+	return query.Query{Root: query.N("catalog", cond.True(),
+		query.N("product", cond.True(),
+			query.N("name", cond.True()),
+			query.N("cat", cond.EqInt(ValElec),
+				query.N("subcat", cond.EqInt(ValCamera)))))}
+}
+
+// BlowupSigma is the alphabet of Example 3.2.
+var BlowupSigma = []tree.Label{"root", "a", "b"}
+
+// BlowupQuery is the i-th query of Example 3.2: root with children a = i
+// and b = i.
+func BlowupQuery(i int64) query.Query {
+	return query.Query{Root: query.N("root", cond.True(),
+		query.N("a", cond.EqInt(i)),
+		query.N("b", cond.EqInt(i)))}
+}
+
+// BlowupWorkload returns the first n queries of Example 3.2.
+func BlowupWorkload(n int) []query.Query {
+	out := make([]query.Query, n)
+	for i := range out {
+		out[i] = BlowupQuery(int64(i + 1))
+	}
+	return out
+}
+
+// BlowupWorld is a small document compatible with all Example 3.2 queries
+// having empty answers: a and b values outside 1..n.
+func BlowupWorld() tree.Tree {
+	return tree.Tree{Root: tree.NewID("r", "root", rat.Zero,
+		tree.NewID("a0", "a", rat.FromInt(-1)),
+		tree.NewID("b0", "b", rat.FromInt(-1)))}
+}
+
+// RandomTree generates a pseudo-random document conforming to the tree
+// type: multiplicities ⋆/+ draw between their lower bound and maxRepeat
+// children, values are integers in [0, valueRange).
+func RandomTree(ty *dtd.Type, seed int64, maxRepeat int, valueRange int64) (tree.Tree, error) {
+	rng := rand.New(rand.NewSource(seed))
+	if len(ty.Roots) == 0 {
+		return tree.Tree{}, fmt.Errorf("workload: type has no roots")
+	}
+	rootLabel := ty.Roots[rng.Intn(len(ty.Roots))]
+	counter := 0
+	var build func(l tree.Label, depth int) (*tree.Node, error)
+	build = func(l tree.Label, depth int) (*tree.Node, error) {
+		if depth > 40 {
+			return nil, fmt.Errorf("workload: type recursion too deep for random generation")
+		}
+		counter++
+		n := tree.NewID(tree.NodeID(fmt.Sprintf("n%d", counter)), l, rat.FromInt(rng.Int63n(valueRange)))
+		for _, item := range ty.AtomFor(l) {
+			lo, hi := item.Mult.Bounds()
+			count := lo
+			if hi < 0 || hi > lo {
+				span := maxRepeat - lo + 1
+				if span < 1 {
+					span = 1
+				}
+				count = lo + rng.Intn(span)
+				if hi >= 0 && count > hi {
+					count = hi
+				}
+			}
+			for i := 0; i < count; i++ {
+				c, err := build(item.Label, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				n.Children = append(n.Children, c)
+			}
+		}
+		return n, nil
+	}
+	root, err := build(rootLabel, 0)
+	if err != nil {
+		return tree.Tree{}, err
+	}
+	return tree.Tree{Root: root}, nil
+}
+
+// RandomLinearQuery generates a random linear (single-path) ps-query that
+// follows the type's child labels from the root; conditions are random
+// comparisons.
+func RandomLinearQuery(ty *dtd.Type, seed int64, depth int, valueRange int64) query.Query {
+	rng := rand.New(rand.NewSource(seed))
+	l := ty.Roots[rng.Intn(len(ty.Roots))]
+	var labels []tree.Label
+	var conds []cond.Cond
+	for d := 0; d < depth; d++ {
+		labels = append(labels, l)
+		conds = append(conds, randomCond(rng, valueRange))
+		atom := ty.AtomFor(l)
+		if len(atom) == 0 {
+			break
+		}
+		l = atom[rng.Intn(len(atom))].Label
+	}
+	return query.Path(labels, conds, false)
+}
+
+func randomCond(rng *rand.Rand, valueRange int64) cond.Cond {
+	v := rat.FromInt(rng.Int63n(valueRange))
+	switch rng.Intn(5) {
+	case 0:
+		return cond.Lt(v)
+	case 1:
+		return cond.Ge(v)
+	case 2:
+		return cond.Eq(v)
+	case 3:
+		return cond.Ne(v)
+	default:
+		return cond.True()
+	}
+}
+
+// RandomType generates a small random nonrecursive tree type: labels
+// l0..l(n-1) arranged in topological order (children only point forward, so
+// generation terminates), with random multiplicities.
+func RandomType(seed int64, nLabels int) *dtd.Type {
+	rng := rand.New(rand.NewSource(seed))
+	if nLabels < 2 {
+		nLabels = 2
+	}
+	labels := make([]tree.Label, nLabels)
+	for i := range labels {
+		labels[i] = tree.Label(fmt.Sprintf("l%d", i))
+	}
+	ty := &dtd.Type{Roots: []tree.Label{labels[0]}, Mu: map[tree.Label]dtd.Atom{}}
+	mults := []dtd.Mult{dtd.One, dtd.Opt, dtd.Plus, dtd.Star}
+	for i := 0; i < nLabels-1; i++ {
+		var items []dtd.Item
+		// Children drawn from strictly later labels.
+		for j := i + 1; j < nLabels; j++ {
+			if rng.Intn(2) == 0 {
+				items = append(items, dtd.Item{
+					Label: labels[j],
+					Mult:  mults[rng.Intn(len(mults))],
+				})
+			}
+		}
+		atom, err := dtd.AtomOf(items...)
+		if err != nil {
+			continue // cannot happen: labels distinct by construction
+		}
+		ty.Mu[labels[i]] = atom
+	}
+	return ty
+}

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"testing"
+
+	"incxml/internal/dtd"
+	"incxml/internal/tree"
+)
+
+func TestPaperCatalogConforms(t *testing.T) {
+	ty := CatalogType()
+	doc := PaperCatalog()
+	if err := ty.Validate(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Find("nikon.price") == nil {
+		t.Error("expected node missing")
+	}
+}
+
+func TestPaperCatalogFigure6(t *testing.T) {
+	doc := PaperCatalog()
+	// Query 1 returns Canon, Nikon, Sony (price < 200, elec).
+	a1 := Query1(200).Eval(doc)
+	ids := a1.IDs()
+	for _, want := range []string{"canon", "nikon", "sony"} {
+		if !ids[tree.NodeID(want)] {
+			t.Errorf("query1 missing %s", want)
+		}
+	}
+	if ids["olympus"] {
+		t.Error("query1 returned olympus (price 250)")
+	}
+	// Query 2 returns Canon and Olympus (pictured cameras).
+	a2 := Query2().Eval(doc)
+	ids2 := a2.IDs()
+	if !ids2["canon"] || !ids2["olympus"] {
+		t.Error("query2 missing pictured cameras")
+	}
+	if ids2["nikon"] || ids2["sony"] {
+		t.Error("query2 returned non-matching products")
+	}
+	// Query 3 (cameras under 100 with pictures): empty on this catalog.
+	if !Query3(100).Eval(doc).IsEmpty() {
+		t.Error("query3 should be empty")
+	}
+	// Query 4: all cameras.
+	ids4 := Query4().Eval(doc).IDs()
+	if !ids4["canon"] || !ids4["nikon"] || !ids4["olympus"] || ids4["sony"] {
+		t.Error("query4 camera set wrong")
+	}
+}
+
+func TestRandomCatalogDeterministic(t *testing.T) {
+	a := RandomCatalog(10, 42)
+	b := RandomCatalog(10, 42)
+	if !a.Equal(b) {
+		t.Error("same seed produced different catalogs")
+	}
+	c := RandomCatalog(10, 43)
+	if a.Equal(c) {
+		t.Error("different seeds produced identical catalogs")
+	}
+	if err := CatalogType().Validate(a); err != nil {
+		t.Errorf("random catalog violates type: %v", err)
+	}
+}
+
+func TestBlowupWorkload(t *testing.T) {
+	qs := BlowupWorkload(5)
+	if len(qs) != 5 {
+		t.Fatalf("workload size = %d", len(qs))
+	}
+	w := BlowupWorld()
+	for i, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Errorf("query %d invalid: %v", i, err)
+		}
+		if !q.Eval(w).IsEmpty() {
+			t.Errorf("query %d nonempty on the blowup world", i)
+		}
+	}
+}
+
+func TestRandomTreeConforms(t *testing.T) {
+	ty := CatalogType()
+	for seed := int64(0); seed < 10; seed++ {
+		doc, err := RandomTree(ty, seed, 3, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ty.Validate(doc); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if err := doc.Validate(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+	// Recursive types are rejected rather than looping.
+	rec := dtd.MustParse("root: a\na -> a\n")
+	if _, err := RandomTree(rec, 1, 2, 10); err == nil {
+		t.Error("recursive type accepted")
+	}
+}
+
+func TestRandomLinearQuery(t *testing.T) {
+	ty := CatalogType()
+	for seed := int64(0); seed < 10; seed++ {
+		q := RandomLinearQuery(ty, seed, 3, 100)
+		if !q.IsLinear() {
+			t.Errorf("seed %d: query not linear", seed)
+		}
+		if err := q.Validate(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if q.Root.Label != "catalog" {
+			t.Errorf("seed %d: root label %s", seed, q.Root.Label)
+		}
+	}
+}
+
+func TestRandomTypeGeneratesConformingTrees(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		ty := RandomType(seed, 4)
+		doc, err := RandomTree(ty, seed, 2, 10)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := ty.Validate(doc); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+	// Deterministic.
+	if RandomType(3, 4).String() != RandomType(3, 4).String() {
+		t.Error("RandomType not deterministic")
+	}
+}

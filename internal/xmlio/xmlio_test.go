@@ -1,0 +1,94 @@
+package xmlio
+
+import (
+	"strings"
+	"testing"
+
+	"incxml/internal/itree"
+	"incxml/internal/refine"
+	"incxml/internal/workload"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	doc := workload.PaperCatalog()
+	s, err := Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "<catalog") || !strings.Contains(s, `value="120"`) {
+		t.Errorf("serialization missing content:\n%s", s)
+	}
+	back, err := Unmarshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Equal(back) {
+		t.Errorf("round trip changed the tree:\n%s\nvs\n%s", doc, back)
+	}
+}
+
+func TestMarshalEmpty(t *testing.T) {
+	s, err := Marshal(workload.PaperCatalog().PrefixOn(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "<empty/>") {
+		t.Errorf("empty tree serialization = %q", s)
+	}
+	back, err := Unmarshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsEmpty() {
+		t.Error("empty round trip not empty")
+	}
+}
+
+func TestUnmarshalFreshIDsAndValues(t *testing.T) {
+	doc, err := Unmarshal(`<a><b value="3/4"></b><b value="-2"></b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Size() != 3 {
+		t.Fatalf("size = %d", doc.Size())
+	}
+	if doc.Root.Children[0].ID == doc.Root.Children[1].ID {
+		t.Error("fresh ids collide")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	for _, s := range []string{"", "<a", `<a value="zz"/>`, `<a id="x"><b id="x"/></a>`} {
+		if _, err := Unmarshal(s); err == nil {
+			t.Errorf("Unmarshal(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestMarshalIncomplete(t *testing.T) {
+	r := refine.NewRefiner(workload.CatalogSigma, workload.CatalogType())
+	doc := workload.PaperCatalog()
+	if _, err := r.ObserveOn(doc, workload.Query1(200)); err != nil {
+		t.Fatal(err)
+	}
+	it := r.Reachable()
+	s, err := MarshalIncomplete(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<incomplete-tree>", "<data>", "<type>", "canon", "<atom>"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("incomplete serialization missing %q", want)
+		}
+	}
+	// MayBeEmpty marker.
+	empty := itree.New()
+	empty.MayBeEmpty = true
+	s2, err := MarshalIncomplete(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s2, "<may-be-empty/>") {
+		t.Error("MayBeEmpty marker missing")
+	}
+}
