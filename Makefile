@@ -1,0 +1,17 @@
+.PHONY: build test bench race verify
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem
+
+race:
+	go test -race ./...
+
+# The full pre-merge gate: vet + build + tests + race-detector suite.
+verify:
+	./scripts/verify.sh

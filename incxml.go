@@ -41,6 +41,7 @@ import (
 	"incxml/internal/cond"
 	"incxml/internal/conj"
 	"incxml/internal/dtd"
+	"incxml/internal/engine"
 	"incxml/internal/extquery"
 	"incxml/internal/heuristics"
 	"incxml/internal/itree"
@@ -208,6 +209,32 @@ var (
 	NewWebhouse = webhouse.New
 	// NewSource wraps a document as a simulated source.
 	NewSource = webhouse.NewSource
+)
+
+// The parallel evaluation engine. The NP-hard solvers (conjunctive
+// emptiness, bounded enumeration) accept a worker pool; throughput scales
+// with GOMAXPROCS through DefaultEnginePool.
+type (
+	// EnginePool is a bounded worker pool with early cancellation.
+	EnginePool = engine.Pool
+	// EngineStats reports pool utilization counters.
+	EngineStats = engine.Stats
+	// CacheStats reports hit/miss/eviction counters of a shared cache.
+	CacheStats = engine.CacheStats
+	// WebhouseStats aggregates the serving-layer counters.
+	WebhouseStats = webhouse.Stats
+)
+
+var (
+	// NewEnginePool builds a pool with the given worker count (<=0 means
+	// GOMAXPROCS).
+	NewEnginePool = engine.NewPool
+	// DefaultEnginePool is the process-wide pool sized by GOMAXPROCS.
+	DefaultEnginePool = engine.Default
+	// MembershipCacheStats reports the shared membership/prefix cache.
+	MembershipCacheStats = itree.CacheStats
+	// DecisionCacheStats reports the query-decision cache.
+	DecisionCacheStats = answer.CacheStats
 )
 
 // XML serialization.

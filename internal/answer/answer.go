@@ -348,7 +348,14 @@ func MatchSets(w *itree.T, q query.Query) (poss, cert map[PathKey]bool) {
 // symbol carries missing (non-data-node) information; additionally the
 // answer must not be able to silently drop data nodes or become empty while
 // the data tree still matches.
+// Results are memoized per (T, q) in a shared bounded cache (cache.go).
 func FullyAnswerable(it *itree.T, q query.Query) (bool, error) {
+	return cachedDecision(it, q, kindFully, func() (bool, error) {
+		return fullyAnswerable(it, q)
+	})
+}
+
+func fullyAnswerable(it *itree.T, q query.Query) (bool, error) {
 	ans, err := Apply(it, q)
 	if err != nil {
 		return false, err
@@ -426,22 +433,26 @@ func PossibleAnswerPrefix(it *itree.T, q query.Query, t tree.Tree) (bool, error)
 // (Corollary 3.18). Used by mediators to decide whether a source possibly
 // holds information relevant to q.
 func PossiblyNonEmpty(it *itree.T, q query.Query) (bool, error) {
-	ans, err := Apply(it, q)
-	if err != nil {
-		return false, err
-	}
-	return len(ans.Type.Roots) > 0 && !ansEffective(ans).Empty(), nil
+	return cachedDecision(it, q, kindPossiblyNonEmpty, func() (bool, error) {
+		ans, err := Apply(it, q)
+		if err != nil {
+			return false, err
+		}
+		return len(ans.Type.Roots) > 0 && !ansEffective(ans).Empty(), nil
+	})
 }
 
 // CertainlyNonEmpty reports whether q(T) ≠ ∅ for every T ∈ rep(T)
 // (Corollary 3.18).
 func CertainlyNonEmpty(it *itree.T, q query.Query) (bool, error) {
-	ans, err := Apply(it, q)
-	if err != nil {
-		return false, err
-	}
-	if ans.MayBeEmpty {
-		return false, nil
-	}
-	return len(ans.Type.Roots) > 0 && !ansEffective(ans).Empty(), nil
+	return cachedDecision(it, q, kindCertainlyNonEmpty, func() (bool, error) {
+		ans, err := Apply(it, q)
+		if err != nil {
+			return false, err
+		}
+		if ans.MayBeEmpty {
+			return false, nil
+		}
+		return len(ans.Type.Roots) > 0 && !ansEffective(ans).Empty(), nil
+	})
 }

@@ -1,0 +1,52 @@
+package answer
+
+import (
+	"encoding/binary"
+
+	"incxml/internal/engine"
+	"incxml/internal/itree"
+	"incxml/internal/query"
+)
+
+// The Boolean decision procedures of this package — full answerability and
+// certain/possible non-emptiness — are pure in (T, q) and are re-evaluated
+// by the webhouse on every routing decision. Their results are memoized in
+// a bounded shared cache keyed by T's content fingerprint and q's canonical
+// string; mutating the knowledge changes its fingerprint, so entries can
+// never go stale.
+
+var decisionCache = engine.NewCache(1 << 15)
+
+// CacheStats reports the decision-procedure cache's counters.
+func CacheStats() engine.CacheStats { return decisionCache.Stats() }
+
+// ResetCache drops the decision-procedure cache.
+func ResetCache() { decisionCache.Reset() }
+
+type decisionKey struct {
+	t    itree.FP
+	q    string
+	kind uint8
+}
+
+const (
+	kindFully uint8 = iota
+	kindCertainlyNonEmpty
+	kindPossiblyNonEmpty
+)
+
+// cachedDecision memoizes compute under (it, q, kind). Errors are not
+// cached: compute runs again on the next call.
+func cachedDecision(it *itree.T, q query.Query, kind uint8, compute func() (bool, error)) (bool, error) {
+	key := decisionKey{it.Fingerprint(), q.String(), kind}
+	h := binary.LittleEndian.Uint64(key.t[:8]) ^ uint64(kind)
+	if v, ok := decisionCache.Get(h, key); ok {
+		return v.(bool), nil
+	}
+	v, err := compute()
+	if err != nil {
+		return false, err
+	}
+	decisionCache.Put(h, key, v)
+	return v, nil
+}

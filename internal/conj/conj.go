@@ -12,6 +12,7 @@
 package conj
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,6 +20,7 @@ import (
 	"incxml/internal/cond"
 	"incxml/internal/ctype"
 	"incxml/internal/dtd"
+	"incxml/internal/engine"
 	"incxml/internal/itree"
 	"incxml/internal/query"
 	"incxml/internal/refine"
@@ -522,7 +524,19 @@ func (t *T) Member(d tree.Tree) bool {
 // polynomial time; rep(T) = ∅ iff every certificate yields an empty T_π.
 // The enumeration of certificates is exponential in the worst case — that is
 // the NP-hardness, measured by benchmark E6.
+//
+// The certificates are independent subproblems, so Empty fans the scan out
+// across the default engine pool; the first satisfiable certificate cancels
+// its siblings. EmptySequential preserves the single-threaded scan.
 func (t *T) Empty() bool {
+	return t.EmptyPool(context.Background(), engine.Default())
+}
+
+// EmptySequential is the single-threaded certificate scan (the baseline the
+// E18 benchmark and the differential tests compare the parallel scan
+// against). It handles certificate spaces of any size via a mixed-radix
+// counter.
+func (t *T) EmptySequential() bool {
 	if t.MayBeEmpty {
 		return false
 	}
@@ -530,24 +544,10 @@ func (t *T) Empty() bool {
 	// choice vector (one atom per conjunct). Rather than materializing all
 	// certificates globally, iterate over the product of per-symbol choice
 	// counts with early exit.
-	syms := t.symbols()
-	counts := make([]int, 0, len(syms))
-	var chooseable []ctype.Symbol
-	for _, s := range syms {
-		n := 1
-		for _, d := range t.CNFFor(s) {
-			n *= len(d)
-		}
-		if n == 0 {
-			// Some conjunct has no atom at all: the symbol admits nothing.
-			n = 1 // keep a single (dead) choice; handled in buildPi
-		}
-		counts = append(counts, n)
-		chooseable = append(chooseable, s)
-	}
+	syms, counts, _, _ := t.certificateSpace()
 	idx := make([]int, len(counts))
 	for {
-		pi := t.buildPi(chooseable, idx)
+		pi := t.buildPi(syms, idx)
 		if pi != nil && !pi.Empty() {
 			return false
 		}
@@ -563,6 +563,95 @@ func (t *T) Empty() bool {
 		if i == len(idx) {
 			return true
 		}
+	}
+}
+
+// parallelCertificateFloor is the certificate-space size below which the
+// parallel scan is not worth its dispatch overhead.
+const parallelCertificateFloor = 32
+
+// maxLinearCertificates bounds the linearly indexable certificate space;
+// beyond it (or on int64 overflow) EmptyPool falls back to the sequential
+// mixed-radix scan, which such a space could never finish anyway.
+const maxLinearCertificates = int64(1) << 42
+
+// EmptyPool is Empty on an explicit pool: the certificate space is split
+// into contiguous chunks scanned by the pool's workers, and the first
+// satisfiable certificate cancels the remaining branches. Results are
+// identical to EmptySequential. Cancelling ctx abandons the scan (the
+// result is then unreliable, reported as empty).
+func (t *T) EmptyPool(ctx context.Context, p *engine.Pool) bool {
+	if t.MayBeEmpty {
+		return false
+	}
+	if p == nil {
+		p = engine.Default()
+	}
+	syms, counts, total, ok := t.certificateSpace()
+	if !ok || total < parallelCertificateFloor || p.Workers() <= 1 {
+		return t.EmptySequential()
+	}
+	// Aim for several chunks per worker so uneven certificate costs
+	// rebalance, without letting dispatch dominate tiny chunks.
+	chunk := total / int64(p.Workers()*8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 4096 {
+		chunk = 4096
+	}
+	sat := p.SearchRange(ctx, total, chunk, func(ctx context.Context, lo, hi int64) bool {
+		idx := make([]int, len(counts))
+		for c := lo; c < hi; c++ {
+			if ctx.Err() != nil {
+				return false
+			}
+			decodeCertificate(c, counts, idx)
+			pi := t.buildPi(syms, idx)
+			if pi != nil && !pi.Empty() {
+				return true
+			}
+		}
+		return false
+	})
+	return !sat
+}
+
+// certificateSpace returns the symbol order, per-symbol choice counts, and
+// the total certificate count; ok is false when the total does not fit the
+// linearly indexable range.
+func (t *T) certificateSpace() (syms []ctype.Symbol, counts []int, total int64, ok bool) {
+	syms = t.symbols()
+	counts = make([]int, 0, len(syms))
+	total = 1
+	ok = true
+	for _, s := range syms {
+		n := 1
+		for _, d := range t.CNFFor(s) {
+			n *= len(d)
+		}
+		if n == 0 {
+			// Some conjunct has no atom at all: the symbol admits nothing.
+			n = 1 // keep a single (dead) choice; handled in buildPi
+		}
+		counts = append(counts, n)
+		if ok {
+			total *= int64(n)
+			if total > maxLinearCertificates || total < 0 {
+				ok = false
+			}
+		}
+	}
+	return syms, counts, total, ok
+}
+
+// decodeCertificate writes the mixed-radix digits of linear certificate c
+// into idx (least-significant digit first, matching the sequential scan's
+// counter order).
+func decodeCertificate(c int64, counts []int, idx []int) {
+	for i, n := range counts {
+		idx[i] = int(c % int64(n))
+		c /= int64(n)
 	}
 }
 

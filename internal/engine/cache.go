@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShards fixes the shard count; a power of two so shard selection is a
+// mask. Sixteen shards keep lock contention negligible for the worker
+// counts the pool reaches in practice.
+const cacheShards = 16
+
+// Cache is a bounded, sharded, concurrency-safe memo table. Keys are
+// arbitrary comparable values; the caller supplies a hash alongside each
+// key (the solver's keys are content fingerprints, so a good hash is
+// already in hand) which selects the shard. When a shard reaches its
+// capacity an arbitrary fraction of its entries is evicted — map iteration
+// order is randomized in Go, so this is cheap pseudo-random replacement —
+// keeping total memory bounded under adversarial workloads.
+type Cache struct {
+	shards    [cacheShards]cacheShard
+	perShard  int
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[any]any
+}
+
+// NewCache returns a cache holding at most maxEntries entries (rounded up
+// to a multiple of the shard count); maxEntries <= 0 selects a default of
+// 64k entries.
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 1 << 16
+	}
+	per := (maxEntries + cacheShards - 1) / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	return &Cache{perShard: per}
+}
+
+// Get looks up key in the shard selected by h.
+func (c *Cache) Get(h uint64, key any) (any, bool) {
+	s := &c.shards[h&(cacheShards-1)]
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put stores key → v in the shard selected by h, evicting arbitrary
+// entries if the shard is full.
+func (c *Cache) Put(h uint64, key any, v any) {
+	s := &c.shards[h&(cacheShards-1)]
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[any]any)
+	}
+	if len(s.m) >= c.perShard {
+		drop := c.perShard/8 + 1
+		for k := range s.m {
+			delete(s.m, k)
+			c.evictions.Add(1)
+			if drop--; drop == 0 {
+				break
+			}
+		}
+	}
+	s.m[key] = v
+	s.mu.Unlock()
+}
+
+// Len returns the current number of entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Reset drops all entries and zeroes the counters.
+func (c *Cache) Reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = nil
+		s.mu.Unlock()
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+}
+
+// CacheStats is a snapshot of a cache's counters.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
+}

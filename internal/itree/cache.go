@@ -1,0 +1,131 @@
+package itree
+
+import (
+	"encoding/binary"
+	"hash"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+
+	"incxml/internal/engine"
+	"incxml/internal/tree"
+)
+
+// The decision procedures Member, IsCertainPrefix and IsPossiblePrefix are
+// pure functions of the incomplete tree's content and the candidate data
+// tree. Their results are memoized in one shared, bounded engine.Cache
+// keyed by content fingerprints, replacing the per-call maps of the seed
+// implementation: a repeated check against unchanged knowledge — the
+// webhouse's steady state — is a cache hit, and mutating either side
+// changes its fingerprint, so stale entries can never be observed (they
+// simply stop being looked up and age out of the bounded cache).
+
+// FP is a 128-bit content fingerprint (FNV-1a).
+type FP [16]byte
+
+var sharedCache = engine.NewCache(1 << 17)
+
+// CacheStats reports the shared decision-procedure cache's counters.
+func CacheStats() engine.CacheStats { return sharedCache.Stats() }
+
+// ResetCache drops the shared decision-procedure cache.
+func ResetCache() { sharedCache.Reset() }
+
+func fpSum(h hash.Hash) FP {
+	var fp FP
+	copy(fp[:], h.Sum(nil))
+	return fp
+}
+
+// shard derives the cache shard hash from a fingerprint pair.
+func shard(a, b FP) uint64 {
+	return binary.LittleEndian.Uint64(a[:8]) ^ binary.LittleEndian.Uint64(b[8:])
+}
+
+// Fingerprint returns a content hash of the incomplete tree covering
+// everything the decision procedures depend on: the data nodes with their
+// labels and values, the conditional tree type (roots, multiplicities,
+// conditions, specializations), and the may-be-empty flag.
+func (it *T) Fingerprint() FP {
+	h := fnv.New128a()
+	ids := make([]string, 0, len(it.Nodes))
+	for id := range it.Nodes {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		info := it.Nodes[tree.NodeID(id)]
+		io.WriteString(h, id)
+		h.Write([]byte{0})
+		io.WriteString(h, string(info.Label))
+		h.Write([]byte{0})
+		io.WriteString(h, info.Value.String())
+		h.Write([]byte{0})
+	}
+	h.Write([]byte{1})
+	// Type.String sorts symbols and renders conditions in the Lemma 2.3
+	// normal form, so it is a deterministic, semantically faithful
+	// serialization of the type.
+	io.WriteString(h, it.Type.String())
+	if it.MayBeEmpty {
+		h.Write([]byte{2})
+	}
+	return fpSum(h)
+}
+
+// FingerprintTree returns a content hash of a data tree: node ids, labels,
+// values and structure. Two structurally identical trees hash equal; the
+// hash is sensitive to sibling order, which at worst costs a cache miss
+// (membership and the prefix relations are order-insensitive).
+func FingerprintTree(t tree.Tree) FP {
+	h := fnv.New128a()
+	var rec func(n *tree.Node)
+	rec = func(n *tree.Node) {
+		io.WriteString(h, string(n.ID))
+		h.Write([]byte{0})
+		io.WriteString(h, string(n.Label))
+		h.Write([]byte{0})
+		io.WriteString(h, n.Value.String())
+		h.Write([]byte{'('})
+		for _, c := range n.Children {
+			rec(c)
+		}
+		h.Write([]byte{')'})
+	}
+	if t.Root != nil {
+		rec(t.Root)
+	}
+	return fpSum(h)
+}
+
+// resultKey keys a memoized decision-procedure result.
+type resultKey struct {
+	t    FP
+	d    FP
+	kind uint8
+}
+
+const (
+	kindMember uint8 = iota
+	kindPossiblePrefix
+	kindCertainPrefix
+)
+
+func cachedResult(k resultKey) (bool, bool) {
+	v, ok := sharedCache.Get(shard(k.t, k.d), k)
+	if !ok {
+		return false, false
+	}
+	return v.(bool), true
+}
+
+func storeResult(k resultKey, v bool) {
+	sharedCache.Put(shard(k.t, k.d), k, v)
+}
+
+// memberMemoPool recycles the per-call typing memos of Member, so the
+// subproblem table costs no allocation on the hot path.
+var memberMemoPool = sync.Pool{
+	New: func() any { return make(map[memberKey]bool, 64) },
+}

@@ -1,10 +1,13 @@
 package itree
 
 import (
+	"context"
 	"sort"
 	"strings"
+	"sync"
 
 	"incxml/internal/ctype"
+	"incxml/internal/engine"
 	"incxml/internal/rat"
 	"incxml/internal/tree"
 )
@@ -45,64 +48,106 @@ func IntBounds(lo, hi int64, maxRepeat, maxDepth, maxTrees int) Bounds {
 	return Bounds{Values: vals, MaxRepeat: maxRepeat, MaxDepth: maxDepth, MaxTrees: maxTrees}
 }
 
+// enumerator carries the (symbol, depth)-memoized generation state of one
+// enumeration pass. Each instance is single-goroutine; parallel enumeration
+// gives every task its own enumerator (see EnumerateParallel).
+type enumerator struct {
+	it *T
+	b  Bounds
+	// mu guards variants; EnumerateParallel shares one enumerator across
+	// worker tasks. Memoized variant nodes are never mutated after the
+	// store (expandAtom clones children before refreshing ids), so handing
+	// the same slice to several tasks is safe.
+	mu       sync.RWMutex
+	variants map[genKey][]*tree.Node
+}
+
+type genKey struct {
+	sym   ctype.Symbol
+	depth int
+}
+
+func newEnumerator(it *T, b Bounds) *enumerator {
+	return &enumerator{it: it, b: b, variants: map[genKey][]*tree.Node{}}
+}
+
+// bases returns the possible node shells for symbol s: the pinned data node
+// for node symbols, one node per admissible value for label symbols.
+func (e *enumerator) bases(s ctype.Symbol) []*tree.Node {
+	tg := e.it.Type.TargetFor(s)
+	if tg.IsNode() {
+		info, ok := e.it.Nodes[tg.Node]
+		if !ok {
+			return nil
+		}
+		return []*tree.Node{tree.NewID(tg.Node, info.Label, info.Value)}
+	}
+	var bases []*tree.Node
+	c := e.it.EffectiveCond(s)
+	for _, v := range e.b.Values {
+		if c.Holds(v) {
+			bases = append(bases, tree.New(tg.Label, v))
+		}
+	}
+	return bases
+}
+
+// expandAtom appends to out every variant rooted at a base with children
+// drawn from one child multiset of atom a; the bool reports MaxTrees
+// overflow.
+func (e *enumerator) expandAtom(out []*tree.Node, a ctype.SAtom, bases []*tree.Node, depth int) ([]*tree.Node, bool) {
+	childSets := e.enumAtom(a, depth)
+	for _, cs := range childSets {
+		for _, base := range bases {
+			n := &tree.Node{ID: base.ID, Label: base.Label, Value: base.Value}
+			for _, c := range cs {
+				n.Children = append(n.Children, cloneNode(c))
+			}
+			// Fresh ids for non-data nodes so siblings differ.
+			out = append(out, refreshIDs(n, e.it.Nodes))
+			if len(out) > e.b.MaxTrees {
+				return out, true
+			}
+		}
+	}
+	return out, false
+}
+
+func (e *enumerator) gen(s ctype.Symbol, depth int) []*tree.Node {
+	if depth > e.b.MaxDepth {
+		return nil
+	}
+	// Memoized on (symbol, depth): recursion strictly increases depth, so
+	// gen terminates at the MaxDepth cut. Concurrent tasks may compute the
+	// same key; both arrive at equal lists and the last store wins.
+	e.mu.RLock()
+	vs, ok := e.variants[genKey{s, depth}]
+	e.mu.RUnlock()
+	if ok {
+		return vs
+	}
+	bases := e.bases(s)
+	if len(bases) == 0 {
+		return nil
+	}
+	var out []*tree.Node
+	for _, a := range e.it.Type.DisjFor(s) {
+		var overflow bool
+		if out, overflow = e.expandAtom(out, a, bases, depth); overflow {
+			return out
+		}
+	}
+	e.mu.Lock()
+	e.variants[genKey{s, depth}] = out
+	e.mu.Unlock()
+	return out
+}
+
 // Enumerate materializes the trees of rep(T) within the bounds. Trees
 // containing a data node twice are excluded (Definition 2.7). The result is
 // deduplicated under CanonRelative with respect to T's data nodes.
 func (it *T) Enumerate(b Bounds) []tree.Tree {
-	type genKey struct {
-		sym   ctype.Symbol
-		depth int
-	}
-	variants := map[genKey][]*tree.Node{}
-	var gen func(s ctype.Symbol, depth int) []*tree.Node
-	gen = func(s ctype.Symbol, depth int) []*tree.Node {
-		if depth > b.MaxDepth {
-			return nil
-		}
-		// Memoized on (symbol, depth): recursion strictly increases depth, so
-		// gen terminates at the MaxDepth cut.
-		if vs, ok := variants[genKey{s, depth}]; ok {
-			return vs
-		}
-		tg := it.Type.TargetFor(s)
-		var bases []*tree.Node
-		if tg.IsNode() {
-			info, ok := it.Nodes[tg.Node]
-			if !ok {
-				return nil
-			}
-			bases = []*tree.Node{tree.NewID(tg.Node, info.Label, info.Value)}
-		} else {
-			c := it.EffectiveCond(s)
-			for _, v := range b.Values {
-				if c.Holds(v) {
-					bases = append(bases, tree.New(tg.Label, v))
-				}
-			}
-		}
-		if len(bases) == 0 {
-			return nil
-		}
-		var out []*tree.Node
-		for _, a := range it.Type.DisjFor(s) {
-			childSets := it.enumAtom(a, depth, b, gen)
-			for _, cs := range childSets {
-				for _, base := range bases {
-					n := &tree.Node{ID: base.ID, Label: base.Label, Value: base.Value}
-					for _, c := range cs {
-						n.Children = append(n.Children, cloneNode(c))
-					}
-					// Fresh ids for non-data nodes so siblings differ.
-					out = append(out, refreshIDs(n, it.Nodes))
-					if len(out) > b.MaxTrees {
-						return out
-					}
-				}
-			}
-		}
-		variants[genKey{s, depth}] = out
-		return out
-	}
+	e := newEnumerator(it, b)
 
 	seen := map[string]bool{}
 	var result []tree.Tree
@@ -115,7 +160,71 @@ func (it *T) Enumerate(b Bounds) []tree.Tree {
 		seen[CanonRelative(tree.Empty(), nset)] = true
 	}
 	for _, r := range it.Type.Roots {
-		for _, root := range gen(r, 0) {
+		for _, root := range e.gen(r, 0) {
+			t := tree.Tree{Root: root}
+			if dupDataNode(t, it.Nodes) {
+				continue
+			}
+			key := CanonRelative(t, nset)
+			if !seen[key] {
+				seen[key] = true
+				result = append(result, t)
+			}
+			if len(result) >= b.MaxTrees {
+				return result
+			}
+		}
+	}
+	return result
+}
+
+// EnumerateParallel is Enumerate with the top-level (root symbol, atom)
+// combinations fanned out across the pool. Tasks share one lock-guarded
+// variant memo, and the per-task results are merged in task order, so the
+// output is deterministic and — whenever the MaxTrees bound does not bind,
+// the regime the verification oracles run in — element-for-element equal to
+// Enumerate's.
+func (it *T) EnumerateParallel(ctx context.Context, p *engine.Pool, b Bounds) []tree.Tree {
+	if p == nil {
+		p = engine.Default()
+	}
+	if p.Workers() <= 1 {
+		// A single worker gains nothing from per-task enumerators and would
+		// lose the variant memo shared across atoms; run the sequential path.
+		return it.Enumerate(b)
+	}
+	type task struct {
+		root ctype.Symbol
+		atom ctype.SAtom
+	}
+	var tasks []task
+	for _, r := range it.Type.Roots {
+		for _, a := range it.Type.DisjFor(r) {
+			tasks = append(tasks, task{r, a})
+		}
+	}
+	partial := make([][]*tree.Node, len(tasks))
+	shared := newEnumerator(it, b)
+	p.Each(ctx, len(tasks), func(i int) {
+		bases := shared.bases(tasks[i].root)
+		if len(bases) == 0 {
+			return
+		}
+		partial[i], _ = shared.expandAtom(nil, tasks[i].atom, bases, 0)
+	})
+
+	seen := map[string]bool{}
+	var result []tree.Tree
+	nset := map[tree.NodeID]bool{}
+	for id := range it.Nodes {
+		nset[id] = true
+	}
+	if it.MayBeEmpty {
+		result = append(result, tree.Empty())
+		seen[CanonRelative(tree.Empty(), nset)] = true
+	}
+	for _, roots := range partial {
+		for _, root := range roots {
 			t := tree.Tree{Root: root}
 			if dupDataNode(t, it.Nodes) {
 				continue
@@ -134,10 +243,11 @@ func (it *T) Enumerate(b Bounds) []tree.Tree {
 }
 
 // enumAtom enumerates child multisets satisfying the atom within bounds.
-func (it *T) enumAtom(a ctype.SAtom, depth int, b Bounds, gen func(ctype.Symbol, int) []*tree.Node) [][]*tree.Node {
+func (e *enumerator) enumAtom(a ctype.SAtom, depth int) [][]*tree.Node {
+	b := e.b
 	sets := [][]*tree.Node{{}}
 	for _, item := range a {
-		vars := gen(item.Sym, depth+1)
+		vars := e.gen(item.Sym, depth+1)
 		lo, hi := item.Mult.Bounds()
 		if hi < 0 || hi > b.MaxRepeat {
 			hi = b.MaxRepeat
@@ -145,7 +255,7 @@ func (it *T) enumAtom(a ctype.SAtom, depth int, b Bounds, gen func(ctype.Symbol,
 				hi = lo
 			}
 		}
-		if it.Type.TargetFor(item.Sym).IsNode() && hi > 1 {
+		if e.it.Type.TargetFor(item.Sym).IsNode() && hi > 1 {
 			hi = 1
 		}
 		var expanded [][]*tree.Node
@@ -284,6 +394,49 @@ func EqualRepSets(a, b *T, bounds Bounds) (bool, string) {
 	}
 	sa := a.RepSet(bounds, rel)
 	sb := b.RepSet(bounds, rel)
+	return diffRepSets(sa, sb)
+}
+
+// RepSetParallel is RepSet backed by EnumerateParallel.
+func (it *T) RepSetParallel(ctx context.Context, p *engine.Pool, b Bounds, rel map[tree.NodeID]bool) map[string]bool {
+	if rel == nil {
+		rel = map[tree.NodeID]bool{}
+		for id := range it.Nodes {
+			rel[id] = true
+		}
+	}
+	out := map[string]bool{}
+	for _, t := range it.EnumerateParallel(ctx, p, b) {
+		out[CanonRelative(t, rel)] = true
+	}
+	return out
+}
+
+// EqualRepSetsParallel is EqualRepSets with the two bounded rep-sets
+// computed concurrently, each by a parallel enumeration on the pool.
+func EqualRepSetsParallel(ctx context.Context, p *engine.Pool, a, b *T, bounds Bounds) (bool, string) {
+	if p == nil {
+		p = engine.Default()
+	}
+	rel := map[tree.NodeID]bool{}
+	for id := range a.Nodes {
+		rel[id] = true
+	}
+	for id := range b.Nodes {
+		rel[id] = true
+	}
+	var sa, sb map[string]bool
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); sa = a.RepSetParallel(ctx, p, bounds, rel) }()
+	go func() { defer wg.Done(); sb = b.RepSetParallel(ctx, p, bounds, rel) }()
+	wg.Wait()
+	return diffRepSets(sa, sb)
+}
+
+// diffRepSets compares two canonical-form sets, reporting up to three keys
+// on each side when they differ.
+func diffRepSets(sa, sb map[string]bool) (bool, string) {
 	var onlyA, onlyB []string
 	for k := range sa {
 		if !sb[k] {

@@ -144,10 +144,24 @@ func (it *T) TrimUseless() *T {
 // every node whose id is in N is typed by a symbol specializing exactly that
 // node (with matching λ and ν), and no node outside N is typed by a node
 // symbol.
+//
+// Results are memoized in the shared bounded cache (cache.go) keyed by the
+// content fingerprints of T and d, so repeated membership checks against
+// unchanged knowledge are O(|T| + |d|) hashing instead of a typing search.
 func (it *T) Member(d tree.Tree) bool {
 	if d.Root == nil {
 		return it.MayBeEmpty
 	}
+	key := resultKey{it.Fingerprint(), FingerprintTree(d), kindMember}
+	if v, ok := cachedResult(key); ok {
+		return v
+	}
+	v := it.member(d)
+	storeResult(key, v)
+	return v
+}
+
+func (it *T) member(d tree.Tree) bool {
 	// Definition 2.7 requires each data node to appear at most once.
 	counts := map[tree.NodeID]int{}
 	d.Walk(func(n *tree.Node) {
@@ -160,7 +174,9 @@ func (it *T) Member(d tree.Tree) bool {
 			return false
 		}
 	}
-	memo := map[memberKey]bool{}
+	memo := memberMemoPool.Get().(map[memberKey]bool)
+	clear(memo)
+	defer memberMemoPool.Put(memo)
 	for _, r := range it.Type.Roots {
 		if it.canType(d.Root, r, memo) {
 			return true

@@ -24,7 +24,7 @@ func MaxBipartite(nLeft, nRight int, adj [][]int) (matchL []int, size int) {
 	for i := range matchR {
 		matchR[i] = -1
 	}
-	var seen []bool
+	seen := make([]bool, nRight)
 	var try func(u int) bool
 	try = func(u int) bool {
 		for _, v := range adj[u] {
@@ -41,7 +41,9 @@ func MaxBipartite(nLeft, nRight int, adj [][]int) (matchL []int, size int) {
 		return false
 	}
 	for u := 0; u < nLeft; u++ {
-		seen = make([]bool, nRight)
+		for i := range seen {
+			seen[i] = false
+		}
 		if try(u) {
 			size++
 		}

@@ -170,3 +170,24 @@ func TestQuickFeasibleMatchesBruteForce(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// BenchmarkMaxBipartite exercises Kuhn's algorithm on a dense-ish random
+// graph; ReportAllocs guards the hoisted seen-slice optimization (one
+// allocation per call instead of one per left vertex).
+func BenchmarkMaxBipartite(b *testing.B) {
+	const nLeft, nRight = 64, 64
+	rng := rand.New(rand.NewSource(1))
+	adj := make([][]int, nLeft)
+	for i := range adj {
+		for v := 0; v < nRight; v++ {
+			if rng.Intn(4) == 0 {
+				adj[i] = append(adj[i], v)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxBipartite(nLeft, nRight, adj)
+	}
+}

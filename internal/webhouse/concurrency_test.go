@@ -1,0 +1,178 @@
+package webhouse
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"incxml/internal/cond"
+	"incxml/internal/extquery"
+	"incxml/internal/workload"
+)
+
+// TestAnswerCacheHitAndEviction checks the acceptance criterion directly:
+// a repeated AnswerLocally on an unchanged source is an observable cache
+// hit, and each of Explore, Update and Invalidate evicts.
+func TestAnswerCacheHitAndEviction(t *testing.T) {
+	wh, _ := newCatalogWebhouse(t)
+	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+		t.Fatal(err)
+	}
+	q := workload.Query3(100)
+
+	ask := func() Stats {
+		t.Helper()
+		if _, err := wh.AnswerLocally("catalog", q); err != nil {
+			t.Fatal(err)
+		}
+		return wh.Stats()
+	}
+
+	s1 := ask()
+	s2 := ask()
+	if s2.AnswerCacheHits != s1.AnswerCacheHits+1 {
+		t.Fatalf("repeat AnswerLocally not a cache hit: %+v -> %+v", s1, s2)
+	}
+
+	evictors := []struct {
+		name string
+		run  func() error
+	}{
+		{"Explore", func() error {
+			_, err := wh.Explore("catalog", workload.Query2())
+			return err
+		}},
+		{"Invalidate", func() error { return wh.Invalidate("catalog") }},
+		{"Update", func() error {
+			return wh.Update("catalog", workload.PaperCatalog())
+		}},
+	}
+	for _, ev := range evictors {
+		ask() // warm
+		before := ask()
+		if err := ev.run(); err != nil {
+			t.Fatalf("%s: %v", ev.name, err)
+		}
+		after := ask()
+		if after.AnswerCacheMisses != before.AnswerCacheMisses+1 {
+			t.Errorf("%s did not evict the answer cache: %+v -> %+v",
+				ev.name, before, after)
+		}
+	}
+}
+
+func TestAnswerExtendedCached(t *testing.T) {
+	wh, _ := newCatalogWebhouse(t)
+	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+		t.Fatal(err)
+	}
+	q := extquery.Query{Root: extquery.N("catalog", cond.True(),
+		extquery.N("product", cond.True()))}
+	if _, err := wh.AnswerExtended("catalog", q); err != nil {
+		t.Fatal(err)
+	}
+	before := wh.Stats()
+	a1, err := wh.AnswerExtended("catalog", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := wh.Stats()
+	if after.AnswerCacheHits != before.AnswerCacheHits+1 {
+		t.Fatalf("repeat AnswerExtended not a cache hit: %+v -> %+v", before, after)
+	}
+	if err := wh.Invalidate("catalog"); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := wh.AnswerExtended("catalog", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After invalidation the knowledge is the bare type: the answer shrinks.
+	if a1.Known.Size() != 0 && a2.Known.Size() == a1.Known.Size() && wh.Stats().AnswerCacheMisses == after.AnswerCacheMisses {
+		t.Error("Invalidate did not evict the extended-answer cache")
+	}
+}
+
+// TestConcurrentServing hammers one webhouse from many goroutines mixing
+// reads (AnswerLocally, AnswerExtended, Knowledge, Sources) with writes
+// (Explore, Invalidate, Update). Run under -race this is the serving
+// layer's thread-safety proof; without -race it still checks that answers
+// remain well-formed under contention.
+func TestConcurrentServing(t *testing.T) {
+	wh, _ := newCatalogWebhouse(t)
+	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+		t.Fatal(err)
+	}
+	queries := []func() error{
+		func() error {
+			_, err := wh.AnswerLocally("catalog", workload.Query3(100))
+			return err
+		},
+		func() error {
+			_, err := wh.AnswerLocally("catalog", workload.Query1(150))
+			return err
+		},
+		func() error {
+			q := extquery.Query{Root: extquery.N("catalog", cond.True())}
+			_, err := wh.AnswerExtended("catalog", q)
+			return err
+		},
+		func() error {
+			_, err := wh.Knowledge("catalog")
+			return err
+		},
+		func() error {
+			if got := wh.Sources(); len(got) != 1 {
+				return fmt.Errorf("Sources = %v", got)
+			}
+			return nil
+		},
+		func() error {
+			_, err := wh.Explore("catalog", workload.Query2())
+			return err
+		},
+		func() error { return wh.Invalidate("catalog") },
+		func() error {
+			return wh.Update("catalog", workload.PaperCatalog())
+		},
+		func() error {
+			_, _, err := wh.AnswerComplete("catalog", workload.Query3(100))
+			return err
+		},
+	}
+	const goroutines = 12
+	const rounds = 20
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if err := queries[(g+i)%len(queries)](); err != nil {
+					errc <- fmt.Errorf("goroutine %d round %d: %w", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	// The answers must still be correct after the storm.
+	if err := wh.Invalidate("catalog"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+		t.Fatal(err)
+	}
+	la, err := wh.AnswerLocally("catalog", workload.Query3(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !la.Fully {
+		t.Error("Query 3 no longer fully answerable after concurrent storm")
+	}
+}

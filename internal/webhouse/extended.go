@@ -1,6 +1,9 @@
 package webhouse
 
 import (
+	"fmt"
+	"strings"
+
 	"incxml/internal/answer"
 	"incxml/internal/extquery"
 	"incxml/internal/query"
@@ -29,28 +32,93 @@ type ExtendedAnswer struct {
 	Exact bool
 }
 
+// extKey renders an extended query to a canonical cache-key string. Unlike
+// ps-queries, extended queries have no parseable String form; this encoding
+// is deterministic in the query value (children in pattern order) and
+// injective over the features that affect the answer.
+func extKey(q extquery.Query) string {
+	var b strings.Builder
+	b.WriteString("ext:")
+	var rec func(n *extquery.Node)
+	rec = func(n *extquery.Node) {
+		b.WriteByte('(')
+		b.WriteString(string(n.Label))
+		if n.Path != nil {
+			fmt.Fprintf(&b, "~%s", n.Path.String())
+		}
+		if !n.Cond.IsTrue() {
+			fmt.Fprintf(&b, "{%s}", n.Cond)
+		}
+		if n.Var != "" {
+			fmt.Fprintf(&b, "$%s", n.Var)
+		}
+		if n.Optional {
+			b.WriteByte('?')
+		}
+		if n.Negated {
+			b.WriteByte('^')
+		}
+		if n.Extract {
+			b.WriteByte('!')
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+		b.WriteByte(')')
+	}
+	if q.Root != nil {
+		rec(q.Root)
+	}
+	for _, d := range q.Diseq {
+		fmt.Fprintf(&b, "[%s!=%s]", d[0], d[1])
+	}
+	return b.String()
+}
+
+// storeExt is storeLocal's counterpart for extended answers.
+func (r *Repository) storeExt(gen uint64, key string, ea *ExtendedAnswer) {
+	r.cacheMu.Lock()
+	if r.gen.Load() == gen {
+		r.ext[key] = ea
+	}
+	r.cacheMu.Unlock()
+}
+
 // AnswerExtended evaluates an extended query against the repository's data
-// tree and reports whether the result is exact.
+// tree and reports whether the result is exact. Results are cached per
+// source until the knowledge changes.
 func (wh *Webhouse) AnswerExtended(source string, q extquery.Query) (*ExtendedAnswer, error) {
-	know, err := wh.Knowledge(source)
+	r, err := wh.Repo(source)
 	if err != nil {
 		return nil, err
 	}
+	key := extKey(q)
+	r.cacheMu.Lock()
+	ea, ok := r.ext[key]
+	r.cacheMu.Unlock()
+	if ok {
+		wh.cacheHits.Add(1)
+		cp := *ea
+		return &cp, nil
+	}
+	wh.cacheMisses.Add(1)
+	r.mu.RLock()
+	gen := r.gen.Load()
+	know := r.refiner.Reachable()
+	r.mu.RUnlock()
 	td := know.DataTree()
 	out := &ExtendedAnswer{Known: q.Answer(td)}
 	cover, monotone := coveringPSQuery(q)
-	if !monotone {
-		return out, nil
+	if monotone && cover.Root != nil {
+		fully, err := answer.FullyAnswerable(know, cover)
+		if err != nil {
+			return nil, err
+		}
+		out.Exact = fully
 	}
-	if cover.Root == nil {
-		return out, nil
-	}
-	fully, err := answer.FullyAnswerable(know, cover)
-	if err != nil {
-		return nil, err
-	}
-	out.Exact = fully
-	return out, nil
+	r.storeExt(gen, key, out)
+	cp := *out
+	return &cp, nil
 }
 
 // coveringPSQuery derives a ps-query whose answer contains every node any

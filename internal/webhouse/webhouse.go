@@ -14,14 +14,26 @@
 //     information;
 //   - completely, by executing a non-redundant set of local queries against
 //     the source (Theorem 3.19) and merging the answers.
+//
+// The webhouse is a serving layer: all entry points are safe for concurrent
+// use. Each repository guards its refinement state with an RWMutex so many
+// readers (AnswerLocally, AnswerExtended, Knowledge) proceed in parallel
+// while acquisition (Explore, AnswerComplete, Invalidate, Update) is
+// exclusive. Local answers are cached per source under the query's canonical
+// string and invalidated whenever the knowledge changes.
 package webhouse
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"incxml/internal/answer"
 	"incxml/internal/dtd"
+	"incxml/internal/engine"
 	"incxml/internal/itree"
 	"incxml/internal/mediator"
 	"incxml/internal/query"
@@ -34,8 +46,11 @@ import (
 type Source struct {
 	Name string
 	Type *dtd.Type
-	doc  tree.Tree
-	// Stats
+
+	mu  sync.Mutex
+	doc tree.Tree
+	// Stats, guarded by mu; read them only when no query is in flight (or
+	// via Served).
 	QueriesServed int
 	NodesServed   int
 }
@@ -48,8 +63,24 @@ func NewSource(name string, ty *dtd.Type, doc tree.Tree) (*Source, error) {
 	return &Source{Name: name, Type: ty, doc: doc}, nil
 }
 
+// Doc returns the current document. Callers must treat it as read-only.
+func (s *Source) Doc() tree.Tree {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.doc
+}
+
+// Served reports the query and node counters under the source lock.
+func (s *Source) Served() (queries, nodes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.QueriesServed, s.NodesServed
+}
+
 // Ask evaluates a ps-query against the full document.
 func (s *Source) Ask(q query.Query) tree.Tree {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	a := q.Eval(s.doc)
 	s.QueriesServed++
 	s.NodesServed += a.Size()
@@ -58,74 +89,150 @@ func (s *Source) Ask(q query.Query) tree.Tree {
 
 // AskLocal evaluates a local query p@n.
 func (s *Source) AskLocal(lq mediator.LocalQuery) tree.Tree {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	a := lq.Execute(s.doc)
 	s.QueriesServed++
 	s.NodesServed += a.Size()
 	return a
 }
 
-// Update replaces the source document (the source changed).
+// Update replaces the source document (the source changed). Prefer
+// Webhouse.Update, which also drops the now-stale knowledge.
 func (s *Source) Update(doc tree.Tree) error {
 	if err := s.Type.Validate(doc); err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.doc = doc
+	s.mu.Unlock()
 	return nil
 }
 
 // Repository is the webhouse's incomplete knowledge about one source.
+//
+// mu guards the refiner (the knowledge); cacheMu guards the answer caches.
+// Lock order is mu before cacheMu; gen is bumped on every knowledge change
+// so a computation that raced with an invalidation never repopulates the
+// cache with a stale answer.
 type Repository struct {
-	Source  *Source
+	Source *Source
+
+	mu      sync.RWMutex
 	refiner *refine.Refiner
+
+	cacheMu sync.Mutex
+	gen     atomic.Uint64
+	answers map[string]*LocalAnswer
+	ext     map[string]*ExtendedAnswer
 }
 
-// Webhouse is a registry of repositories.
+// invalidate marks the knowledge changed and drops all cached answers.
+func (r *Repository) invalidate() {
+	r.gen.Add(1)
+	r.cacheMu.Lock()
+	r.answers = map[string]*LocalAnswer{}
+	r.ext = map[string]*ExtendedAnswer{}
+	r.cacheMu.Unlock()
+}
+
+// Webhouse is a registry of repositories, safe for concurrent use.
 type Webhouse struct {
+	mu    sync.RWMutex
 	repos map[string]*Repository
+
+	pool        *engine.Pool
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
 }
 
-// New creates an empty webhouse.
-func New() *Webhouse { return &Webhouse{repos: map[string]*Repository{}} }
+// New creates an empty webhouse backed by the default worker pool.
+func New() *Webhouse {
+	return &Webhouse{repos: map[string]*Repository{}, pool: engine.Default()}
+}
+
+// SetPool installs the worker pool used to fan out local-answer
+// sub-computations. Call before serving; nil restores the default pool.
+func (wh *Webhouse) SetPool(p *engine.Pool) {
+	if p == nil {
+		p = engine.Default()
+	}
+	wh.mu.Lock()
+	wh.pool = p
+	wh.mu.Unlock()
+}
 
 // Register adds a source, initializing its knowledge to the source's tree
 // type (everything about the document itself is unknown).
 func (wh *Webhouse) Register(src *Source) {
+	wh.mu.Lock()
+	defer wh.mu.Unlock()
 	wh.repos[src.Name] = &Repository{
 		Source:  src,
 		refiner: refine.NewRefiner(src.Type.Alphabet(), src.Type),
+		answers: map[string]*LocalAnswer{},
+		ext:     map[string]*ExtendedAnswer{},
 	}
 }
 
 // Repo returns the repository for a source.
 func (wh *Webhouse) Repo(name string) (*Repository, error) {
+	wh.mu.RLock()
 	r, ok := wh.repos[name]
+	wh.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("webhouse: unknown source %q", name)
 	}
 	return r, nil
 }
 
-// Sources lists the registered source names.
+// Sources lists the registered source names in sorted order. The slice is a
+// copy; callers may retain it.
 func (wh *Webhouse) Sources() []string {
+	wh.mu.RLock()
 	out := make([]string, 0, len(wh.repos))
 	for n := range wh.repos {
 		out = append(out, n)
 	}
+	wh.mu.RUnlock()
+	sort.Strings(out)
 	return out
 }
 
-// Explore poses a ps-query to the source and folds the answer into the
-// repository (the acquisition loop of Section 3.1). When the answer
-// contradicts the accumulated knowledge — the source changed under us —
-// the repository is reinitialized to the source type (the paper's recovery
-// strategy) and the observation is replayed against the fresh state.
-func (wh *Webhouse) Explore(source string, q query.Query) (tree.Tree, error) {
-	r, err := wh.Repo(source)
-	if err != nil {
-		return tree.Tree{}, err
+// Stats aggregates the serving-layer counters: the per-source answer cache,
+// the shared decision and membership caches, and the worker pool.
+type Stats struct {
+	// AnswerCacheHits/Misses count AnswerLocally and AnswerExtended lookups
+	// served from (resp. missing) the per-source answer caches.
+	AnswerCacheHits   uint64
+	AnswerCacheMisses uint64
+	// Decision is the answer package's decision-procedure cache.
+	Decision engine.CacheStats
+	// Membership is the itree membership/prefix result cache.
+	Membership engine.CacheStats
+	// Engine reports worker-pool utilization.
+	Engine engine.Stats
+}
+
+// Stats returns a snapshot of the webhouse's serving counters.
+func (wh *Webhouse) Stats() Stats {
+	wh.mu.RLock()
+	p := wh.pool
+	wh.mu.RUnlock()
+	return Stats{
+		AnswerCacheHits:   wh.cacheHits.Load(),
+		AnswerCacheMisses: wh.cacheMisses.Load(),
+		Decision:          answer.CacheStats(),
+		Membership:        itree.CacheStats(),
+		Engine:            p.Stats(),
 	}
+}
+
+// exploreLocked poses q to the source and folds the answer into r. The
+// caller must hold r.mu for writing.
+func exploreLocked(r *Repository, q query.Query) (tree.Tree, error) {
 	a := r.Source.Ask(q)
-	err = r.refiner.Observe(q, a)
+	err := r.refiner.Observe(q, a)
 	if errors.Is(err, refine.ErrInconsistent) {
 		r.refiner = refine.NewRefiner(r.Source.Type.Alphabet(), r.Source.Type)
 		err = r.refiner.Observe(q, a)
@@ -136,27 +243,73 @@ func (wh *Webhouse) Explore(source string, q query.Query) (tree.Tree, error) {
 	return a, nil
 }
 
-// Knowledge returns the reachable incomplete tree for the source.
+// Explore poses a ps-query to the source and folds the answer into the
+// repository (the acquisition loop of Section 3.1). When the answer
+// contradicts the accumulated knowledge — the source changed under us —
+// the repository is reinitialized to the source type (the paper's recovery
+// strategy) and the observation is replayed against the fresh state.
+// Cached local answers for the source are dropped.
+func (wh *Webhouse) Explore(source string, q query.Query) (tree.Tree, error) {
+	r, err := wh.Repo(source)
+	if err != nil {
+		return tree.Tree{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a, err := exploreLocked(r, q)
+	if err != nil {
+		return tree.Tree{}, err
+	}
+	r.invalidate()
+	return a, nil
+}
+
+// Knowledge returns the reachable incomplete tree for the source. The
+// returned tree is a snapshot: later Explore calls do not mutate it.
 func (wh *Webhouse) Knowledge(source string) (*itree.T, error) {
 	r, err := wh.Repo(source)
 	if err != nil {
 		return nil, err
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.refiner.Reachable(), nil
 }
 
 // Invalidate reinitializes the knowledge about a source to its tree type
-// (the paper's treatment of source updates).
+// (the paper's treatment of source updates) and drops its cached answers.
 func (wh *Webhouse) Invalidate(source string) error {
 	r, err := wh.Repo(source)
 	if err != nil {
 		return err
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.refiner = refine.NewRefiner(r.Source.Type.Alphabet(), r.Source.Type)
+	r.invalidate()
+	return nil
+}
+
+// Update replaces a source's document and invalidates the now-stale
+// knowledge and cached answers in one step.
+func (wh *Webhouse) Update(source string, doc tree.Tree) error {
+	r, err := wh.Repo(source)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.Source.Update(doc); err != nil {
+		return err
+	}
+	r.refiner = refine.NewRefiner(r.Source.Type.Alphabet(), r.Source.Type)
+	r.invalidate()
 	return nil
 }
 
 // LocalAnswer is the result of answering a query from local knowledge only.
+// Instances returned by AnswerLocally may be shared between callers; treat
+// them as read-only.
 type LocalAnswer struct {
 	// Fully reports whether the query was certified fully answerable
 	// (Corollary 3.15): Exact then equals q(T) for every possible world.
@@ -172,32 +325,73 @@ type LocalAnswer struct {
 	PossiblyNonEmpty  bool
 }
 
+// lookupLocal consults a repository answer cache; see storeLocal for the
+// staleness protocol.
+func (wh *Webhouse) lookupLocal(r *Repository, key string) (*LocalAnswer, bool) {
+	r.cacheMu.Lock()
+	la, ok := r.answers[key]
+	r.cacheMu.Unlock()
+	if ok {
+		wh.cacheHits.Add(1)
+	} else {
+		wh.cacheMisses.Add(1)
+	}
+	return la, ok
+}
+
+// storeLocal inserts a computed answer unless the knowledge changed since
+// the computation started. invalidate bumps gen before clearing under
+// cacheMu, so checking gen under cacheMu is race-free: either we observe the
+// bump and skip, or our insertion happens before the clear and is removed by
+// it.
+func (r *Repository) storeLocal(gen uint64, key string, la *LocalAnswer) {
+	r.cacheMu.Lock()
+	if r.gen.Load() == gen {
+		r.answers[key] = la
+	}
+	r.cacheMu.Unlock()
+}
+
 // AnswerLocally answers q from the repository without contacting the
-// source.
+// source. Repeated calls with the same query on unchanged knowledge are
+// served from the per-source cache; the independent sub-answers of a miss
+// are fanned out across the worker pool.
 func (wh *Webhouse) AnswerLocally(source string, q query.Query) (*LocalAnswer, error) {
-	know, err := wh.Knowledge(source)
+	r, err := wh.Repo(source)
 	if err != nil {
 		return nil, err
 	}
+	key := "ps:" + q.String()
+	if la, ok := wh.lookupLocal(r, key); ok {
+		cp := *la
+		return &cp, nil
+	}
+	r.mu.RLock()
+	gen := r.gen.Load()
+	know := r.refiner.Reachable()
+	r.mu.RUnlock()
+
 	out := &LocalAnswer{}
-	out.Fully, err = answer.FullyAnswerable(know, q)
-	if err != nil {
-		return nil, err
+	var errs [4]error
+	wh.mu.RLock()
+	pool := wh.pool
+	wh.mu.RUnlock()
+	tasks := []func(){
+		func() { out.Fully, errs[0] = answer.FullyAnswerable(know, q) },
+		func() { out.Exact = q.Eval(know.DataTree()) },
+		func() { out.Possible, errs[1] = answer.Apply(know, q) },
+		func() { out.CertainlyNonEmpty, errs[2] = answer.CertainlyNonEmpty(know, q) },
+		func() { out.PossiblyNonEmpty, errs[3] = answer.PossiblyNonEmpty(know, q) },
 	}
-	out.Exact = q.Eval(know.DataTree())
-	out.Possible, err = answer.Apply(know, q)
-	if err != nil {
-		return nil, err
+	pool.Each(context.Background(), len(tasks), func(i int) { tasks[i]() })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	out.CertainlyNonEmpty, err = answer.CertainlyNonEmpty(know, q)
-	if err != nil {
-		return nil, err
-	}
-	out.PossiblyNonEmpty, err = answer.PossiblyNonEmpty(know, q)
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	r.storeLocal(gen, key, out)
+	cp := *out
+	return &cp, nil
 }
 
 // AnswerComplete answers q exactly, contacting the source only as needed:
@@ -211,6 +405,8 @@ func (wh *Webhouse) AnswerComplete(source string, q query.Query) (tree.Tree, int
 	if err != nil {
 		return tree.Tree{}, 0, err
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	know := r.refiner.Reachable()
 	fully, err := answer.FullyAnswerable(know, q)
 	if err != nil {
@@ -221,8 +417,12 @@ func (wh *Webhouse) AnswerComplete(source string, q query.Query) (tree.Tree, int
 	}
 	if know.DataTree().Root == nil {
 		// Nothing known: pose the query itself.
-		a, err := wh.Explore(source, q)
-		return a, 1, err
+		a, err := exploreLocked(r, q)
+		if err != nil {
+			return tree.Tree{}, 1, err
+		}
+		r.invalidate()
+		return a, 1, nil
 	}
 	ls, err := mediator.Complete(know, q)
 	if err != nil {
@@ -233,7 +433,7 @@ func (wh *Webhouse) AnswerComplete(source string, q query.Query) (tree.Tree, int
 		answers[i] = r.Source.AskLocal(lq)
 	}
 	// Merge the fetched prefixes into the known data and answer.
-	merged := mediator.Merge(r.Source.doc, know.DataTree(), answers...)
+	merged := mediator.Merge(r.Source.Doc(), know.DataTree(), answers...)
 	result := q.Eval(merged)
 	// Fold the new information into the repository as a single observation:
 	// the completion answers are prefixes of the document; re-observe q with
@@ -241,9 +441,14 @@ func (wh *Webhouse) AnswerComplete(source string, q query.Query) (tree.Tree, int
 	if err := r.refiner.Observe(q, result); err != nil {
 		return tree.Tree{}, len(ls), err
 	}
+	r.invalidate()
 	return result, len(ls), nil
 }
 
 // Refiner exposes the repository's refinement chain (for advanced use and
-// testing).
-func (r *Repository) Refiner() *refine.Refiner { return r.refiner }
+// testing). Not safe against concurrent acquisition.
+func (r *Repository) Refiner() *refine.Refiner {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.refiner
+}
