@@ -1,21 +1,45 @@
-// Command webhouse runs a scripted Webhouse session over the paper's
-// catalog example: it registers a simulated source, explores it with the
-// running example's queries, answers further queries locally where
-// possible, and completes the rest via mediator-generated local queries —
-// reproducing the narrative of Sections 1 and 3.4.
+// Command webhouse runs the paper's Webhouse in one of two modes.
+//
+// With no arguments it replays a scripted session over the paper's catalog
+// example: it registers a simulated source, explores it with the running
+// example's queries, answers further queries locally where possible, and
+// completes the rest via mediator-generated local queries — reproducing
+// the narrative of Sections 1 and 3.4.
+//
+// `webhouse serve` starts an HTTP server over the same catalog source with
+// per-request timeouts and, optionally, injected source faults — a small
+// demonstration of the serving layer's failure model: when the source is
+// slow or down, completions degrade to the approximate local answer
+// (Theorem 3.14) instead of blocking or erroring. See README.md for the
+// endpoints.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"time"
 
+	"incxml/internal/faulty"
+	"incxml/internal/query"
 	"incxml/internal/webhouse"
 	"incxml/internal/workload"
 	"incxml/internal/xmlio"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "webhouse:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "webhouse:", err)
 		os.Exit(1)
@@ -23,6 +47,7 @@ func main() {
 }
 
 func run(w io.Writer) error {
+	ctx := context.Background()
 	src, err := webhouse.NewSource("catalog", workload.CatalogType(), workload.PaperCatalog())
 	if err != nil {
 		return err
@@ -32,14 +57,14 @@ func run(w io.Writer) error {
 	fmt.Fprintln(w, "== registered source 'catalog' (4 products; contents hidden from the webhouse)")
 
 	fmt.Fprintln(w, "\n== exploring: Query 1 (elec products under $200)")
-	a1, err := wh.Explore("catalog", workload.Query1(200))
+	a1, err := wh.Explore(ctx, "catalog", workload.Query1(200))
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "   answer: %d nodes\n", a1.Size())
 
 	fmt.Fprintln(w, "== exploring: Query 2 (pictured cameras, pictures extracted)")
-	a2, err := wh.Explore("catalog", workload.Query2())
+	a2, err := wh.Explore(ctx, "catalog", workload.Query2())
 	if err != nil {
 		return err
 	}
@@ -53,7 +78,7 @@ func run(w io.Writer) error {
 		know.Size(), know.DataTree().Size())
 
 	fmt.Fprintln(w, "\n== asking locally: Query 3 (cheap pictured cameras)")
-	la, err := wh.AnswerLocally("catalog", workload.Query3(100))
+	la, err := wh.AnswerLocally(ctx, "catalog", workload.Query3(100))
 	if err != nil {
 		return err
 	}
@@ -61,7 +86,7 @@ func run(w io.Writer) error {
 	fmt.Fprintf(w, "   exact local answer: %d nodes\n", la.Exact.Size())
 
 	fmt.Fprintln(w, "\n== asking locally: Query 4 (all cameras)")
-	la4, err := wh.AnswerLocally("catalog", workload.Query4())
+	la4, err := wh.AnswerLocally(ctx, "catalog", workload.Query4())
 	if err != nil {
 		return err
 	}
@@ -70,12 +95,13 @@ func run(w io.Writer) error {
 		la4.Exact.Size())
 
 	fmt.Fprintln(w, "\n== completing Query 4 against the source (Theorem 3.19)")
-	exact, n, err := wh.AnswerComplete("catalog", workload.Query4())
+	ca, err := wh.AnswerComplete(ctx, "catalog", workload.Query4())
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "   %d local queries executed; exact answer: %d nodes\n", n, exact.Size())
-	fmt.Fprintf(w, "   source served %d queries in total\n", src.QueriesServed)
+	fmt.Fprintf(w, "   %d local queries executed; exact answer: %d nodes\n", ca.LocalQueries, ca.Answer.Size())
+	served, _ := src.Served()
+	fmt.Fprintf(w, "   source served %d queries in total\n", served)
 
 	fmt.Fprintln(w, "\n== final incomplete tree (browsable XML):")
 	know, err = wh.Knowledge("catalog")
@@ -83,4 +109,177 @@ func run(w io.Writer) error {
 		return err
 	}
 	return xmlio.WriteIncomplete(w, know)
+}
+
+// server holds the serving state of `webhouse serve`.
+type server struct {
+	wh      *webhouse.Webhouse
+	source  string
+	timeout time.Duration
+	inj     *faulty.Injector
+}
+
+// newServer registers the paper's catalog source behind a fault injector
+// (a no-op at zero fail-rate and latency) and a retrying client, so the
+// serving path always exercises the failure model.
+func newServer(timeout time.Duration, failRate float64, latency time.Duration, seed int64) (*server, error) {
+	src, err := webhouse.NewSource("catalog", workload.CatalogType(), workload.PaperCatalog())
+	if err != nil {
+		return nil, err
+	}
+	wh := webhouse.New()
+	wh.Register(src)
+	inj := faulty.NewInjector(src.Name, src, faulty.InjectorConfig{
+		Latency: latency, FailRate: failRate, Seed: seed,
+	})
+	if err := wh.SetClient(src.Name, faulty.NewRetryClient(inj, faulty.RetryConfig{Seed: seed})); err != nil {
+		return nil, err
+	}
+	return &server{wh: wh, source: src.Name, timeout: timeout, inj: inj}, nil
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-request deadline")
+	failRate := fs.Float64("fail-rate", 0, "injected transient source-failure probability in [0,1]")
+	latency := fs.Duration("latency", 0, "injected per-call source latency")
+	seed := fs.Int64("seed", 1, "fault-injection RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := newServer(*timeout, *failRate, *latency, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("webhouse: serving catalog on %s (timeout %v, fail-rate %g, latency %v)\n",
+		*addr, *timeout, *failRate, *latency)
+	return http.ListenAndServe(*addr, s.handler())
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /explore", s.withDeadline(s.handleExplore))
+	mux.HandleFunc("POST /local", s.withDeadline(s.handleLocal))
+	mux.HandleFunc("POST /complete", s.withDeadline(s.handleComplete))
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// withDeadline derives the per-request context: the configured timeout on
+// top of the client's own cancellation.
+func (s *server) withDeadline(h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		h(ctx, w, r)
+	}
+}
+
+// readQuery parses the ps-query in the request body.
+func readQuery(w http.ResponseWriter, r *http.Request) (query.Query, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return query.Query{}, false
+	}
+	q, err := query.Parse(string(body))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad query: %v", err), http.StatusBadRequest)
+		return query.Query{}, false
+	}
+	return q, true
+}
+
+// fail maps serving errors to HTTP statuses: deadline and unavailability
+// become 504/503, everything else 500.
+func fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, faulty.ErrUnavailable):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *server) handleExplore(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	q, ok := readQuery(w, r)
+	if !ok {
+		return
+	}
+	a, err := s.wh.Explore(ctx, s.source, q)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	xml, err := xmlio.Marshal(a)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"nodes": a.Size(), "answer": xml})
+}
+
+func (s *server) handleLocal(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	q, ok := readQuery(w, r)
+	if !ok {
+		return
+	}
+	la, err := s.wh.AnswerLocally(ctx, s.source, q)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	xml, err := xmlio.Marshal(la.Exact)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"fully":             la.Fully,
+		"certainlyNonEmpty": la.CertainlyNonEmpty,
+		"possiblyNonEmpty":  la.PossiblyNonEmpty,
+		"nodes":             la.Exact.Size(),
+		"answer":            xml,
+	})
+}
+
+func (s *server) handleComplete(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	q, ok := readQuery(w, r)
+	if !ok {
+		return
+	}
+	ca, err := s.wh.AnswerComplete(ctx, s.source, q)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	xml, err := xmlio.Marshal(ca.Answer)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	resp := map[string]any{
+		"degraded":     ca.Degraded,
+		"localQueries": ca.LocalQueries,
+		"nodes":        ca.Answer.Size(),
+		"answer":       xml,
+	}
+	if ca.Degraded && ca.Cause != nil {
+		resp["cause"] = ca.Cause.Error()
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.wh.Stats())
 }

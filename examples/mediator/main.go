@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,8 +31,9 @@ func main() {
 	wh.Register(src)
 
 	// Explore with the running example's queries.
+	ctx := context.Background()
 	for _, q := range []incxml.Query{workload.Query1(200), workload.Query2()} {
-		if _, err := wh.Explore("catalog", q); err != nil {
+		if _, err := wh.Explore(ctx, "catalog", q); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -65,11 +67,12 @@ func main() {
 	}
 
 	// Execute them, merge, answer.
-	exact, n, err := wh.AnswerComplete("catalog", q4)
+	ca, err := wh.AnswerComplete(ctx, "catalog", q4)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nexecuted %d local queries; exact answer:\n%s", n, exact)
-	fmt.Println("the hidden camera surfaced:", exact.Find("leica") != nil)
-	fmt.Printf("total queries served by the source: %d\n", src.QueriesServed)
+	fmt.Printf("\nexecuted %d local queries; exact answer:\n%s", ca.LocalQueries, ca.Answer)
+	fmt.Println("the hidden camera surfaced:", ca.Answer.Find("leica") != nil)
+	served, _ := src.Served()
+	fmt.Printf("total queries served by the source: %d\n", served)
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	wh := incxml.NewWebhouse()
 
 	// Two stores with overlapping inventories but different prices.
@@ -37,7 +39,7 @@ func main() {
 	// Explore both with the cheap-products query.
 	q1 := workload.Query1(200)
 	for _, name := range []string{"eu", "us"} {
-		a, err := wh.Explore(name, q1)
+		a, err := wh.Explore(ctx, name, q1)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -53,7 +55,7 @@ func main() {
       subcat {= 2}
 `)
 	for _, name := range []string{"eu", "us"} {
-		la, err := wh.AnswerLocally(name, cheapCam)
+		la, err := wh.AnswerLocally(ctx, name, cheapCam)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,7 +77,7 @@ func main() {
 	if err := usRepo.Source.Update(repriced); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := wh.Explore("us", q1); err != nil {
+	if _, err := wh.Explore(ctx, "us", q1); err != nil {
 		log.Fatal(err)
 	}
 	know, err := wh.Knowledge("us")

@@ -43,6 +43,7 @@ import (
 	"incxml/internal/dtd"
 	"incxml/internal/engine"
 	"incxml/internal/extquery"
+	"incxml/internal/faulty"
 	"incxml/internal/heuristics"
 	"incxml/internal/itree"
 	"incxml/internal/mediator"
@@ -89,6 +90,9 @@ type (
 	Source = webhouse.Source
 	// LocalAnswer is the result of answering from local knowledge only.
 	LocalAnswer = webhouse.LocalAnswer
+	// CompleteAnswer is the result of AnswerComplete: exact when the source
+	// was reachable, a flagged Theorem 3.14 approximation when it was not.
+	CompleteAnswer = webhouse.CompleteAnswer
 	// ExtendedAnswer is the result of answering a Section 4 extended query
 	// from local knowledge (the conclusions' "more powerful local
 	// language").
@@ -209,6 +213,49 @@ var (
 	NewWebhouse = webhouse.New
 	// NewSource wraps a document as a simulated source.
 	NewSource = webhouse.NewSource
+)
+
+// Fault-tolerant source access (the serving layer's failure model; see
+// DESIGN.md). A webhouse reaches its sources through a SourceClient:
+// compose NewRetryClient over NewFaultInjector (tests, simulations) or any
+// custom transport, and install it with Webhouse.SetClient.
+type (
+	// SourceClient is context-threaded, possibly-failing source access.
+	SourceClient = faulty.SourceClient
+	// SourceBackend is an always-available in-memory source (Source
+	// satisfies it).
+	SourceBackend = faulty.Backend
+	// FaultInjector wraps a backend with injectable latency, transient
+	// errors and outages.
+	FaultInjector = faulty.Injector
+	// FaultInjectorConfig parameterizes a FaultInjector.
+	FaultInjectorConfig = faulty.InjectorConfig
+	// RetryClient adds exponential backoff, a circuit breaker and deadline
+	// enforcement to a SourceClient.
+	RetryClient = faulty.RetryClient
+	// RetryConfig parameterizes a RetryClient.
+	RetryConfig = faulty.RetryConfig
+	// SourceClientStats snapshots a RetryClient's reliability counters.
+	SourceClientStats = faulty.ClientStats
+	// SourceError decorates a source failure with source name, operation
+	// and transience.
+	SourceError = faulty.SourceError
+)
+
+var (
+	// NewDirectClient adapts a backend to SourceClient without faults.
+	NewDirectClient = faulty.NewDirect
+	// NewFaultInjector wraps a backend with injectable faults.
+	NewFaultInjector = faulty.NewInjector
+	// NewRetryClient wraps a client with retry + circuit-breaker policy.
+	NewRetryClient = faulty.NewRetryClient
+	// IsTransientSourceError reports whether an error is worth retrying.
+	IsTransientSourceError = faulty.IsTransient
+	// ErrSourceUnavailable marks definitive source unavailability (outage,
+	// open breaker, retries exhausted).
+	ErrSourceUnavailable = faulty.ErrUnavailable
+	// ErrSourceTransient marks a retryable source failure.
+	ErrSourceTransient = faulty.ErrTransient
 )
 
 // The parallel evaluation engine. The NP-hard solvers (conjunctive

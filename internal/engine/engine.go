@@ -163,9 +163,14 @@ func (p *Pool) SearchRange(ctx context.Context, total, chunk int64, f func(ctx c
 // when all have completed (a barrier). Unstarted tasks are skipped once ctx
 // is cancelled; started tasks always run to completion, so callers that
 // never cancel observe every index exactly once.
-func (p *Pool) Each(ctx context.Context, n int, f func(i int)) {
+//
+// Each returns nil when every index ran, and the context's error when
+// cancellation caused at least one index to be skipped — the signal a
+// serving layer needs to distinguish a complete result from one truncated
+// by a deadline.
+func (p *Pool) Each(ctx context.Context, n int, f func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	w := p.workers
 	if w > n {
@@ -173,15 +178,16 @@ func (p *Pool) Each(ctx context.Context, n int, f func(i int)) {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			if ctx.Err() != nil {
-				return
+			if err := ctx.Err(); err != nil {
+				return err
 			}
 			p.tasks.Add(1)
 			f(i)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
+	var done atomic.Int64
 	var wg sync.WaitGroup
 	for g := 0; g < w; g++ {
 		wg.Add(1)
@@ -195,8 +201,14 @@ func (p *Pool) Each(ctx context.Context, n int, f func(i int)) {
 				}
 				p.tasks.Add(1)
 				f(int(i))
+				done.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
+	if done.Load() < int64(n) {
+		// Skips only happen under a cancelled context, so Err is non-nil.
+		return ctx.Err()
+	}
+	return nil
 }

@@ -1,0 +1,262 @@
+package faulty
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incxml/internal/mediator"
+	"incxml/internal/query"
+	"incxml/internal/tree"
+)
+
+// RetryConfig parameterizes a RetryClient. The zero value selects the
+// defaults noted per field.
+type RetryConfig struct {
+	// MaxAttempts bounds the total tries per call (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 5ms); each
+	// further retry multiplies it by Multiplier (default 2), capped at
+	// MaxDelay (default 250ms).
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// JitterFrac spreads each delay uniformly over
+	// [delay*(1-JitterFrac/2), delay*(1+JitterFrac/2)] so synchronized
+	// retry storms decorrelate (default 0.5; negative disables jitter).
+	JitterFrac float64
+	// BreakerThreshold is the number of consecutive failed calls (not
+	// attempts) that opens the circuit breaker (default 5; negative
+	// disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects calls before
+	// letting a probe through (default 1s).
+	BreakerCooldown time.Duration
+	// Seed seeds the jitter RNG.
+	Seed int64
+}
+
+func (cfg RetryConfig) withDefaults() RetryConfig {
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseDelay == 0 {
+		cfg.BaseDelay = 5 * time.Millisecond
+	}
+	if cfg.MaxDelay == 0 {
+		cfg.MaxDelay = 250 * time.Millisecond
+	}
+	if cfg.Multiplier == 0 {
+		cfg.Multiplier = 2
+	}
+	if cfg.JitterFrac == 0 {
+		cfg.JitterFrac = 0.5
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown == 0 {
+		cfg.BreakerCooldown = time.Second
+	}
+	return cfg
+}
+
+// ClientStats is a snapshot of a RetryClient's counters. Aggregate stats
+// from several clients with Add.
+type ClientStats struct {
+	Attempts     uint64 // calls forwarded to the wrapped client
+	Retries      uint64 // attempts beyond the first
+	Failures     uint64 // calls that failed after all retries
+	BreakerOpens uint64 // closed/half-open -> open transitions
+	Rejections   uint64 // calls rejected by an open breaker
+}
+
+// Add accumulates other into s.
+func (s *ClientStats) Add(other ClientStats) {
+	s.Attempts += other.Attempts
+	s.Retries += other.Retries
+	s.Failures += other.Failures
+	s.BreakerOpens += other.BreakerOpens
+	s.Rejections += other.Rejections
+}
+
+// breaker is a per-source circuit breaker: consecutive failures open it,
+// an open breaker rejects calls until the cooldown elapses, then a probe
+// is let through (half-open); a probe success closes it, a probe failure
+// reopens it. Half-open admits concurrent probes — acceptable for this
+// serving layer, where a few extra probes are harmless.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	failures int
+	open     bool
+	until    time.Time
+	opens    uint64
+}
+
+// allow reports whether a call may proceed.
+func (b *breaker) allow(now time.Time) bool {
+	if b.threshold < 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	return !now.Before(b.until) // half-open probe
+}
+
+func (b *breaker) success() {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	b.failures = 0
+	b.open = false
+	b.mu.Unlock()
+}
+
+func (b *breaker) failure(now time.Time) {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	b.failures++
+	if b.failures >= b.threshold || b.open {
+		if !b.open || !now.Before(b.until) {
+			b.opens++ // count transitions, incl. a failed half-open probe
+		}
+		b.open = true
+		b.until = now.Add(b.cooldown)
+	}
+	b.mu.Unlock()
+}
+
+// RetryClient wraps a SourceClient with exponential backoff + jitter, a
+// per-source circuit breaker, and deadline enforcement: it never starts a
+// backoff sleep that cannot finish before the context deadline. Safe for
+// concurrent use.
+type RetryClient struct {
+	inner SourceClient
+	cfg   RetryConfig
+	brk   breaker
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	attempts   atomic.Uint64
+	retries    atomic.Uint64
+	failures   atomic.Uint64
+	rejections atomic.Uint64
+
+	// now and sleep are the clock, replaceable in tests.
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// NewRetryClient wraps inner with the retry/breaker policy of cfg.
+func NewRetryClient(inner SourceClient, cfg RetryConfig) *RetryClient {
+	cfg = cfg.withDefaults()
+	return &RetryClient{
+		inner: inner,
+		cfg:   cfg,
+		brk:   breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown},
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		now:   time.Now,
+		sleep: sleepCtx,
+	}
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *RetryClient) Stats() ClientStats {
+	c.brk.mu.Lock()
+	opens := c.brk.opens
+	c.brk.mu.Unlock()
+	return ClientStats{
+		Attempts:     c.attempts.Load(),
+		Retries:      c.retries.Load(),
+		Failures:     c.failures.Load(),
+		BreakerOpens: opens,
+		Rejections:   c.rejections.Load(),
+	}
+}
+
+// backoff computes the jittered delay before retry number `retry` (1-based).
+func (c *RetryClient) backoff(retry int) time.Duration {
+	d := float64(c.cfg.BaseDelay)
+	for i := 1; i < retry; i++ {
+		d *= c.cfg.Multiplier
+		if d >= float64(c.cfg.MaxDelay) {
+			break
+		}
+	}
+	if d > float64(c.cfg.MaxDelay) {
+		d = float64(c.cfg.MaxDelay)
+	}
+	if j := c.cfg.JitterFrac; j > 0 {
+		c.rngMu.Lock()
+		u := c.rng.Float64()
+		c.rngMu.Unlock()
+		d *= 1 + j*(u-0.5)
+	}
+	return time.Duration(d)
+}
+
+// do runs one logical call through the retry/breaker policy.
+func (c *RetryClient) do(ctx context.Context, attempt func(context.Context) (tree.Tree, error)) (tree.Tree, error) {
+	if !c.brk.allow(c.now()) {
+		c.rejections.Add(1)
+		return tree.Tree{}, fmt.Errorf("%w: circuit breaker open", ErrUnavailable)
+	}
+	var last error
+	for try := 1; try <= c.cfg.MaxAttempts; try++ {
+		if err := ctx.Err(); err != nil {
+			return tree.Tree{}, err // caller's deadline, not the source's fault
+		}
+		c.attempts.Add(1)
+		a, err := attempt(ctx)
+		if err == nil {
+			c.brk.success()
+			return a, nil
+		}
+		last = err
+		if ctx.Err() != nil {
+			return tree.Tree{}, err
+		}
+		if !IsTransient(err) {
+			break
+		}
+		if try == c.cfg.MaxAttempts {
+			break
+		}
+		d := c.backoff(try)
+		if dl, ok := ctx.Deadline(); ok && c.now().Add(d).After(dl) {
+			// The backoff cannot finish before the deadline: give up now so
+			// the caller has the remaining budget for a degraded answer.
+			c.brk.failure(c.now())
+			c.failures.Add(1)
+			return tree.Tree{}, fmt.Errorf("%w: deadline precludes retry %d: %w", ErrUnavailable, try, last)
+		}
+		c.retries.Add(1)
+		if err := c.sleep(ctx, d); err != nil {
+			return tree.Tree{}, err
+		}
+	}
+	c.brk.failure(c.now())
+	c.failures.Add(1)
+	return tree.Tree{}, fmt.Errorf("%w: %w", ErrUnavailable, last)
+}
+
+func (c *RetryClient) Ask(ctx context.Context, q query.Query) (tree.Tree, error) {
+	return c.do(ctx, func(ctx context.Context) (tree.Tree, error) { return c.inner.Ask(ctx, q) })
+}
+
+func (c *RetryClient) AskLocal(ctx context.Context, lq mediator.LocalQuery) (tree.Tree, error) {
+	return c.do(ctx, func(ctx context.Context) (tree.Tree, error) { return c.inner.AskLocal(ctx, lq) })
+}

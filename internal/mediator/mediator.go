@@ -8,6 +8,7 @@
 package mediator
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -183,6 +184,31 @@ func missingBelow(w *itree.T, n tree.NodeID) bool {
 		}
 	}
 	return false
+}
+
+// Executor executes local queries against a (possibly remote, possibly
+// unreliable) source under a context. faulty.SourceClient satisfies it;
+// retry and circuit-breaking policy live in the executor, not here.
+type Executor interface {
+	AskLocal(ctx context.Context, lq LocalQuery) (tree.Tree, error)
+}
+
+// ExecuteAll runs every local query of a Theorem 3.19 completion through
+// the executor, preserving order (answers[i] answers ls[i]). The
+// completion is only useful whole — a partial answer set does not complete
+// the representation — so the first failure (after whatever retries the
+// executor performs) aborts and is returned; the caller then degrades to a
+// local approximation.
+func ExecuteAll(ctx context.Context, ex Executor, ls []LocalQuery) ([]tree.Tree, error) {
+	answers := make([]tree.Tree, len(ls))
+	for i, lq := range ls {
+		a, err := ex.AskLocal(ctx, lq)
+		if err != nil {
+			return nil, fmt.Errorf("mediator: local query %d of %d (%s): %w", i+1, len(ls), lq, err)
+		}
+		answers[i] = a
+	}
+	return answers, nil
 }
 
 // Merge adjoins the answers of executed local queries to a base prefix of

@@ -1,6 +1,9 @@
 package mediator
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -290,5 +293,71 @@ func TestCompleteAfterFullExtraction(t *testing.T) {
 	// subtree node.
 	if !Completes(know, qAll, world, ls) {
 		t.Error("completion after full extraction broken")
+	}
+}
+
+// scriptedExec is an Executor that answers from a fixed world and fails on
+// one scripted call (1-based; 0 never fails).
+type scriptedExec struct {
+	world  tree.Tree
+	failAt int
+	calls  int
+}
+
+func (e *scriptedExec) AskLocal(ctx context.Context, lq LocalQuery) (tree.Tree, error) {
+	if err := ctx.Err(); err != nil {
+		return tree.Tree{}, err
+	}
+	e.calls++
+	if e.calls == e.failAt {
+		return tree.Tree{}, errors.New("boom")
+	}
+	return lq.Execute(e.world), nil
+}
+
+func TestExecuteAllOrderAndAbort(t *testing.T) {
+	world := catalogWorld()
+	ls := []LocalQuery{
+		{At: "canon", Q: query.MustParse("product\n  price\n")},
+		{At: "nikon", Q: query.MustParse("product\n  name\n")},
+		{At: "sony", Q: query.MustParse("product\n  cat\n    subcat\n")},
+	}
+
+	// Success: answers come back aligned with their queries.
+	ex := &scriptedExec{world: world}
+	answers, err := ExecuteAll(context.Background(), ex, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != len(ls) {
+		t.Fatalf("got %d answers for %d queries", len(answers), len(ls))
+	}
+	for i, a := range answers {
+		if !a.Equal(ls[i].Execute(world)) {
+			t.Errorf("answer %d misaligned with its local query", i)
+		}
+	}
+
+	// Failure mid-way: aborts immediately (a partial answer set cannot
+	// complete the representation) and reports which query failed.
+	ex = &scriptedExec{world: world, failAt: 2}
+	if _, err := ExecuteAll(context.Background(), ex, ls); err == nil {
+		t.Fatal("failure swallowed")
+	} else if !strings.Contains(err.Error(), fmt.Sprintf("local query 2 of %d", len(ls))) {
+		t.Errorf("error does not identify the failing query: %v", err)
+	}
+	if ex.calls != 2 {
+		t.Errorf("executor called %d times after a failure at call 2", ex.calls)
+	}
+
+	// Cancelled context surfaces before any execution.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ex = &scriptedExec{world: world}
+	if _, err := ExecuteAll(ctx, ex, ls); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled context: %v", err)
+	}
+	if ex.calls != 0 {
+		t.Errorf("executor ran %d queries under a cancelled context", ex.calls)
 	}
 }

@@ -1,6 +1,7 @@
 package webhouse
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -15,14 +16,14 @@ import (
 // hit, and each of Explore, Update and Invalidate evicts.
 func TestAnswerCacheHitAndEviction(t *testing.T) {
 	wh, _ := newCatalogWebhouse(t)
-	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+	if _, err := wh.Explore(context.Background(), "catalog", workload.Query1(200)); err != nil {
 		t.Fatal(err)
 	}
 	q := workload.Query3(100)
 
 	ask := func() Stats {
 		t.Helper()
-		if _, err := wh.AnswerLocally("catalog", q); err != nil {
+		if _, err := wh.AnswerLocally(context.Background(), "catalog", q); err != nil {
 			t.Fatal(err)
 		}
 		return wh.Stats()
@@ -39,7 +40,7 @@ func TestAnswerCacheHitAndEviction(t *testing.T) {
 		run  func() error
 	}{
 		{"Explore", func() error {
-			_, err := wh.Explore("catalog", workload.Query2())
+			_, err := wh.Explore(context.Background(), "catalog", workload.Query2())
 			return err
 		}},
 		{"Invalidate", func() error { return wh.Invalidate("catalog") }},
@@ -63,16 +64,16 @@ func TestAnswerCacheHitAndEviction(t *testing.T) {
 
 func TestAnswerExtendedCached(t *testing.T) {
 	wh, _ := newCatalogWebhouse(t)
-	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+	if _, err := wh.Explore(context.Background(), "catalog", workload.Query1(200)); err != nil {
 		t.Fatal(err)
 	}
 	q := extquery.Query{Root: extquery.N("catalog", cond.True(),
 		extquery.N("product", cond.True()))}
-	if _, err := wh.AnswerExtended("catalog", q); err != nil {
+	if _, err := wh.AnswerExtended(context.Background(), "catalog", q); err != nil {
 		t.Fatal(err)
 	}
 	before := wh.Stats()
-	a1, err := wh.AnswerExtended("catalog", q)
+	a1, err := wh.AnswerExtended(context.Background(), "catalog", q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestAnswerExtendedCached(t *testing.T) {
 	if err := wh.Invalidate("catalog"); err != nil {
 		t.Fatal(err)
 	}
-	a2, err := wh.AnswerExtended("catalog", q)
+	a2, err := wh.AnswerExtended(context.Background(), "catalog", q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,21 +101,21 @@ func TestAnswerExtendedCached(t *testing.T) {
 // remain well-formed under contention.
 func TestConcurrentServing(t *testing.T) {
 	wh, _ := newCatalogWebhouse(t)
-	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+	if _, err := wh.Explore(context.Background(), "catalog", workload.Query1(200)); err != nil {
 		t.Fatal(err)
 	}
 	queries := []func() error{
 		func() error {
-			_, err := wh.AnswerLocally("catalog", workload.Query3(100))
+			_, err := wh.AnswerLocally(context.Background(), "catalog", workload.Query3(100))
 			return err
 		},
 		func() error {
-			_, err := wh.AnswerLocally("catalog", workload.Query1(150))
+			_, err := wh.AnswerLocally(context.Background(), "catalog", workload.Query1(150))
 			return err
 		},
 		func() error {
 			q := extquery.Query{Root: extquery.N("catalog", cond.True())}
-			_, err := wh.AnswerExtended("catalog", q)
+			_, err := wh.AnswerExtended(context.Background(), "catalog", q)
 			return err
 		},
 		func() error {
@@ -128,7 +129,7 @@ func TestConcurrentServing(t *testing.T) {
 			return nil
 		},
 		func() error {
-			_, err := wh.Explore("catalog", workload.Query2())
+			_, err := wh.Explore(context.Background(), "catalog", workload.Query2())
 			return err
 		},
 		func() error { return wh.Invalidate("catalog") },
@@ -136,7 +137,7 @@ func TestConcurrentServing(t *testing.T) {
 			return wh.Update("catalog", workload.PaperCatalog())
 		},
 		func() error {
-			_, _, err := wh.AnswerComplete("catalog", workload.Query3(100))
+			_, err := wh.AnswerComplete(context.Background(), "catalog", workload.Query3(100))
 			return err
 		},
 	}
@@ -165,10 +166,10 @@ func TestConcurrentServing(t *testing.T) {
 	if err := wh.Invalidate("catalog"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+	if _, err := wh.Explore(context.Background(), "catalog", workload.Query1(200)); err != nil {
 		t.Fatal(err)
 	}
-	la, err := wh.AnswerLocally("catalog", workload.Query3(100))
+	la, err := wh.AnswerLocally(context.Background(), "catalog", workload.Query3(100))
 	if err != nil {
 		t.Fatal(err)
 	}

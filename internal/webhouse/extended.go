@@ -1,6 +1,7 @@
 package webhouse
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -86,8 +87,12 @@ func (r *Repository) storeExt(gen uint64, key string, ea *ExtendedAnswer) {
 
 // AnswerExtended evaluates an extended query against the repository's data
 // tree and reports whether the result is exact. Results are cached per
-// source until the knowledge changes.
-func (wh *Webhouse) AnswerExtended(source string, q extquery.Query) (*ExtendedAnswer, error) {
+// source until the knowledge changes. The query runs entirely locally;
+// the context's deadline is still honored between the evaluation stages.
+func (wh *Webhouse) AnswerExtended(ctx context.Context, source string, q extquery.Query) (*ExtendedAnswer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r, err := wh.Repo(source)
 	if err != nil {
 		return nil, err
@@ -102,12 +107,12 @@ func (wh *Webhouse) AnswerExtended(source string, q extquery.Query) (*ExtendedAn
 		return &cp, nil
 	}
 	wh.cacheMisses.Add(1)
-	r.mu.RLock()
-	gen := r.gen.Load()
-	know := r.refiner.Reachable()
-	r.mu.RUnlock()
+	gen, know := r.snapshot()
 	td := know.DataTree()
 	out := &ExtendedAnswer{Known: q.Answer(td)}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cover, monotone := coveringPSQuery(q)
 	if monotone && cover.Root != nil {
 		fully, err := answer.FullyAnswerable(know, cover)

@@ -1,6 +1,7 @@
 package webhouse
 
 import (
+	"context"
 	"testing"
 
 	"incxml/internal/cond"
@@ -17,10 +18,10 @@ func exploredWebhouse(t *testing.T) *Webhouse {
 	}
 	wh := New()
 	wh.Register(src)
-	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+	if _, err := wh.Explore(context.Background(), "catalog", workload.Query1(200)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := wh.Explore("catalog", workload.Query2()); err != nil {
+	if _, err := wh.Explore(context.Background(), "catalog", workload.Query2()); err != nil {
 		t.Fatal(err)
 	}
 	return wh
@@ -37,7 +38,7 @@ func TestAnswerExtendedExactWhenCovered(t *testing.T) {
 			extquery.N("price", cond.LtInt(100)),
 			extquery.N("cat", cond.EqInt(workload.ValElec),
 				extquery.N("subcat", cond.EqInt(workload.ValCamera)))))}
-	got, err := wh.AnswerExtended("catalog", q)
+	got, err := wh.AnswerExtended(context.Background(), "catalog", q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestAnswerExtendedInexactWhenUncovered(t *testing.T) {
 			extquery.N("name", cond.True()),
 			extquery.N("cat", cond.EqInt(workload.ValElec),
 				extquery.N("subcat", cond.EqInt(workload.ValCamera)))))}
-	got, err := wh.AnswerExtended("catalog", q)
+	got, err := wh.AnswerExtended(context.Background(), "catalog", q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestAnswerExtendedNonMonotoneNeverExact(t *testing.T) {
 		extquery.N("product", cond.True(),
 			extquery.N("name", cond.True()),
 			extquery.Negated(extquery.N("picture", cond.True()))))}
-	got, err := wh.AnswerExtended("catalog", q)
+	got, err := wh.AnswerExtended(context.Background(), "catalog", q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,13 +89,13 @@ func TestAnswerExtendedNonMonotoneNeverExact(t *testing.T) {
 	qOpt := extquery.Query{Root: extquery.N("catalog", cond.True(),
 		extquery.N("product", cond.True(),
 			extquery.Optional(extquery.N("picture", cond.True()))))}
-	if got, err := wh.AnswerExtended("catalog", qOpt); err != nil || got.Exact {
+	if got, err := wh.AnswerExtended(context.Background(), "catalog", qOpt); err != nil || got.Exact {
 		t.Errorf("optional query exactness = %v, err = %v", got.Exact, err)
 	}
 	// Path expressions: inexact.
 	qPath := extquery.Query{Root: extquery.N("catalog", cond.True(),
 		extquery.OnPath(extquery.N("subcat", cond.True()), pathre.AnyStar()))}
-	if got, err := wh.AnswerExtended("catalog", qPath); err != nil || got.Exact {
+	if got, err := wh.AnswerExtended(context.Background(), "catalog", qPath); err != nil || got.Exact {
 		t.Errorf("path query exactness = %v, err = %v", got.Exact, err)
 	}
 }
@@ -107,7 +108,7 @@ func TestAnswerExtendedBranchingMergedLeaves(t *testing.T) {
 		extquery.N("product", cond.True(),
 			extquery.N("price", cond.LtInt(60)),
 			extquery.N("price", cond.GtInt(5000))))}
-	got, err := wh.AnswerExtended("catalog", q)
+	got, err := wh.AnswerExtended(context.Background(), "catalog", q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestAnswerExtendedBranchingMergedLeaves(t *testing.T) {
 
 func TestAnswerExtendedUnknownSource(t *testing.T) {
 	wh := New()
-	if _, err := wh.AnswerExtended("nope", extquery.Query{}); err == nil {
+	if _, err := wh.AnswerExtended(context.Background(), "nope", extquery.Query{}); err == nil {
 		t.Error("unknown source accepted")
 	}
 }

@@ -16,11 +16,17 @@
 //     the source (Theorem 3.19) and merging the answers.
 //
 // The webhouse is a serving layer: all entry points are safe for concurrent
-// use. Each repository guards its refinement state with an RWMutex so many
+// use and take a context whose deadline bounds the work — source access,
+// retries and pooled sub-computations are all cancelled when it expires.
+// Source access goes through a faulty.SourceClient (per repository), so a
+// slow or down source degrades AnswerComplete to the best approximate local
+// answer (Theorem 3.14), flagged Degraded, instead of blocking or erroring.
+// Each repository guards its refinement state with an RWMutex so many
 // readers (AnswerLocally, AnswerExtended, Knowledge) proceed in parallel
 // while acquisition (Explore, AnswerComplete, Invalidate, Update) is
-// exclusive. Local answers are cached per source under the query's canonical
-// string and invalidated whenever the knowledge changes.
+// exclusive; no lock is held across source I/O. Local answers are cached
+// per source under the query's canonical string and invalidated whenever
+// the knowledge changes.
 package webhouse
 
 import (
@@ -34,6 +40,7 @@ import (
 	"incxml/internal/answer"
 	"incxml/internal/dtd"
 	"incxml/internal/engine"
+	"incxml/internal/faulty"
 	"incxml/internal/itree"
 	"incxml/internal/mediator"
 	"incxml/internal/query"
@@ -42,18 +49,26 @@ import (
 )
 
 // Source simulates a remote XML document behind a ps-query interface with
-// persistent node identifiers (Remark 2.4).
+// persistent node identifiers (Remark 2.4). It satisfies faulty.Backend.
 type Source struct {
 	Name string
 	Type *dtd.Type
 
+	// mu guards doc only. Queries snapshot the document pointer under mu
+	// and evaluate outside it, so concurrent Ask calls overlap and never
+	// block Doc or Update; documents are treated as immutable (Update
+	// replaces the pointer, never mutates in place).
 	mu  sync.Mutex
 	doc tree.Tree
-	// Stats, guarded by mu; read them only when no query is in flight (or
-	// via Served).
-	QueriesServed int
-	NodesServed   int
+
+	queriesServed atomic.Int64
+	nodesServed   atomic.Int64
 }
+
+// testHookSourceEval, when set, runs between the document snapshot and the
+// query evaluation in Ask/AskLocal. Tests use it to prove evaluation
+// happens outside the source lock.
+var testHookSourceEval func()
 
 // NewSource wraps a document; it must conform to the type.
 func NewSource(name string, ty *dtd.Type, doc tree.Tree) (*Source, error) {
@@ -70,31 +85,36 @@ func (s *Source) Doc() tree.Tree {
 	return s.doc
 }
 
-// Served reports the query and node counters under the source lock.
+// Served reports the query and node counters.
 func (s *Source) Served() (queries, nodes int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.QueriesServed, s.NodesServed
+	return int(s.queriesServed.Load()), int(s.nodesServed.Load())
 }
 
-// Ask evaluates a ps-query against the full document.
-func (s *Source) Ask(q query.Query) tree.Tree {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a := q.Eval(s.doc)
-	s.QueriesServed++
-	s.NodesServed += a.Size()
+// record tallies one served query answering a nodes.
+func (s *Source) record(a tree.Tree) tree.Tree {
+	s.queriesServed.Add(1)
+	s.nodesServed.Add(int64(a.Size()))
 	return a
+}
+
+// Ask evaluates a ps-query against the full document. The document is
+// snapshotted under the source lock and evaluated outside it, so slow
+// queries do not serialize readers.
+func (s *Source) Ask(q query.Query) tree.Tree {
+	doc := s.Doc()
+	if h := testHookSourceEval; h != nil {
+		h()
+	}
+	return s.record(q.Eval(doc))
 }
 
 // AskLocal evaluates a local query p@n.
 func (s *Source) AskLocal(lq mediator.LocalQuery) tree.Tree {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a := lq.Execute(s.doc)
-	s.QueriesServed++
-	s.NodesServed += a.Size()
-	return a
+	doc := s.Doc()
+	if h := testHookSourceEval; h != nil {
+		h()
+	}
+	return s.record(lq.Execute(doc))
 }
 
 // Update replaces the source document (the source changed). Prefer
@@ -111,12 +131,15 @@ func (s *Source) Update(doc tree.Tree) error {
 
 // Repository is the webhouse's incomplete knowledge about one source.
 //
-// mu guards the refiner (the knowledge); cacheMu guards the answer caches.
-// Lock order is mu before cacheMu; gen is bumped on every knowledge change
-// so a computation that raced with an invalidation never repopulates the
-// cache with a stale answer.
+// mu guards the refiner (the knowledge); cacheMu guards the answer caches
+// and the generation counter together. Lock order is mu before cacheMu;
+// neither is ever held across source I/O — the client is called between
+// the knowledge snapshot and the fold-in.
 type Repository struct {
 	Source *Source
+
+	clientMu sync.RWMutex
+	client   faulty.SourceClient
 
 	mu      sync.RWMutex
 	refiner *refine.Refiner
@@ -128,12 +151,22 @@ type Repository struct {
 }
 
 // invalidate marks the knowledge changed and drops all cached answers.
+// The generation bump and the map clear form one cacheMu critical section:
+// anyone holding cacheMu observes them atomically, so a cached entry can
+// never coexist with a newer generation (see storeLocal).
 func (r *Repository) invalidate() {
-	r.gen.Add(1)
 	r.cacheMu.Lock()
+	r.gen.Add(1)
 	r.answers = map[string]*LocalAnswer{}
 	r.ext = map[string]*ExtendedAnswer{}
 	r.cacheMu.Unlock()
+}
+
+// Client returns the source-access client serving this repository.
+func (r *Repository) Client() faulty.SourceClient {
+	r.clientMu.RLock()
+	defer r.clientMu.RUnlock()
+	return r.client
 }
 
 // Webhouse is a registry of repositories, safe for concurrent use.
@@ -144,6 +177,7 @@ type Webhouse struct {
 	pool        *engine.Pool
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
+	degraded    atomic.Uint64
 }
 
 // New creates an empty webhouse backed by the default worker pool.
@@ -162,17 +196,43 @@ func (wh *Webhouse) SetPool(p *engine.Pool) {
 	wh.mu.Unlock()
 }
 
+func (wh *Webhouse) getPool() *engine.Pool {
+	wh.mu.RLock()
+	defer wh.mu.RUnlock()
+	return wh.pool
+}
+
 // Register adds a source, initializing its knowledge to the source's tree
-// type (everything about the document itself is unknown).
+// type (everything about the document itself is unknown). Access goes
+// through a fault-free direct client; use SetClient to interpose retry or
+// fault-injection layers.
 func (wh *Webhouse) Register(src *Source) {
 	wh.mu.Lock()
 	defer wh.mu.Unlock()
 	wh.repos[src.Name] = &Repository{
 		Source:  src,
+		client:  faulty.NewDirect(src),
 		refiner: refine.NewRefiner(src.Type.Alphabet(), src.Type),
 		answers: map[string]*LocalAnswer{},
 		ext:     map[string]*ExtendedAnswer{},
 	}
+}
+
+// SetClient installs the source-access client for a registered source —
+// typically a faulty.RetryClient wrapping an unreliable transport. nil
+// restores the fault-free direct client.
+func (wh *Webhouse) SetClient(source string, c faulty.SourceClient) error {
+	r, err := wh.Repo(source)
+	if err != nil {
+		return err
+	}
+	if c == nil {
+		c = faulty.NewDirect(r.Source)
+	}
+	r.clientMu.Lock()
+	r.client = c
+	r.clientMu.Unlock()
+	return nil
 }
 
 // Repo returns the repository for a source.
@@ -200,64 +260,99 @@ func (wh *Webhouse) Sources() []string {
 }
 
 // Stats aggregates the serving-layer counters: the per-source answer cache,
-// the shared decision and membership caches, and the worker pool.
+// the shared decision and membership caches, source-access reliability, and
+// the worker pool.
 type Stats struct {
 	// AnswerCacheHits/Misses count AnswerLocally and AnswerExtended lookups
-	// served from (resp. missing) the per-source answer caches.
+	// served from (resp. missing) the per-source answer caches. These are
+	// per-webhouse.
 	AnswerCacheHits   uint64
 	AnswerCacheMisses uint64
-	// Decision is the answer package's decision-procedure cache.
+	// DegradedAnswers counts AnswerComplete calls that fell back to the
+	// approximate local answer because the source was unavailable.
+	DegradedAnswers uint64
+	// Source aggregates retry/breaker counters over every repository whose
+	// client exposes faulty.ClientStats (direct clients report nothing).
+	Source faulty.ClientStats
+	// Decision is the answer package's decision-procedure cache and
+	// Membership the itree membership/prefix result cache. Both caches are
+	// PROCESS-GLOBAL: all webhouses (and direct itree/answer callers) in
+	// the process share them, because entries are keyed by content
+	// fingerprints and are therefore valid across instances. Two webhouses
+	// in one process deliberately see each other's traffic in these two
+	// counters; treat them as process gauges, not per-webhouse ones.
 	Decision engine.CacheStats
-	// Membership is the itree membership/prefix result cache.
+	// Membership is the itree membership/prefix result cache (shared; see
+	// Decision).
 	Membership engine.CacheStats
-	// Engine reports worker-pool utilization.
+	// Engine reports worker-pool utilization (shared iff the pool is).
 	Engine engine.Stats
 }
+
+// clientStats is implemented by clients that track reliability counters
+// (faulty.RetryClient).
+type clientStats interface{ Stats() faulty.ClientStats }
 
 // Stats returns a snapshot of the webhouse's serving counters.
 func (wh *Webhouse) Stats() Stats {
 	wh.mu.RLock()
 	p := wh.pool
+	repos := make([]*Repository, 0, len(wh.repos))
+	for _, r := range wh.repos {
+		repos = append(repos, r)
+	}
 	wh.mu.RUnlock()
+	var src faulty.ClientStats
+	for _, r := range repos {
+		if cs, ok := r.Client().(clientStats); ok {
+			src.Add(cs.Stats())
+		}
+	}
 	return Stats{
 		AnswerCacheHits:   wh.cacheHits.Load(),
 		AnswerCacheMisses: wh.cacheMisses.Load(),
+		DegradedAnswers:   wh.degraded.Load(),
+		Source:            src,
 		Decision:          answer.CacheStats(),
 		Membership:        itree.CacheStats(),
 		Engine:            p.Stats(),
 	}
 }
 
-// exploreLocked poses q to the source and folds the answer into r. The
-// caller must hold r.mu for writing.
-func exploreLocked(r *Repository, q query.Query) (tree.Tree, error) {
-	a := r.Source.Ask(q)
+// observeLocked folds the answer a of query q into r with the paper's
+// recovery strategy: when the observation contradicts the accumulated
+// knowledge — the source changed under us — the repository is
+// reinitialized to the source type and the observation replayed against
+// the fresh state. The caller must hold r.mu for writing.
+func observeLocked(r *Repository, q query.Query, a tree.Tree) error {
 	err := r.refiner.Observe(q, a)
 	if errors.Is(err, refine.ErrInconsistent) {
 		r.refiner = refine.NewRefiner(r.Source.Type.Alphabet(), r.Source.Type)
 		err = r.refiner.Observe(q, a)
 	}
-	if err != nil {
-		return tree.Tree{}, err
-	}
-	return a, nil
+	return err
 }
 
 // Explore poses a ps-query to the source and folds the answer into the
-// repository (the acquisition loop of Section 3.1). When the answer
-// contradicts the accumulated knowledge — the source changed under us —
-// the repository is reinitialized to the source type (the paper's recovery
-// strategy) and the observation is replayed against the fresh state.
-// Cached local answers for the source are dropped.
-func (wh *Webhouse) Explore(source string, q query.Query) (tree.Tree, error) {
+// repository (the acquisition loop of Section 3.1). The source is reached
+// through the repository's client outside any repository lock, so a slow
+// source never blocks concurrent readers; the context's deadline bounds
+// the call, retries included. Cached local answers for the source are
+// dropped on success. When the source is unavailable the returned error
+// wraps faulty.ErrUnavailable and the knowledge is left unchanged —
+// acquisition, unlike AnswerComplete, has no approximate fallback.
+func (wh *Webhouse) Explore(ctx context.Context, source string, q query.Query) (tree.Tree, error) {
 	r, err := wh.Repo(source)
 	if err != nil {
 		return tree.Tree{}, err
 	}
+	a, err := r.Client().Ask(ctx, q)
+	if err != nil {
+		return tree.Tree{}, fmt.Errorf("webhouse: explore %q: %w", source, err)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	a, err := exploreLocked(r, q)
-	if err != nil {
+	if err := observeLocked(r, q, a); err != nil {
 		return tree.Tree{}, err
 	}
 	r.invalidate()
@@ -340,10 +435,9 @@ func (wh *Webhouse) lookupLocal(r *Repository, key string) (*LocalAnswer, bool) 
 }
 
 // storeLocal inserts a computed answer unless the knowledge changed since
-// the computation started. invalidate bumps gen before clearing under
-// cacheMu, so checking gen under cacheMu is race-free: either we observe the
-// bump and skip, or our insertion happens before the clear and is removed by
-// it.
+// the computation started. invalidate bumps gen and clears the maps in one
+// cacheMu critical section, so the gen check under cacheMu is exact: the
+// insert happens iff no invalidation intervened since the snapshot.
 func (r *Repository) storeLocal(gen uint64, key string, la *LocalAnswer) {
 	r.cacheMu.Lock()
 	if r.gen.Load() == gen {
@@ -352,11 +446,46 @@ func (r *Repository) storeLocal(gen uint64, key string, la *LocalAnswer) {
 	r.cacheMu.Unlock()
 }
 
+// snapshot reads the repository's generation and knowledge consistently.
+func (r *Repository) snapshot() (uint64, *itree.T) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gen.Load(), r.refiner.Reachable()
+}
+
+// computeLocal evaluates the four local-answer facets of q on know across
+// the worker pool, honoring the context's deadline: when it expires before
+// every facet ran, the context error is returned instead of a partial
+// answer.
+func (wh *Webhouse) computeLocal(ctx context.Context, know *itree.T, q query.Query) (*LocalAnswer, error) {
+	out := &LocalAnswer{}
+	var errs [4]error
+	tasks := []func(){
+		func() { out.Fully, errs[0] = answer.FullyAnswerable(know, q) },
+		func() { out.Exact = q.Eval(know.DataTree()) },
+		func() { out.Possible, errs[1] = answer.Apply(know, q) },
+		func() { out.CertainlyNonEmpty, errs[2] = answer.CertainlyNonEmpty(know, q) },
+		func() { out.PossiblyNonEmpty, errs[3] = answer.PossiblyNonEmpty(know, q) },
+	}
+	if err := wh.getPool().Each(ctx, len(tasks), func(i int) { tasks[i]() }); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // AnswerLocally answers q from the repository without contacting the
 // source. Repeated calls with the same query on unchanged knowledge are
 // served from the per-source cache; the independent sub-answers of a miss
-// are fanned out across the worker pool.
-func (wh *Webhouse) AnswerLocally(source string, q query.Query) (*LocalAnswer, error) {
+// are fanned out across the worker pool under the caller's deadline.
+func (wh *Webhouse) AnswerLocally(ctx context.Context, source string, q query.Query) (*LocalAnswer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r, err := wh.Repo(source)
 	if err != nil {
 		return nil, err
@@ -366,83 +495,120 @@ func (wh *Webhouse) AnswerLocally(source string, q query.Query) (*LocalAnswer, e
 		cp := *la
 		return &cp, nil
 	}
-	r.mu.RLock()
-	gen := r.gen.Load()
-	know := r.refiner.Reachable()
-	r.mu.RUnlock()
-
-	out := &LocalAnswer{}
-	var errs [4]error
-	wh.mu.RLock()
-	pool := wh.pool
-	wh.mu.RUnlock()
-	tasks := []func(){
-		func() { out.Fully, errs[0] = answer.FullyAnswerable(know, q) },
-		func() { out.Exact = q.Eval(know.DataTree()) },
-		func() { out.Possible, errs[1] = answer.Apply(know, q) },
-		func() { out.CertainlyNonEmpty, errs[2] = answer.CertainlyNonEmpty(know, q) },
-		func() { out.PossiblyNonEmpty, errs[3] = answer.PossiblyNonEmpty(know, q) },
-	}
-	pool.Each(context.Background(), len(tasks), func(i int) { tasks[i]() })
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	gen, know := r.snapshot()
+	out, err := wh.computeLocal(ctx, know, q)
+	if err != nil {
+		return nil, err
 	}
 	r.storeLocal(gen, key, out)
 	cp := *out
 	return &cp, nil
 }
 
+// CompleteAnswer is the result of AnswerComplete. When the source was
+// reachable, Answer is the exact answer. When it was not, Degraded is set:
+// Answer is the query evaluated on the locally known data — a sound lower
+// approximation — and Local carries the full Theorem 3.14 picture
+// (possible-answers tree and modalities) computed from the same knowledge
+// snapshot, never from a cache.
+type CompleteAnswer struct {
+	// Answer is the exact answer, or the known-data approximation when
+	// Degraded.
+	Answer tree.Tree
+	// LocalQueries is the number of local queries the completion needed
+	// (attempted, when Degraded).
+	LocalQueries int
+	// Degraded reports that the source was unavailable and Answer is the
+	// approximate local answer.
+	Degraded bool
+	// Local is the Theorem 3.14 local answer backing a degraded result.
+	Local *LocalAnswer
+	// Cause is the source-access error behind a degraded result (it wraps
+	// faulty.ErrUnavailable).
+	Cause error
+}
+
+// degrade falls back to the best locally-computable approximation after a
+// source failure, computing it fresh from the knowledge snapshot (a stale
+// cached answer must never masquerade as the degraded result).
+func (wh *Webhouse) degrade(ctx context.Context, know *itree.T, q query.Query, attempted int, cause error) (*CompleteAnswer, error) {
+	la, err := wh.computeLocal(ctx, know, q)
+	if err != nil {
+		// Not even the local fallback fit in the deadline.
+		return nil, errors.Join(cause, err)
+	}
+	wh.degraded.Add(1)
+	return &CompleteAnswer{
+		Answer:       la.Exact,
+		LocalQueries: attempted,
+		Degraded:     true,
+		Local:        la,
+		Cause:        cause,
+	}, nil
+}
+
 // AnswerComplete answers q exactly, contacting the source only as needed:
 // if q is fully answerable the local answer is returned; otherwise the
-// Theorem 3.19 completion is executed against the source, folded into the
-// repository, and the query answered from the enriched data.
-//
-// The returned count is the number of local queries executed.
-func (wh *Webhouse) AnswerComplete(source string, q query.Query) (tree.Tree, int, error) {
+// Theorem 3.19 completion is executed against the source through the
+// repository's client, folded into the repository, and the query answered
+// from the enriched data. No repository lock is held during source access,
+// and the context's deadline bounds the whole call. If the source is
+// unavailable (outage, open breaker, retries exhausted or precluded by the
+// deadline) the result degrades to the approximate local answer with
+// Degraded set — graceful degradation instead of an error or a hang.
+func (wh *Webhouse) AnswerComplete(ctx context.Context, source string, q query.Query) (*CompleteAnswer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r, err := wh.Repo(source)
 	if err != nil {
-		return tree.Tree{}, 0, err
+		return nil, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	know := r.refiner.Reachable()
+	_, know := r.snapshot()
 	fully, err := answer.FullyAnswerable(know, q)
 	if err != nil {
-		return tree.Tree{}, 0, err
+		return nil, err
 	}
 	if fully {
-		return q.Eval(know.DataTree()), 0, nil
+		return &CompleteAnswer{Answer: q.Eval(know.DataTree())}, nil
 	}
+	client := r.Client()
 	if know.DataTree().Root == nil {
 		// Nothing known: pose the query itself.
-		a, err := exploreLocked(r, q)
+		a, err := client.Ask(ctx, q)
 		if err != nil {
-			return tree.Tree{}, 1, err
+			return wh.degrade(ctx, know, q, 1, err)
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if err := observeLocked(r, q, a); err != nil {
+			return nil, err
 		}
 		r.invalidate()
-		return a, 1, nil
+		return &CompleteAnswer{Answer: a, LocalQueries: 1}, nil
 	}
 	ls, err := mediator.Complete(know, q)
 	if err != nil {
-		return tree.Tree{}, 0, err
+		return nil, err
 	}
-	answers := make([]tree.Tree, len(ls))
-	for i, lq := range ls {
-		answers[i] = r.Source.AskLocal(lq)
+	answers, err := mediator.ExecuteAll(ctx, client, ls)
+	if err != nil {
+		return wh.degrade(ctx, know, q, len(ls), err)
 	}
 	// Merge the fetched prefixes into the known data and answer.
 	merged := mediator.Merge(r.Source.Doc(), know.DataTree(), answers...)
 	result := q.Eval(merged)
 	// Fold the new information into the repository as a single observation:
 	// the completion answers are prefixes of the document; re-observe q with
-	// its exact answer, which Refine can absorb directly.
-	if err := r.refiner.Observe(q, result); err != nil {
-		return tree.Tree{}, len(ls), err
+	// its exact answer, which Refine can absorb directly (with the usual
+	// recovery if the source changed between the snapshot and now).
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := observeLocked(r, q, result); err != nil {
+		return nil, err
 	}
 	r.invalidate()
-	return result, len(ls), nil
+	return &CompleteAnswer{Answer: result, LocalQueries: len(ls)}, nil
 }
 
 // Refiner exposes the repository's refinement chain (for advanced use and

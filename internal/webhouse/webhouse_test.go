@@ -1,6 +1,7 @@
 package webhouse
 
 import (
+	"context"
 	"testing"
 
 	"incxml/internal/rat"
@@ -34,11 +35,12 @@ func TestRegisterAndSources(t *testing.T) {
 
 func TestExploreAndKnowledge(t *testing.T) {
 	wh, src := newCatalogWebhouse(t)
-	a, err := wh.Explore("catalog", workload.Query1(200))
+	a, err := wh.Explore(context.Background(), "catalog", workload.Query1(200))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.IsEmpty() || src.QueriesServed != 1 {
+	queries, _ := src.Served()
+	if a.IsEmpty() || queries != 1 {
 		t.Error("exploration did not reach the source")
 	}
 	know, err := wh.Knowledge("catalog")
@@ -58,28 +60,28 @@ func TestExploreAndKnowledge(t *testing.T) {
 // and Query 4 needs completion.
 func TestExample34Session(t *testing.T) {
 	wh, src := newCatalogWebhouse(t)
-	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+	if _, err := wh.Explore(context.Background(), "catalog", workload.Query1(200)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := wh.Explore("catalog", workload.Query2()); err != nil {
+	if _, err := wh.Explore(context.Background(), "catalog", workload.Query2()); err != nil {
 		t.Fatal(err)
 	}
-	served := src.QueriesServed
+	served, _ := src.Served()
 
 	// Query 3: fully answerable locally.
-	la, err := wh.AnswerLocally("catalog", workload.Query3(100))
+	la, err := wh.AnswerLocally(context.Background(), "catalog", workload.Query3(100))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !la.Fully {
 		t.Error("Query 3 should be fully answerable (Example 3.4)")
 	}
-	if src.QueriesServed != served {
+	if nowServed, _ := src.Served(); nowServed != served {
 		t.Error("local answering contacted the source")
 	}
 
 	// Query 4: not fully answerable; local modalities are still available.
-	la4, err := wh.AnswerLocally("catalog", workload.Query4())
+	la4, err := wh.AnswerLocally(context.Background(), "catalog", workload.Query4())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,30 +99,33 @@ func TestExample34Session(t *testing.T) {
 
 	// Completing Query 4 contacts the source with local queries and returns
 	// the exact answer.
-	exact, nQueries, err := wh.AnswerComplete("catalog", workload.Query4())
+	ca, err := wh.AnswerComplete(context.Background(), "catalog", workload.Query4())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if nQueries == 0 {
+	if ca.LocalQueries == 0 {
 		t.Error("completion should have needed source access")
 	}
+	if ca.Degraded {
+		t.Error("completion against a healthy source degraded")
+	}
 	want := workload.Query4().Eval(workload.PaperCatalog())
-	if !exact.Equal(want) {
-		t.Errorf("completed answer wrong:\n%s\nwant:\n%s", exact, want)
+	if !ca.Answer.Equal(want) {
+		t.Errorf("completed answer wrong:\n%s\nwant:\n%s", ca.Answer, want)
 	}
 }
 
 func TestAnswerCompleteOnColdCache(t *testing.T) {
 	wh, _ := newCatalogWebhouse(t)
-	exact, n, err := wh.AnswerComplete("catalog", workload.Query4())
+	ca, err := wh.AnswerComplete(context.Background(), "catalog", workload.Query4())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 1 {
-		t.Errorf("cold cache should pose exactly the query itself, asked %d", n)
+	if ca.LocalQueries != 1 {
+		t.Errorf("cold cache should pose exactly the query itself, asked %d", ca.LocalQueries)
 	}
 	want := workload.Query4().Eval(workload.PaperCatalog())
-	if !exact.Equal(want) {
+	if !ca.Answer.Equal(want) {
 		t.Error("cold-cache answer wrong")
 	}
 }
@@ -137,18 +142,18 @@ func TestAnswerCompleteFindsHiddenProduct(t *testing.T) {
 	}
 	wh := New()
 	wh.Register(src)
-	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+	if _, err := wh.Explore(context.Background(), "catalog", workload.Query1(200)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := wh.Explore("catalog", workload.Query2()); err != nil {
+	if _, err := wh.Explore(context.Background(), "catalog", workload.Query2()); err != nil {
 		t.Fatal(err)
 	}
-	exact, _, err := wh.AnswerComplete("catalog", workload.Query4())
+	ca, err := wh.AnswerComplete(context.Background(), "catalog", workload.Query4())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if exact.Find("leica") == nil {
-		t.Errorf("hidden camera not retrieved:\n%s", exact)
+	if ca.Answer.Find("leica") == nil {
+		t.Errorf("hidden camera not retrieved:\n%s", ca.Answer)
 	}
 	// After completion the knowledge includes the new camera.
 	know, _ := wh.Knowledge("catalog")
@@ -159,7 +164,7 @@ func TestAnswerCompleteFindsHiddenProduct(t *testing.T) {
 
 func TestInvalidate(t *testing.T) {
 	wh, src := newCatalogWebhouse(t)
-	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+	if _, err := wh.Explore(context.Background(), "catalog", workload.Query1(200)); err != nil {
 		t.Fatal(err)
 	}
 	// The source changes: drop a product and bump a price.
@@ -180,7 +185,7 @@ func TestInvalidate(t *testing.T) {
 		t.Error("reinitialized knowledge excludes the new document")
 	}
 	// Fresh exploration works against the new document.
-	a, err := wh.Explore("catalog", workload.Query1(200))
+	a, err := wh.Explore(context.Background(), "catalog", workload.Query1(200))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +206,7 @@ func TestExploreRecoversFromSourceChange(t *testing.T) {
 	// the new answers contradict the accumulated knowledge and exploration
 	// must transparently reinitialize (the paper's recovery strategy).
 	wh, src := newCatalogWebhouse(t)
-	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+	if _, err := wh.Explore(context.Background(), "catalog", workload.Query1(200)); err != nil {
 		t.Fatal(err)
 	}
 	// Change Canon's price to 180 (still under 200, same node ids): the next
@@ -213,7 +218,7 @@ func TestExploreRecoversFromSourceChange(t *testing.T) {
 	if err := src.Update(changed); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+	if _, err := wh.Explore(context.Background(), "catalog", workload.Query1(200)); err != nil {
 		t.Fatalf("exploration after source change failed: %v", err)
 	}
 	know, err := wh.Knowledge("catalog")
@@ -233,11 +238,11 @@ func TestObserveInconsistencyKeepsState(t *testing.T) {
 	// At the refiner level the inconsistent observation is rejected and the
 	// previous state preserved.
 	wh, _ := newCatalogWebhouse(t)
-	if _, err := wh.Explore("catalog", workload.Query1(200)); err != nil {
+	if _, err := wh.Explore(context.Background(), "catalog", workload.Query1(200)); err != nil {
 		t.Fatal(err)
 	}
 	r, _ := wh.Repo("catalog")
-	before := r.Source.QueriesServed
+	before, _ := r.Source.Served()
 	_ = before
 	know1, _ := wh.Knowledge("catalog")
 	size1 := know1.Size()
