@@ -1,0 +1,269 @@
+// Benchrobust measures the robustness layer and writes the results as
+// JSON (BENCH_robustness.json by default).
+//
+// Two experiments:
+//
+//  1. Budgeted vs. exact conjunctive emptiness on the Example 3.2 blowup
+//     family: for each prefix of the workload root(a=i, b=i) the program
+//     times the exact NP certificate scan (Theorem 3.10) against the
+//     budget-guarded three-valued scan, recording the verdicts so the
+//     anytime contract — never wrong when it answers — is visible next to
+//     the latency it buys.
+//
+//  2. Serve-mode latency under the chaos soak load: a server with tight
+//     admission limits, per-request budgets, and injected source faults
+//     takes a mixed burst of requests (explores, local/complete answers,
+//     blowups, malformed bodies, unknown sources) from concurrent workers;
+//     the program records per-request latency percentiles, the status
+//     breakdown, and the shed/degradation counters.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"incxml/internal/budget"
+	"incxml/internal/conj"
+	"incxml/internal/engine"
+	"incxml/internal/refine"
+	"incxml/internal/serve"
+	"incxml/internal/workload"
+)
+
+type emptinessRow struct {
+	N               int     `json:"n"`
+	Size            int     `json:"size"`
+	ExactEmpty      bool    `json:"exactEmpty"`
+	ExactMs         float64 `json:"exactMs"`
+	BudgetSteps     int64   `json:"budgetSteps"`
+	BudgetedVerdict string  `json:"budgetedVerdict"`
+	BudgetedMs      float64 `json:"budgetedMs"`
+}
+
+type latencySummary struct {
+	P50Ms float64 `json:"p50Ms"`
+	P95Ms float64 `json:"p95Ms"`
+	P99Ms float64 `json:"p99Ms"`
+	MaxMs float64 `json:"maxMs"`
+}
+
+type soakReport struct {
+	Workers      int            `json:"workers"`
+	Requests     int            `json:"requests"`
+	TimeoutMs    float64        `json:"timeoutMs"`
+	MaxInflight  int            `json:"maxInflight"`
+	Queue        int            `json:"queue"`
+	BudgetSteps  int64          `json:"budgetSteps"`
+	FailRate     float64        `json:"failRate"`
+	StatusCounts map[string]int `json:"statusCounts"`
+	Latency      latencySummary `json:"latency"`
+	Stats        serve.Stats    `json:"stats"`
+}
+
+type report struct {
+	GeneratedUnix   int64          `json:"generatedUnix"`
+	BlowupEmptiness []emptinessRow `json:"blowupEmptiness"`
+	ServeSoak       soakReport     `json:"serveSoak"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_robustness.json", "output file")
+	maxN := flag.Int("max-n", 7, "largest blowup workload prefix")
+	steps := flag.Int64("budget", 20_000, "step budget for the budgeted emptiness scan")
+	workers := flag.Int("workers", 8, "concurrent soak workers")
+	perWorker := flag.Int("requests", 50, "soak requests per worker")
+	flag.Parse()
+
+	rep := report{GeneratedUnix: time.Now().Unix()}
+	rep.BlowupEmptiness = benchEmptiness(*maxN, *steps)
+	rep.ServeSoak = benchServe(*workers, *perWorker)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}
+
+func benchEmptiness(maxN int, steps int64) []emptinessRow {
+	world := workload.BlowupWorld()
+	t := conj.FromITree(refine.Universal(workload.BlowupSigma))
+	pool := engine.Default()
+	rows := make([]emptinessRow, 0, maxN)
+	for n := 1; n <= maxN; n++ {
+		q := workload.BlowupQuery(int64(n))
+		if err := t.RefinePlus(q, q.Eval(world), workload.BlowupSigma); err != nil {
+			fmt.Fprintln(os.Stderr, "refine:", err)
+			os.Exit(1)
+		}
+
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		start := time.Now()
+		empty := t.EmptyPool(ctx, pool)
+		exactMs := msSince(start)
+		cancel()
+
+		bud := budget.New(context.Background(), steps)
+		start = time.Now()
+		verdict, _ := t.EmptyBudgeted(context.Background(), pool, bud)
+		budgetedMs := msSince(start)
+
+		rows = append(rows, emptinessRow{
+			N:               n,
+			Size:            t.Size(),
+			ExactEmpty:      empty,
+			ExactMs:         exactMs,
+			BudgetSteps:     steps,
+			BudgetedVerdict: verdict.String(),
+			BudgetedMs:      budgetedMs,
+		})
+		fmt.Printf("blowup n=%d size=%d exact=%v (%.2fms) budgeted=%s (%.2fms)\n",
+			n, t.Size(), empty, exactMs, verdict, budgetedMs)
+	}
+	return rows
+}
+
+const (
+	soakTimeout = 500 * time.Millisecond
+	soakBudget  = int64(30_000)
+)
+
+func benchServe(workers, perWorker int) soakReport {
+	s, err := serve.New(serve.Config{
+		Timeout:     soakTimeout,
+		MaxInflight: 4,
+		Queue:       8,
+		Budget:      soakBudget,
+		FailRate:    0.10,
+		Latency:     time.Millisecond,
+		Seed:        7,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	const catalogBody = "catalog\n  product\n    name\n    price {< 200}\n    cat {= 1}\n      subcat\n"
+	blowupBody := func(i int) string { return fmt.Sprintf("root\n  a {= %d}\n  b {= %d}\n", i, i) }
+
+	// Warm the catalog so local answers have knowledge to work from; the
+	// injected fault rate means a few tries may shed or fail.
+	for try := 0; try < 20; try++ {
+		if code, _ := post(client, ts.URL+"/explore", catalogBody); code == http.StatusOK {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		counts    = map[string]int{}
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 100))
+			for i := 0; i < perWorker; i++ {
+				var path, body string
+				switch rng.Intn(10) {
+				case 0, 1:
+					path, body = "/explore", catalogBody
+				case 2, 3:
+					path, body = "/local", catalogBody
+				case 4:
+					path, body = "/complete", catalogBody
+				case 5:
+					path, body = "/explore?source=blowup", blowupBody(1+rng.Intn(8))
+				case 6:
+					path, body = "/local?source=blowup", blowupBody(1+rng.Intn(8))
+				case 7:
+					path, body = "/local", "not a query {{{"
+				case 8:
+					path, body = "/local?source=nope", catalogBody
+				default:
+					path, body = "/local", ""
+				}
+				start := time.Now()
+				code, err := post(client, ts.URL+path, body)
+				elapsed := time.Since(start)
+				mu.Lock()
+				latencies = append(latencies, elapsed)
+				if err != nil {
+					counts["error"]++
+				} else {
+					counts[fmt.Sprint(code)]++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep := soakReport{
+		Workers:      workers,
+		Requests:     workers * perWorker,
+		TimeoutMs:    float64(soakTimeout) / float64(time.Millisecond),
+		MaxInflight:  4,
+		Queue:        8,
+		BudgetSteps:  soakBudget,
+		FailRate:     0.10,
+		StatusCounts: counts,
+		Latency: latencySummary{
+			P50Ms: pctMs(latencies, 50),
+			P95Ms: pctMs(latencies, 95),
+			P99Ms: pctMs(latencies, 99),
+			MaxMs: pctMs(latencies, 100),
+		},
+		Stats: s.Stats(),
+	}
+	fmt.Printf("soak: %d requests, p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms, statuses=%v\n",
+		rep.Requests, rep.Latency.P50Ms, rep.Latency.P95Ms, rep.Latency.P99Ms, rep.Latency.MaxMs, counts)
+	return rep
+}
+
+func post(client *http.Client, url, body string) (int, error) {
+	resp, err := client.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+// pctMs returns the p-th percentile of the sorted sample in milliseconds.
+func pctMs(sorted []time.Duration, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)-1)*p + 50
+	return float64(sorted[i/100]) / float64(time.Millisecond)
+}

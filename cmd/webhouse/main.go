@@ -6,18 +6,19 @@
 // completes the rest via mediator-generated local queries — reproducing
 // the narrative of Sections 1 and 3.4.
 //
-// `webhouse serve` starts an HTTP server over the same catalog source with
-// per-request timeouts and, optionally, injected source faults — a small
-// demonstration of the serving layer's failure model: when the source is
-// slow or down, completions degrade to the approximate local answer
-// (Theorem 3.14) instead of blocking or erroring. See README.md for the
-// endpoints.
+// `webhouse serve` starts an HTTP server over the catalog source plus the
+// Example 3.2 "blowup" source, with per-request timeouts, admission
+// control (-max-inflight/-queue), per-request solver step budgets
+// (-budget) and, optionally, injected source faults — a demonstration of
+// the serving layer's failure model: when the source is slow or down,
+// completions degrade to the approximate local answer (Theorem 3.14), and
+// when a request's budget runs out the solvers degrade to flagged sound
+// approximations (Proposition 3.13) instead of running hot. See
+// internal/serve and README.md for the endpoints.
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,7 +27,7 @@ import (
 	"time"
 
 	"incxml/internal/faulty"
-	"incxml/internal/query"
+	"incxml/internal/serve"
 	"incxml/internal/webhouse"
 	"incxml/internal/workload"
 	"incxml/internal/xmlio"
@@ -111,175 +112,49 @@ func run(w io.Writer) error {
 	return xmlio.WriteIncomplete(w, know)
 }
 
-// server holds the serving state of `webhouse serve`.
+// server adapts the serve.Server to the command: it keeps a handle on the
+// catalog fault injector so the scripted fault scenarios (and tests) can
+// toggle outages directly.
 type server struct {
-	wh      *webhouse.Webhouse
-	source  string
-	timeout time.Duration
-	inj     *faulty.Injector
+	*serve.Server
+	inj *faulty.Injector
 }
 
-// newServer registers the paper's catalog source behind a fault injector
-// (a no-op at zero fail-rate and latency) and a retrying client, so the
-// serving path always exercises the failure model.
+// newServer builds a serve.Server with default admission limits; the full
+// flag set goes through runServe.
 func newServer(timeout time.Duration, failRate float64, latency time.Duration, seed int64) (*server, error) {
-	src, err := webhouse.NewSource("catalog", workload.CatalogType(), workload.PaperCatalog())
+	s, err := serve.New(serve.Config{
+		Timeout: timeout, FailRate: failRate, Latency: latency, Seed: seed,
+	})
 	if err != nil {
 		return nil, err
 	}
-	wh := webhouse.New()
-	wh.Register(src)
-	inj := faulty.NewInjector(src.Name, src, faulty.InjectorConfig{
-		Latency: latency, FailRate: failRate, Seed: seed,
-	})
-	if err := wh.SetClient(src.Name, faulty.NewRetryClient(inj, faulty.RetryConfig{Seed: seed})); err != nil {
-		return nil, err
-	}
-	return &server{wh: wh, source: src.Name, timeout: timeout, inj: inj}, nil
+	return &server{Server: s, inj: s.Injector("catalog")}, nil
 }
+
+func (s *server) handler() http.Handler { return s.Handler() }
 
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	timeout := fs.Duration("timeout", 2*time.Second, "per-request deadline")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-request deadline (includes queue wait)")
 	failRate := fs.Float64("fail-rate", 0, "injected transient source-failure probability in [0,1]")
 	latency := fs.Duration("latency", 0, "injected per-call source latency")
 	seed := fs.Int64("seed", 1, "fault-injection RNG seed")
+	maxInflight := fs.Int("max-inflight", serve.DefaultMaxInflight, "max concurrently executing requests")
+	queue := fs.Int("queue", serve.DefaultQueue, "max requests waiting for an execution slot")
+	budgetSteps := fs.Int64("budget", 0, "per-request solver step budget (0 = unlimited; deadline still applies)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := newServer(*timeout, *failRate, *latency, *seed)
+	s, err := serve.New(serve.Config{
+		Timeout: *timeout, MaxInflight: *maxInflight, Queue: *queue, Budget: *budgetSteps,
+		FailRate: *failRate, Latency: *latency, Seed: *seed,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("webhouse: serving catalog on %s (timeout %v, fail-rate %g, latency %v)\n",
-		*addr, *timeout, *failRate, *latency)
-	return http.ListenAndServe(*addr, s.handler())
-}
-
-func (s *server) handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /explore", s.withDeadline(s.handleExplore))
-	mux.HandleFunc("POST /local", s.withDeadline(s.handleLocal))
-	mux.HandleFunc("POST /complete", s.withDeadline(s.handleComplete))
-	mux.HandleFunc("GET /stats", s.handleStats)
-	return mux
-}
-
-// withDeadline derives the per-request context: the configured timeout on
-// top of the client's own cancellation.
-func (s *server) withDeadline(h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
-		defer cancel()
-		h(ctx, w, r)
-	}
-}
-
-// readQuery parses the ps-query in the request body.
-func readQuery(w http.ResponseWriter, r *http.Request) (query.Query, bool) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return query.Query{}, false
-	}
-	q, err := query.Parse(string(body))
-	if err != nil {
-		http.Error(w, fmt.Sprintf("bad query: %v", err), http.StatusBadRequest)
-		return query.Query{}, false
-	}
-	return q, true
-}
-
-// fail maps serving errors to HTTP statuses: deadline and unavailability
-// become 504/503, everything else 500.
-func fail(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		http.Error(w, err.Error(), http.StatusGatewayTimeout)
-	case errors.Is(err, faulty.ErrUnavailable):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-	default:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
-}
-
-func (s *server) handleExplore(ctx context.Context, w http.ResponseWriter, r *http.Request) {
-	q, ok := readQuery(w, r)
-	if !ok {
-		return
-	}
-	a, err := s.wh.Explore(ctx, s.source, q)
-	if err != nil {
-		fail(w, err)
-		return
-	}
-	xml, err := xmlio.Marshal(a)
-	if err != nil {
-		fail(w, err)
-		return
-	}
-	writeJSON(w, map[string]any{"nodes": a.Size(), "answer": xml})
-}
-
-func (s *server) handleLocal(ctx context.Context, w http.ResponseWriter, r *http.Request) {
-	q, ok := readQuery(w, r)
-	if !ok {
-		return
-	}
-	la, err := s.wh.AnswerLocally(ctx, s.source, q)
-	if err != nil {
-		fail(w, err)
-		return
-	}
-	xml, err := xmlio.Marshal(la.Exact)
-	if err != nil {
-		fail(w, err)
-		return
-	}
-	writeJSON(w, map[string]any{
-		"fully":             la.Fully,
-		"certainlyNonEmpty": la.CertainlyNonEmpty,
-		"possiblyNonEmpty":  la.PossiblyNonEmpty,
-		"nodes":             la.Exact.Size(),
-		"answer":            xml,
-	})
-}
-
-func (s *server) handleComplete(ctx context.Context, w http.ResponseWriter, r *http.Request) {
-	q, ok := readQuery(w, r)
-	if !ok {
-		return
-	}
-	ca, err := s.wh.AnswerComplete(ctx, s.source, q)
-	if err != nil {
-		fail(w, err)
-		return
-	}
-	xml, err := xmlio.Marshal(ca.Answer)
-	if err != nil {
-		fail(w, err)
-		return
-	}
-	resp := map[string]any{
-		"degraded":     ca.Degraded,
-		"localQueries": ca.LocalQueries,
-		"nodes":        ca.Answer.Size(),
-		"answer":       xml,
-	}
-	if ca.Degraded && ca.Cause != nil {
-		resp["cause"] = ca.Cause.Error()
-	}
-	writeJSON(w, resp)
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.wh.Stats())
+	fmt.Printf("webhouse: serving catalog+blowup on %s (timeout %v, inflight %d, queue %d, budget %d, fail-rate %g, latency %v)\n",
+		*addr, *timeout, *maxInflight, *queue, *budgetSteps, *failRate, *latency)
+	return http.ListenAndServe(*addr, s.Handler())
 }

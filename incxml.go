@@ -38,6 +38,7 @@ package incxml
 
 import (
 	"incxml/internal/answer"
+	"incxml/internal/budget"
 	"incxml/internal/cond"
 	"incxml/internal/conj"
 	"incxml/internal/dtd"
@@ -50,6 +51,7 @@ import (
 	"incxml/internal/query"
 	"incxml/internal/rat"
 	"incxml/internal/refine"
+	"incxml/internal/serve"
 	"incxml/internal/tree"
 	"incxml/internal/webhouse"
 	"incxml/internal/xmlio"
@@ -282,6 +284,62 @@ var (
 	MembershipCacheStats = itree.CacheStats
 	// DecisionCacheStats reports the query-decision cache.
 	DecisionCacheStats = answer.CacheStats
+)
+
+// Resource budgets (see "Resource budgets & overload control" in
+// DESIGN.md). The NP-hard deciders have budget-guarded three-valued
+// variants: they charge a Budget per unit of work and answer
+// TriYes/TriNo only when exact — TriUnknown, carrying an error matching
+// ErrBudgetExhausted, is the only degraded verdict. A nil Budget means
+// unlimited.
+type (
+	// Budget couples a step allowance to a context deadline; solvers
+	// charge it cooperatively.
+	Budget = budget.B
+	// Tri is a three-valued verdict: TriNo (zero value), TriYes,
+	// TriUnknown.
+	Tri = budget.Tri
+	// BudgetError reports an exhausted budget and its cause (steps or
+	// deadline).
+	BudgetError = budget.Error
+	// ServeConfig parameterizes the HTTP serving layer: deadline,
+	// admission limits (MaxInflight, Queue), per-request step budget, and
+	// injected source faults.
+	ServeConfig = serve.Config
+	// ServeStats aggregates webhouse counters with the admission-control
+	// shed and panic-recovery counters.
+	ServeStats = serve.Stats
+)
+
+// Tri verdicts.
+const (
+	TriNo      = budget.No
+	TriYes     = budget.Yes
+	TriUnknown = budget.Unknown
+)
+
+var (
+	// NewBudget allots steps (<=0: deadline-only) under ctx's deadline.
+	NewBudget = budget.New
+	// TriOf lifts an exactly-computed bool into a Tri.
+	TriOf = budget.Of
+	// ErrBudgetExhausted matches any exhausted-budget error (errors.Is).
+	ErrBudgetExhausted = budget.ErrExhausted
+	// ApplyQueryBudgeted is ApplyQuery under a budget.
+	ApplyQueryBudgeted = answer.ApplyBudgeted
+	// FullyAnswerableBudgeted is the three-valued Corollary 3.15 decision.
+	FullyAnswerableBudgeted = answer.FullyAnswerableBudgeted
+	// CertainlyNonEmptyBudgeted and PossiblyNonEmptyBudgeted are the
+	// three-valued Corollary 3.18 modalities.
+	CertainlyNonEmptyBudgeted = answer.CertainlyNonEmptyBudgeted
+	PossiblyNonEmptyBudgeted  = answer.PossiblyNonEmptyBudgeted
+	// RefineBudgeted is one budget-guarded application of Algorithm Refine.
+	RefineBudgeted = refine.RefineBudgeted
+	// IntersectBudgeted is Lemma 3.3 intersection under a budget.
+	IntersectBudgeted = refine.IntersectBudgeted
+	// NewServer builds the HTTP serving layer (admission control, budgets,
+	// panic containment) over a webhouse with the standard sources.
+	NewServer = serve.New
 )
 
 // XML serialization.

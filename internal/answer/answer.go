@@ -10,6 +10,7 @@ package answer
 import (
 	"fmt"
 
+	"incxml/internal/budget"
 	"incxml/internal/ctype"
 	"incxml/internal/dtd"
 	"incxml/internal/itree"
@@ -31,6 +32,16 @@ func pairName(s ctype.Symbol, ctx string) ctype.Symbol {
 // and T for a fixed alphabet and exponential in |Σ| in the worst case (the
 // per-atom disjunctive expansion requiring one output per pattern child).
 func Apply(it *itree.T, q query.Query) (*itree.T, error) {
+	return ApplyBudgeted(it, q, nil)
+}
+
+// ApplyBudgeted is Apply with a cooperative budget charged one step per
+// answer symbol materialized and per atom of the disjunctive expansion — the
+// two places the construction can go exponential. On exhaustion it returns
+// the budget error (matching budget.ErrExhausted); the partial answer tree
+// is discarded because q(T) is only meaningful when complete. A nil budget
+// is equivalent to Apply.
+func ApplyBudgeted(it *itree.T, q query.Query, bud *budget.B) (*itree.T, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -66,11 +77,14 @@ func Apply(it *itree.T, q query.Query) (*itree.T, error) {
 
 	// ensureCopy adds the ⟨τ, copy⟩ symbols: a verbatim copy of the input
 	// type reachable below bar matches.
-	var ensureCopy func(s ctype.Symbol)
-	ensureCopy = func(s ctype.Symbol) {
+	var ensureCopy func(s ctype.Symbol) error
+	ensureCopy = func(s ctype.Symbol) error {
 		ps := pairName(s, copyCtx)
 		if _, ok := ty.Sigma[ps]; ok {
-			return
+			return nil
+		}
+		if err := bud.Charge(1); err != nil {
+			return err
 		}
 		ty.Sigma[ps] = w.Type.TargetFor(s)
 		ty.Cond[ps] = w.Type.CondFor(s)
@@ -79,21 +93,27 @@ func Apply(it *itree.T, q query.Query) (*itree.T, error) {
 		for _, a := range w.Type.DisjFor(s) {
 			na := make(ctype.SAtom, 0, len(a))
 			for _, item := range a {
-				ensureCopy(item.Sym)
+				if err := ensureCopy(item.Sym); err != nil {
+					return err
+				}
 				na = append(na, ctype.SItem{Sym: pairName(item.Sym, copyCtx), Mult: item.Mult})
 			}
 			disj = append(disj, na)
 		}
 		ty.Mu[ps] = disj
+		return nil
 	}
 
 	// ensurePair adds ⟨τ, m⟩ for input symbol τ possibly matching query node
 	// m, and recursively everything reachable from it.
-	var ensurePair func(s ctype.Symbol, qi qinfo)
-	ensurePair = func(s ctype.Symbol, qi qinfo) {
+	var ensurePair func(s ctype.Symbol, qi qinfo) error
+	ensurePair = func(s ctype.Symbol, qi qinfo) error {
 		ps := pairName(s, qi.path)
 		if _, ok := ty.Sigma[ps]; ok {
-			return
+			return nil
+		}
+		if err := bud.Charge(1); err != nil {
+			return err
 		}
 		m := qi.node
 		ty.Sigma[ps] = w.Type.TargetFor(s)
@@ -105,13 +125,15 @@ func Apply(it *itree.T, q query.Query) (*itree.T, error) {
 			for _, a := range w.Type.DisjFor(s) {
 				na := make(ctype.SAtom, 0, len(a))
 				for _, item := range a {
-					ensureCopy(item.Sym)
+					if err := ensureCopy(item.Sym); err != nil {
+						return err
+					}
 					na = append(na, ctype.SItem{Sym: pairName(item.Sym, copyCtx), Mult: item.Mult})
 				}
 				disj = append(disj, na)
 			}
 			ty.Mu[ps] = disj
-			return
+			return nil
 		}
 		// Pattern-internal node: keep only items relevant to some child
 		// pattern, weaken possible-but-not-certain outputs, and require at
@@ -195,6 +217,9 @@ func Apply(it *itree.T, q query.Query) (*itree.T, error) {
 				var next []ctype.SAtom
 				for _, base := range atoms {
 					for _, variant := range choices[ci] {
+						if err := bud.Charge(1); err != nil {
+							return err
+						}
 						merged := append(append(ctype.SAtom{}, base...), variant...)
 						next = append(next, merged)
 					}
@@ -208,7 +233,9 @@ func Apply(it *itree.T, q query.Query) (*itree.T, error) {
 					// Find the child whose label matches (unique).
 					for ci, mc := range m.Children {
 						if baseLabel(item.Sym) == mc.Label {
-							ensurePair(item.Sym, qinfo{mc, childPaths[ci]})
+							if err := ensurePair(item.Sym, qinfo{mc, childPaths[ci]}); err != nil {
+								return err
+							}
 							na = append(na, ctype.SItem{Sym: pairName(item.Sym, childPaths[ci]), Mult: item.Mult})
 							break
 						}
@@ -218,13 +245,16 @@ func Apply(it *itree.T, q query.Query) (*itree.T, error) {
 			}
 		}
 		ty.Mu[ps] = disj
+		return nil
 	}
 
 	rootQ := qinfo{q.Root, "0"}
 	empty := false
 	for _, r := range w.Type.Roots {
 		if poss[PathKey{r, "0"}] {
-			ensurePair(r, rootQ)
+			if err := ensurePair(r, rootQ); err != nil {
+				return nil, err
+			}
 			ty.Roots = append(ty.Roots, pairName(r, "0"))
 		}
 		if !cert[PathKey{r, "0"}] {
@@ -351,12 +381,12 @@ func MatchSets(w *itree.T, q query.Query) (poss, cert map[PathKey]bool) {
 // Results are memoized per (T, q) in a shared bounded cache (cache.go).
 func FullyAnswerable(it *itree.T, q query.Query) (bool, error) {
 	return cachedDecision(it, q, kindFully, func() (bool, error) {
-		return fullyAnswerable(it, q)
+		return fullyAnswerable(it, q, nil)
 	})
 }
 
-func fullyAnswerable(it *itree.T, q query.Query) (bool, error) {
-	ans, err := Apply(it, q)
+func fullyAnswerable(it *itree.T, q query.Query, bud *budget.B) (bool, error) {
+	ans, err := ApplyBudgeted(it, q, bud)
 	if err != nil {
 		return false, err
 	}

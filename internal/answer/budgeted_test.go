@@ -1,0 +1,128 @@
+package answer
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"incxml/internal/budget"
+	"incxml/internal/itree"
+	"incxml/internal/query"
+	"incxml/internal/refine"
+	"incxml/internal/workload"
+)
+
+// budgetedCases builds (incomplete tree, query) pairs from randomized
+// refinement chains over random types, plus the catalog workload.
+func budgetedCases(t *testing.T) []struct {
+	it *itree.T
+	q  query.Query
+} {
+	t.Helper()
+	var cases []struct {
+		it *itree.T
+		q  query.Query
+	}
+	add := func(it *itree.T, q query.Query) {
+		cases = append(cases, struct {
+			it *itree.T
+			q  query.Query
+		}{it, q})
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		ty := workload.RandomType(seed, 3)
+		doc, err := workload.RandomTree(ty, seed, 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := refine.NewRefiner(ty.Alphabet(), nil)
+		for j := 0; j < 2; j++ {
+			q := workload.RandomLinearQuery(ty, seed*7+int64(j), 3, 4)
+			if _, err := r.ObserveOn(doc, q); err != nil {
+				break
+			}
+		}
+		add(r.Tree(), workload.RandomLinearQuery(ty, seed*13, 3, 4))
+	}
+	// The paper's catalog scenario.
+	cat := workload.PaperCatalog()
+	r := refine.NewRefiner(workload.CatalogSigma, nil)
+	q1 := workload.Query1(100)
+	if _, err := r.ObserveOn(cat, q1); err != nil {
+		t.Fatal(err)
+	}
+	add(r.Tree(), workload.Query4())
+	add(r.Tree(), q1)
+	return cases
+}
+
+// TestBudgetedDecidersSoundness: the three budgeted deciders agree with
+// their exact counterparts whenever they answer, and report Unknown only
+// with an exhausted budget.
+func TestBudgetedDecidersSoundness(t *testing.T) {
+	ctx := context.Background()
+	type decider struct {
+		name    string
+		exact   func(*itree.T, query.Query) (bool, error)
+		budget_ func(*itree.T, query.Query, *budget.B) (budget.Tri, error)
+	}
+	deciders := []decider{
+		{"FullyAnswerable", FullyAnswerable, FullyAnswerableBudgeted},
+		{"PossiblyNonEmpty", PossiblyNonEmpty, PossiblyNonEmptyBudgeted},
+		{"CertainlyNonEmpty", CertainlyNonEmpty, CertainlyNonEmptyBudgeted},
+	}
+	for ci, c := range budgetedCases(t) {
+		for _, d := range deciders {
+			ResetCache()
+			oracle, err := d.exact(c.it, c.q)
+			if err != nil {
+				t.Fatalf("case %d %s oracle: %v", ci, d.name, err)
+			}
+			for _, steps := range []int64{1, 3, 10, 50, 100000} {
+				ResetCache() // force recomputation under the budget
+				b := budget.New(ctx, steps)
+				tri, err := d.budget_(c.it, c.q, b)
+				if tri.Known() {
+					if got, _ := tri.Bool(); got != oracle {
+						t.Errorf("case %d %s steps=%d: verdict %v, oracle %v", ci, d.name, steps, tri, oracle)
+					}
+				} else {
+					if !errors.Is(err, budget.ErrExhausted) {
+						t.Errorf("case %d %s steps=%d: Unknown without exhaustion: %v", ci, d.name, steps, err)
+					}
+				}
+			}
+			// Cache carry-over: after an exact computation, even a starved
+			// budget answers exactly from the cache.
+			ResetCache()
+			if _, err := d.exact(c.it, c.q); err != nil {
+				t.Fatal(err)
+			}
+			tri, err := d.budget_(c.it, c.q, budget.New(ctx, 1))
+			if err != nil || !tri.Known() {
+				t.Errorf("case %d %s: cache hit did not answer exactly: %v, %v", ci, d.name, tri, err)
+			}
+		}
+	}
+}
+
+// TestApplyBudgetedExhaustion: ApplyBudgeted returns the budget error, not a
+// partial tree, when starved.
+func TestApplyBudgetedExhaustion(t *testing.T) {
+	cat := workload.PaperCatalog()
+	r := refine.NewRefiner(workload.CatalogSigma, nil)
+	if _, err := r.ObserveOn(cat, workload.Query1(100)); err != nil {
+		t.Fatal(err)
+	}
+	b := budget.New(context.Background(), 1)
+	ans, err := ApplyBudgeted(r.Tree(), workload.Query4(), b)
+	if err == nil {
+		t.Skip("instance too small to exhaust one step")
+	}
+	if ans != nil {
+		t.Error("partial answer tree returned with error")
+	}
+	if !errors.Is(err, budget.ErrExhausted) {
+		t.Errorf("error does not match ErrExhausted: %v", err)
+	}
+}

@@ -1,0 +1,115 @@
+package conj
+
+import (
+	"context"
+
+	"incxml/internal/budget"
+	"incxml/internal/ctype"
+	"incxml/internal/engine"
+)
+
+// EmptyBudgeted is the three-valued, budget-guarded form of Empty: it
+// decides rep(T) = ∅ exactly when the certificate scan of Theorem 3.10 fits
+// the budget, and reports budget.Unknown (with the exhaustion error) when it
+// does not. It is never wrong when it answers:
+//
+//   - budget.No means a satisfiable certificate was found — a positive
+//     witness, exact regardless of how much budget remains;
+//   - budget.Yes means every certificate in the space was scanned and found
+//     infeasible or empty;
+//   - budget.Unknown means the budget (steps or deadline) ran out before
+//     either of the above; the returned error matches budget.ErrExhausted.
+//
+// The budget is charged one step per certificate, plus one step per product
+// symbol and join tuple materialized while building each T_π — so a single
+// pathological certificate cannot sneak unbounded work between charges. A
+// nil budget makes the scan exact and equivalent to Empty / EmptyPool.
+func (t *T) EmptyBudgeted(ctx context.Context, p *engine.Pool, b *budget.B) (budget.Tri, error) {
+	if t.MayBeEmpty {
+		return budget.No, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p == nil {
+		p = engine.Default()
+	}
+	syms, counts, total, linear := t.certificateSpace()
+	if !linear || total < parallelCertificateFloor || p.Workers() <= 1 {
+		return t.emptySequentialBudgeted(ctx, syms, counts, b)
+	}
+	chunk := total / int64(p.Workers()*8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 4096 {
+		chunk = 4096
+	}
+	sat := p.SearchRange(ctx, total, chunk, func(ctx context.Context, lo, hi int64) bool {
+		idx := make([]int, len(counts))
+		for c := lo; c < hi; c++ {
+			if ctx.Err() != nil || b.Exhausted() {
+				return false
+			}
+			if b.Charge(1) != nil {
+				return false
+			}
+			decodeCertificate(c, counts, idx)
+			pi, err := t.buildPi(syms, idx, b)
+			if err != nil {
+				return false
+			}
+			if pi != nil && !pi.Empty() {
+				return true
+			}
+		}
+		return false
+	})
+	// A witness is exact even if the budget ran out concurrently.
+	if sat {
+		return budget.No, nil
+	}
+	return triFromScan(ctx, b)
+}
+
+// emptySequentialBudgeted is the budgeted mixed-radix scan, used for
+// certificate spaces too small (or too large to index linearly) for the
+// pool.
+func (t *T) emptySequentialBudgeted(ctx context.Context, syms []ctype.Symbol, counts []int, b *budget.B) (budget.Tri, error) {
+	idx := make([]int, len(counts))
+	for {
+		if err := b.Charge(1); err != nil {
+			return budget.Unknown, err
+		}
+		pi, err := t.buildPi(syms, idx, b)
+		if err != nil {
+			return budget.Unknown, err
+		}
+		if pi != nil && !pi.Empty() {
+			return budget.No, nil
+		}
+		i := 0
+		for ; i < len(idx); i++ {
+			idx[i]++
+			if idx[i] < counts[i] {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(idx) {
+			return triFromScan(ctx, b)
+		}
+	}
+}
+
+// triFromScan converts the end state of a witnessless scan into a verdict:
+// Yes only when neither the budget nor the context cut the scan short.
+func triFromScan(ctx context.Context, b *budget.B) (budget.Tri, error) {
+	if err := b.Err(); err != nil {
+		return budget.Unknown, err
+	}
+	if err := ctx.Err(); err != nil {
+		return budget.Unknown, &budget.Error{Cause: budget.CauseDeadline, Ctx: err}
+	}
+	return budget.Yes, nil
+}

@@ -13,10 +13,12 @@ package conj
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
+	"incxml/internal/budget"
 	"incxml/internal/cond"
 	"incxml/internal/ctype"
 	"incxml/internal/dtd"
@@ -268,6 +270,13 @@ func (t *T) compatibleSet(set []ctype.Symbol) (ctype.Target, bool) {
 // DNF blow-up that conjunctive trees defer (Example 3.2), and the E6
 // benchmarks measure it.
 func (t *T) ToITree() (*itree.T, error) {
+	return t.toITree(nil)
+}
+
+// toITree is ToITree with a cooperative budget: one step per materialized
+// product symbol and per candidate join tuple, so the exponential expansion
+// stops promptly when a budget runs out. A nil budget is unlimited.
+func (t *T) toITree(bud *budget.B) (*itree.T, error) {
 	out := itree.New()
 	out.MayBeEmpty = t.MayBeEmpty
 	for n, info := range t.Nodes {
@@ -277,6 +286,9 @@ func (t *T) ToITree() (*itree.T, error) {
 
 	var ensure func(set []ctype.Symbol) (ctype.Symbol, bool, error)
 	ensure = func(set []ctype.Symbol) (ctype.Symbol, bool, error) {
+		if err := bud.Charge(1); err != nil {
+			return "", false, err
+		}
 		set = normalizeSet(append([]ctype.Symbol(nil), set...))
 		ps := setSymbol(set)
 		if _, done := ty.Sigma[ps]; done {
@@ -302,7 +314,7 @@ func (t *T) ToITree() (*itree.T, error) {
 		var rec func(idx int, chosen []ctype.SAtom) error
 		rec = func(idx int, chosen []ctype.SAtom) error {
 			if idx == len(conjuncts) {
-				atom, ok, err := t.joinAtoms(chosen, ensure)
+				atom, ok, err := t.joinAtoms(chosen, ensure, bud)
 				if err != nil {
 					return err
 				}
@@ -359,7 +371,7 @@ func (t *T) ToITree() (*itree.T, error) {
 // joinAtoms computes the k-way ⋈ of the chosen atoms: items combine into
 // tuples of pairwise compatible items (one from each atom); required items
 // must be covered by some tuple.
-func (t *T) joinAtoms(atoms []ctype.SAtom, ensure func([]ctype.Symbol) (ctype.Symbol, bool, error)) (ctype.SAtom, bool, error) {
+func (t *T) joinAtoms(atoms []ctype.SAtom, ensure func([]ctype.Symbol) (ctype.Symbol, bool, error), bud *budget.B) (ctype.SAtom, bool, error) {
 	if len(atoms) == 0 {
 		return ctype.SAtom{}, true, nil
 	}
@@ -373,6 +385,9 @@ func (t *T) joinAtoms(atoms []ctype.SAtom, ensure func([]ctype.Symbol) (ctype.Sy
 		var next []tuple
 		for _, tp := range tuples {
 			for ii, item := range a {
+				if err := bud.Charge(1); err != nil {
+					return nil, false, err
+				}
 				set := append(append([]ctype.Symbol(nil), tp.set...), item.Sym)
 				if _, ok := t.compatibleSet(normalizeSet(append([]ctype.Symbol(nil), set...))); !ok {
 					continue
@@ -547,7 +562,7 @@ func (t *T) EmptySequential() bool {
 	syms, counts, _, _ := t.certificateSpace()
 	idx := make([]int, len(counts))
 	for {
-		pi := t.buildPi(syms, idx)
+		pi, _ := t.buildPi(syms, idx, nil)
 		if pi != nil && !pi.Empty() {
 			return false
 		}
@@ -607,7 +622,7 @@ func (t *T) EmptyPool(ctx context.Context, p *engine.Pool) bool {
 				return false
 			}
 			decodeCertificate(c, counts, idx)
-			pi := t.buildPi(syms, idx)
+			pi, _ := t.buildPi(syms, idx, nil)
 			if pi != nil && !pi.Empty() {
 				return true
 			}
@@ -658,8 +673,10 @@ func decodeCertificate(c int64, counts []int, idx []int) {
 // buildPi constructs the regular incomplete tree T_π for one certificate:
 // each symbol keeps exactly one atom per conjunct, and the fixed choices are
 // joined into a single atom via the k-way ⋈ (polynomial: no choice
-// branching remains). Returns nil when some join is infeasible.
-func (t *T) buildPi(syms []ctype.Symbol, idx []int) *itree.T {
+// branching remains). Returns (nil, nil) when some join is infeasible; the
+// only non-nil error is budget exhaustion, which must abort the scan rather
+// than masquerade as an infeasible certificate.
+func (t *T) buildPi(syms []ctype.Symbol, idx []int, bud *budget.B) (*itree.T, error) {
 	// Decode the per-symbol atom choices.
 	choice := map[ctype.Symbol][]ctype.SAtom{}
 	for i, s := range syms {
@@ -676,7 +693,7 @@ func (t *T) buildPi(syms []ctype.Symbol, idx []int) *itree.T {
 			rem /= len(d)
 		}
 		if !ok {
-			return nil
+			return nil, nil
 		}
 		choice[s] = atoms
 	}
@@ -701,11 +718,14 @@ func (t *T) buildPi(syms []ctype.Symbol, idx []int) *itree.T {
 	for s, tg := range t.Sigma {
 		restricted.Sigma[s] = tg
 	}
-	expanded, err := restricted.ToITree()
+	expanded, err := restricted.toITree(bud)
 	if err != nil {
-		return nil
+		if errors.Is(err, budget.ErrExhausted) {
+			return nil, err
+		}
+		return nil, nil
 	}
-	return expanded
+	return expanded, nil
 }
 
 // symbols returns the sorted symbol alphabet.

@@ -45,6 +45,7 @@ func (m Mult) Bounds() (lo, hi int) {
 	case Star:
 		return 0, -1
 	default:
+		// Programmer error only: Parse never constructs other values.
 		panic(fmt.Sprintf("dtd: invalid multiplicity %q", byte(m)))
 	}
 }

@@ -1,0 +1,179 @@
+package faulty
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"incxml/internal/mediator"
+	"incxml/internal/query"
+	"incxml/internal/rat"
+	"incxml/internal/tree"
+)
+
+// scriptClient is a SourceClient whose behavior is switched mid-test: it
+// can fail transiently, block on a gate (interruptible by the context),
+// and records entry/concurrency counts plus a signal per entry.
+type scriptClient struct {
+	mu            sync.Mutex
+	entries       int
+	concurrent    int
+	maxConcurrent int
+	fail          bool
+	gate          chan struct{}
+	entered       chan struct{}
+}
+
+func (s *scriptClient) set(fn func(*scriptClient)) {
+	s.mu.Lock()
+	fn(s)
+	s.mu.Unlock()
+}
+
+func (s *scriptClient) Ask(ctx context.Context, q query.Query) (tree.Tree, error) {
+	s.mu.Lock()
+	s.entries++
+	s.concurrent++
+	if s.concurrent > s.maxConcurrent {
+		s.maxConcurrent = s.concurrent
+	}
+	fail, gate, entered := s.fail, s.gate, s.entered
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.concurrent--
+		s.mu.Unlock()
+	}()
+	if entered != nil {
+		entered <- struct{}{}
+	}
+	if gate != nil {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return tree.Tree{}, ctx.Err()
+		}
+	}
+	if fail {
+		return tree.Tree{}, &SourceError{Source: "script", Op: "ask", Transient: true, Err: ErrTransient}
+	}
+	return tree.Tree{Root: tree.NewID("a", "a", rat.FromInt(1))}, nil
+}
+
+func (s *scriptClient) AskLocal(ctx context.Context, lq mediator.LocalQuery) (tree.Tree, error) {
+	return s.Ask(ctx, query.Query{})
+}
+
+func (s *scriptClient) snapshot() (entries, maxConcurrent int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entries, s.maxConcurrent
+}
+
+// TestHalfOpenAdmitsSingleConcurrentProbe: when the cooldown elapses and a
+// stampede of callers arrives, exactly one wins the half-open probe and
+// reaches the source; the rest fail fast with ErrUnavailable instead of
+// piling onto a source that is still suspect.
+func TestHalfOpenAdmitsSingleConcurrentProbe(t *testing.T) {
+	clk := &instantClock{t: time.Unix(0, 0)}
+	sc := &scriptClient{fail: true}
+	cfg := RetryConfig{MaxAttempts: 1, BreakerThreshold: 1, BreakerCooldown: time.Second, Seed: 1}
+	c := install(NewRetryClient(sc, cfg), clk)
+	ctx := context.Background()
+
+	if _, err := c.Ask(ctx, query.Query{}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("opening call: %v", err)
+	}
+	clk.advance(2 * time.Second)
+
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	sc.set(func(s *scriptClient) { s.fail = false; s.gate = gate; s.entered = entered })
+
+	const callers = 8
+	results := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			_, err := c.Ask(ctx, query.Query{})
+			results <- err
+		}()
+	}
+	<-entered // the probe is in flight and blocked on the gate
+
+	// Every other caller must resolve promptly as rejected — they cannot
+	// be waiting on the probe's outcome or probing themselves.
+	for i := 0; i < callers-1; i++ {
+		select {
+		case err := <-results:
+			if !errors.Is(err, ErrUnavailable) {
+				t.Fatalf("loser %d: %v, want breaker rejection", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("a losing caller hung instead of failing fast")
+		}
+	}
+	close(gate)
+	if err := <-results; err != nil {
+		t.Fatalf("winning probe: %v", err)
+	}
+	if entries, maxConc := sc.snapshot(); entries != 2 || maxConc != 1 {
+		t.Fatalf("source saw entries=%d maxConcurrent=%d; want exactly the opener and one probe", entries, maxConc)
+	}
+	// The successful probe closed the breaker.
+	if _, err := c.Ask(ctx, query.Query{}); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+	if s := c.Stats(); s.Rejections != uint64(callers-1) {
+		t.Errorf("rejections = %d, want %d", s.Rejections, callers-1)
+	}
+}
+
+// TestAbandonedProbeReleasesBreaker: a probe whose caller's context expires
+// before the source answers resolves nothing about the source — the
+// breaker must return to open (not stay wedged half-open) so the next
+// caller can probe.
+func TestAbandonedProbeReleasesBreaker(t *testing.T) {
+	clk := &instantClock{t: time.Unix(0, 0)}
+	sc := &scriptClient{fail: true}
+	cfg := RetryConfig{MaxAttempts: 1, BreakerThreshold: 1, BreakerCooldown: time.Second, Seed: 1}
+	c := install(NewRetryClient(sc, cfg), clk)
+	ctx := context.Background()
+
+	if _, err := c.Ask(ctx, query.Query{}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("opening call: %v", err)
+	}
+	clk.advance(2 * time.Second)
+
+	gate := make(chan struct{}) // never closed: the probe can only exit via ctx
+	entered := make(chan struct{}, 16)
+	sc.set(func(s *scriptClient) { s.fail = false; s.gate = gate; s.entered = entered })
+
+	pctx, pcancel := context.WithCancel(ctx)
+	probeRes := make(chan error, 1)
+	go func() {
+		_, err := c.Ask(pctx, query.Query{})
+		probeRes <- err
+	}()
+	<-entered
+
+	// While the probe is in flight, others are rejected.
+	if _, err := c.Ask(ctx, query.Query{}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("concurrent caller during probe: %v", err)
+	}
+	pcancel()
+	if err := <-probeRes; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned probe: %v", err)
+	}
+
+	// The breaker must have released the probe: the next caller is admitted
+	// as a fresh probe and reaches the now-healthy source.
+	sc.set(func(s *scriptClient) { s.gate = nil })
+	if _, err := c.Ask(ctx, query.Query{}); err != nil {
+		t.Fatalf("breaker wedged after abandoned probe: %v", err)
+	}
+	if entries, _ := sc.snapshot(); entries != 3 {
+		t.Errorf("source saw %d entries; want opener + abandoned probe + fresh probe", entries)
+	}
+}

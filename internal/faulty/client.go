@@ -83,33 +83,55 @@ func (s *ClientStats) Add(other ClientStats) {
 	s.Rejections += other.Rejections
 }
 
+// breakerState is the circuit breaker's explicit state machine.
+type breakerState uint8
+
+const (
+	stateClosed   breakerState = iota // normal service
+	stateOpen                         // rejecting until the cooldown elapses
+	stateHalfOpen                     // exactly one probe in flight
+)
+
 // breaker is a per-source circuit breaker: consecutive failures open it,
-// an open breaker rejects calls until the cooldown elapses, then a probe
-// is let through (half-open); a probe success closes it, a probe failure
-// reopens it. Half-open admits concurrent probes — acceptable for this
-// serving layer, where a few extra probes are harmless.
+// an open breaker rejects calls until the cooldown elapses, then exactly
+// one caller wins the half-open probe; every other caller keeps failing
+// fast until the probe resolves. A probe success closes the breaker, a
+// probe failure reopens it, and a probe abandoned without a verdict (the
+// caller's own context expired) releases half-open back to open so the
+// next caller may probe immediately — an unresolved probe must never wedge
+// the breaker half-open forever.
 type breaker struct {
 	threshold int
 	cooldown  time.Duration
 
 	mu       sync.Mutex
+	state    breakerState
 	failures int
-	open     bool
 	until    time.Time
 	opens    uint64
 }
 
-// allow reports whether a call may proceed.
-func (b *breaker) allow(now time.Time) bool {
+// allow reports whether a call may proceed and whether it is the
+// single half-open probe (the caller must then resolve the probe via
+// success, failure, or release).
+func (b *breaker) allow(now time.Time) (ok, probe bool) {
 	if b.threshold < 0 {
-		return true
+		return true, false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if !b.open {
-		return true
+	switch b.state {
+	case stateClosed:
+		return true, false
+	case stateOpen:
+		if now.Before(b.until) {
+			return false, false
+		}
+		b.state = stateHalfOpen
+		return true, true
+	default: // stateHalfOpen: a probe is already in flight
+		return false, false
 	}
-	return !now.Before(b.until) // half-open probe
 }
 
 func (b *breaker) success() {
@@ -117,8 +139,8 @@ func (b *breaker) success() {
 		return
 	}
 	b.mu.Lock()
+	b.state = stateClosed
 	b.failures = 0
-	b.open = false
 	b.mu.Unlock()
 }
 
@@ -127,13 +149,36 @@ func (b *breaker) failure(now time.Time) {
 		return
 	}
 	b.mu.Lock()
-	b.failures++
-	if b.failures >= b.threshold || b.open {
-		if !b.open || !now.Before(b.until) {
-			b.opens++ // count transitions, incl. a failed half-open probe
-		}
-		b.open = true
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateHalfOpen:
+		b.opens++ // a failed probe reopens
+		b.state = stateOpen
 		b.until = now.Add(b.cooldown)
+	case stateOpen:
+		// A straggler admitted before the breaker opened; already open, so
+		// just push the cooldown out.
+		b.until = now.Add(b.cooldown)
+	default: // stateClosed
+		b.failures++
+		if b.failures >= b.threshold {
+			b.opens++
+			b.state = stateOpen
+			b.until = now.Add(b.cooldown)
+		}
+	}
+}
+
+// release returns an unresolved half-open probe: the breaker reverts to
+// open with the cooldown already elapsed, so the next allow wins a fresh
+// probe.
+func (b *breaker) release() {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	if b.state == stateHalfOpen {
+		b.state = stateOpen
 	}
 	b.mu.Unlock()
 }
@@ -208,12 +253,27 @@ func (c *RetryClient) backoff(retry int) time.Duration {
 	return time.Duration(d)
 }
 
-// do runs one logical call through the retry/breaker policy.
+// do runs one logical call through the retry/breaker policy. A call that
+// wins the half-open probe must resolve it on every exit: success and
+// failure do so through the breaker verdicts, and the context-expiry exits
+// (which say nothing about the source's health) release the probe so other
+// callers are not locked out behind a verdict that will never come.
 func (c *RetryClient) do(ctx context.Context, attempt func(context.Context) (tree.Tree, error)) (tree.Tree, error) {
-	if !c.brk.allow(c.now()) {
+	ok, probe := c.brk.allow(c.now())
+	if !ok {
 		c.rejections.Add(1)
 		return tree.Tree{}, fmt.Errorf("%w: circuit breaker open", ErrUnavailable)
 	}
+	resolved := false
+	if probe {
+		defer func() {
+			if !resolved {
+				c.brk.release()
+			}
+		}()
+	}
+	succeed := func() { resolved = true; c.brk.success() }
+	fail := func() { resolved = true; c.brk.failure(c.now()); c.failures.Add(1) }
 	var last error
 	for try := 1; try <= c.cfg.MaxAttempts; try++ {
 		if err := ctx.Err(); err != nil {
@@ -222,7 +282,7 @@ func (c *RetryClient) do(ctx context.Context, attempt func(context.Context) (tre
 		c.attempts.Add(1)
 		a, err := attempt(ctx)
 		if err == nil {
-			c.brk.success()
+			succeed()
 			return a, nil
 		}
 		last = err
@@ -239,8 +299,7 @@ func (c *RetryClient) do(ctx context.Context, attempt func(context.Context) (tre
 		if dl, ok := ctx.Deadline(); ok && c.now().Add(d).After(dl) {
 			// The backoff cannot finish before the deadline: give up now so
 			// the caller has the remaining budget for a degraded answer.
-			c.brk.failure(c.now())
-			c.failures.Add(1)
+			fail()
 			return tree.Tree{}, fmt.Errorf("%w: deadline precludes retry %d: %w", ErrUnavailable, try, last)
 		}
 		c.retries.Add(1)
@@ -248,8 +307,7 @@ func (c *RetryClient) do(ctx context.Context, attempt func(context.Context) (tre
 			return tree.Tree{}, err
 		}
 	}
-	c.brk.failure(c.now())
-	c.failures.Add(1)
+	fail()
 	return tree.Tree{}, fmt.Errorf("%w: %w", ErrUnavailable, last)
 }
 

@@ -1,9 +1,10 @@
-package heuristics
+package heuristics_test
 
 import (
 	"testing"
 
 	"incxml/internal/cond"
+	"incxml/internal/heuristics"
 	"incxml/internal/query"
 	"incxml/internal/rat"
 	"incxml/internal/refine"
@@ -26,7 +27,7 @@ func TestAdditionalQueries(t *testing.T) {
 	for i := int64(1); i <= 3; i++ {
 		workload = append(workload, blowupQuery(i))
 	}
-	extra := AdditionalQueries(workload)
+	extra := heuristics.AdditionalQueries(workload)
 	// Example 3.3: the needed additional queries are root, root/a, root/b —
 	// deduplicated across the three workload queries.
 	if len(extra) != 3 {
@@ -72,7 +73,7 @@ func TestProposition313KeepsTreePolynomial(t *testing.T) {
 		workload = append(workload, blowupQuery(i))
 	}
 	aided := refine.NewRefiner(sigmaRAB, nil)
-	for _, q := range AdditionalQueries(workload) {
+	for _, q := range heuristics.AdditionalQueries(workload) {
 		if _, err := aided.ObserveOn(world, q); err != nil {
 			t.Fatal(err)
 		}
@@ -108,7 +109,7 @@ func TestLossyShrinkSupersetAndSmaller(t *testing.T) {
 	}
 	orig := r.Tree()
 	target := orig.Size() / 2
-	shrunk := LossyShrink(orig, target)
+	shrunk := heuristics.LossyShrink(orig, target)
 	if shrunk.Size() > orig.Size() {
 		t.Errorf("LossyShrink grew the tree: %d -> %d", orig.Size(), shrunk.Size())
 	}
@@ -147,12 +148,12 @@ func TestLossyShrinkSupersetAndSmaller(t *testing.T) {
 
 func TestLossyShrinkIdempotentWhenSmall(t *testing.T) {
 	u := refine.Universal(sigmaRAB)
-	shrunk := LossyShrink(u, u.Size())
+	shrunk := heuristics.LossyShrink(u, u.Size())
 	if shrunk.Size() != u.Size() {
 		t.Errorf("LossyShrink changed an already-small tree: %d -> %d", u.Size(), shrunk.Size())
 	}
 	// Shrinking below the minimum merges everything mergeable, then stops.
-	tiny := LossyShrink(u, 1)
+	tiny := heuristics.LossyShrink(u, 1)
 	if tiny.Size() == 0 {
 		t.Error("LossyShrink produced an empty representation")
 	}

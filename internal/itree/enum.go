@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"incxml/internal/budget"
 	"incxml/internal/ctype"
 	"incxml/internal/engine"
 	"incxml/internal/rat"
@@ -60,6 +61,10 @@ type enumerator struct {
 	// the same slice to several tasks is safe.
 	mu       sync.RWMutex
 	variants map[genKey][]*tree.Node
+	// bud, when non-nil, is charged one step per produced variant and child
+	// combination; exhaustion stops the pass, leaving an anytime
+	// under-approximation (see EnumerateBudgeted).
+	bud *budget.B
 }
 
 type genKey struct {
@@ -105,7 +110,7 @@ func (e *enumerator) expandAtom(out []*tree.Node, a ctype.SAtom, bases []*tree.N
 			}
 			// Fresh ids for non-data nodes so siblings differ.
 			out = append(out, refreshIDs(n, e.it.Nodes))
-			if len(out) > e.b.MaxTrees {
+			if len(out) > e.b.MaxTrees || e.bud.Charge(1) != nil {
 				return out, true
 			}
 		}
@@ -267,7 +272,7 @@ func (e *enumerator) enumAtom(a ctype.SAtom, depth int) [][]*tree.Node {
 				for _, prev := range sets {
 					next := append(append([]*tree.Node{}, prev...), combo...)
 					expanded = append(expanded, next)
-					if len(expanded) > b.MaxTrees {
+					if len(expanded) > b.MaxTrees || e.bud.Charge(1) != nil {
 						// Overflow: dropping the whole atom under-approximates
 						// the bounded rep-set, which is safe; emitting partial
 						// child sets would fabricate non-members.

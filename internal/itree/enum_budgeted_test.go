@@ -1,0 +1,108 @@
+package itree
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"incxml/internal/budget"
+	"incxml/internal/ctype"
+	"incxml/internal/dtd"
+	"incxml/internal/rat"
+	"incxml/internal/tree"
+)
+
+// enumFixture is a small incomplete tree with a few dozen bounded members:
+// root r with a-children (value 0..2) and optional b-child.
+func enumFixture() *T {
+	it := New()
+	ty := it.Type
+	ty.Roots = []ctype.Symbol{"r"}
+	ty.Sigma["r"] = ctype.LabelTarget("root")
+	ty.Sigma["a"] = ctype.LabelTarget("a")
+	ty.Sigma["b"] = ctype.LabelTarget("b")
+	ty.Mu["r"] = ctype.Disj{ctype.SAtom{
+		{Sym: "a", Mult: dtd.Star},
+		{Sym: "b", Mult: dtd.Opt},
+	}}
+	return it
+}
+
+func enumBounds() Bounds {
+	vals := make([]rat.Rat, 3)
+	for i := range vals {
+		vals[i] = rat.FromInt(int64(i))
+	}
+	return Bounds{Values: vals, MaxRepeat: 2, MaxDepth: 3, MaxTrees: 20000}
+}
+
+// TestEnumerateBudgetedUnderApproximates: every tree an exhausted
+// enumeration returns is also produced by the exact enumeration, and an
+// unlimited budget reproduces the exact result.
+func TestEnumerateBudgetedUnderApproximates(t *testing.T) {
+	it := enumFixture()
+	b := enumBounds()
+	full := it.Enumerate(b)
+	if len(full) < 10 {
+		t.Fatalf("fixture too small: %d members", len(full))
+	}
+	nset := map[tree.NodeID]bool{}
+	fullKeys := map[string]bool{}
+	for _, m := range full {
+		fullKeys[CanonRelative(m, nset)] = true
+	}
+
+	exact, err := it.EnumerateBudgeted(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact) != len(full) {
+		t.Fatalf("nil budget: %d members, exact %d", len(exact), len(full))
+	}
+
+	sawPartial := false
+	for _, steps := range []int64{1, 3, 7, 15, 40, 100, 100000} {
+		bud := budget.New(context.Background(), steps)
+		part, err := it.EnumerateBudgeted(b, bud)
+		if err != nil && !errors.Is(err, budget.ErrExhausted) {
+			t.Fatalf("steps=%d: unexpected error %v", steps, err)
+		}
+		for _, m := range part {
+			if !fullKeys[CanonRelative(m, nset)] {
+				t.Fatalf("steps=%d: fabricated member\n%s", steps, m)
+			}
+		}
+		if err != nil {
+			sawPartial = true
+			if len(part) >= len(full) {
+				// Exhaustion on the very last step can still yield all
+				// members; that is fine, but it must not exceed them.
+				if len(part) > len(full) {
+					t.Fatalf("steps=%d: more members than exact", steps)
+				}
+			}
+		} else if len(part) != len(full) {
+			t.Fatalf("steps=%d: completed with %d members, exact %d", steps, len(part), len(full))
+		}
+	}
+	if !sawPartial {
+		t.Error("no budget in the sweep exhausted; fixture too small to exercise degradation")
+	}
+}
+
+// TestRepSetBudgetedSubset: the budgeted rep-set is a subset of the exact
+// one.
+func TestRepSetBudgetedSubset(t *testing.T) {
+	it := enumFixture()
+	b := enumBounds()
+	exact := it.RepSet(b, nil)
+	part, err := it.RepSetBudgeted(b, nil, budget.New(context.Background(), 10))
+	if err != nil && !errors.Is(err, budget.ErrExhausted) {
+		t.Fatal(err)
+	}
+	for k := range part {
+		if !exact[k] {
+			t.Fatalf("budgeted rep-set contains non-member key %q", k)
+		}
+	}
+}

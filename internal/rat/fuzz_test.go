@@ -1,0 +1,97 @@
+package rat
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+)
+
+// FuzzParse checks that the rational parser never panics — including on
+// inputs whose exact representation overflows the int64 components, which
+// must surface as errors wrapping ErrOverflow — and that accepted values
+// round-trip through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"7", "-3", "3/4", "-3/4", "2.5", "-0.125", "0", "1/0",
+		"0.0000000000000000001", // 10^-19: exact denominator overflows int64
+		"1/-9223372036854775808",
+		"-9223372036854775808/-1",
+		"9223372036854775807/9223372036854775807",
+		".", "/", "1/", "/2", "1.2.3", "+", "-", "",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(r.String())
+		if err != nil {
+			t.Fatalf("Parse(%q) = %v, but its String %q does not re-parse: %v", s, r, r.String(), err)
+		}
+		if !back.Equal(r) {
+			t.Fatalf("round-trip of %q: %v != %v", s, back, r)
+		}
+	})
+}
+
+// TestParseOverflowIsError pins the serving-path contract: overflowing
+// inputs are errors, not panics.
+func TestParseOverflowIsError(t *testing.T) {
+	// Representable extremes parse exactly (New reduces on magnitudes).
+	if r, err := Parse("-9223372036854775808/-9223372036854775808"); err != nil || !r.Equal(One) {
+		t.Errorf("MinInt64/MinInt64: got %v, %v; want 1", r, err)
+	}
+	if r, err := Parse("-9223372036854775808/2"); err != nil || !r.Equal(New(-1<<62, 1)) {
+		t.Errorf("MinInt64/2: got %v, %v", r, err)
+	}
+	for _, s := range []string{
+		"0.0000000000000000001",
+		"1/-9223372036854775808",
+		"3/-9223372036854775808",
+	} {
+		r, err := Parse(s)
+		if err == nil {
+			t.Errorf("Parse(%q) = %v, want overflow error", s, r)
+			continue
+		}
+		if !errors.Is(err, ErrOverflow) {
+			t.Errorf("Parse(%q) error %v does not wrap ErrOverflow", s, err)
+		}
+	}
+}
+
+// FuzzCmp cross-checks the overflow-free comparison against math/big on
+// arbitrary components.
+func FuzzCmp(f *testing.F) {
+	f.Add(int64(7), int64(2000000000000010100), int64(7), int64(2000000000000010100))
+	f.Add(int64(-9223372036854775808), int64(1), int64(9223372036854775807), int64(1))
+	f.Add(int64(1), int64(3), int64(2), int64(6))
+	mk := func(n, d int64) (r Rat, ok bool) {
+		defer func() {
+			if p := recover(); p != nil {
+				if e, isErr := p.(error); isErr && errors.Is(e, ErrOverflow) {
+					ok = false
+					return
+				}
+				panic(p)
+			}
+		}()
+		return New(n, d), true
+	}
+	f.Fuzz(func(t *testing.T, an, ad, bn, bd int64) {
+		if ad == 0 || bd == 0 {
+			t.Skip()
+		}
+		a, ok1 := mk(an, ad)
+		b, ok2 := mk(bn, bd)
+		if !ok1 || !ok2 {
+			t.Skip() // reduced value not representable in int64 components
+		}
+		want := new(big.Rat).SetFrac64(an, ad).Cmp(new(big.Rat).SetFrac64(bn, bd))
+		if got := a.Cmp(b); got != want {
+			t.Fatalf("Cmp(%v, %v) = %d, big.Rat says %d", a, b, got, want)
+		}
+	})
+}

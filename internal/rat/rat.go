@@ -10,6 +10,7 @@
 package rat
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -38,30 +39,60 @@ var One = Rat{1, 1}
 // FromInt returns the rational n/1.
 func FromInt(n int64) Rat { return Rat{n, 1} }
 
-// New returns the normalized rational num/den. It panics with ErrOverflow if
-// den == 0 or normalization overflows (only possible for num = den = MinInt64
-// style inputs).
+// New returns the normalized rational num/den. It panics with a zero
+// denominator (programmer error) and with ErrOverflow when the reduced
+// value is not representable (a MinInt64-magnitude denominator that does
+// not cancel). Normalization runs on uint64 magnitudes, so every
+// representable input — including MinInt64 components that reduce — is
+// accepted.
 func New(num, den int64) Rat {
 	if den == 0 {
 		panic(fmt.Errorf("rat: zero denominator"))
 	}
-	if den < 0 {
-		num, den = negate(num), negate(den)
+	neg := (num < 0) != (den < 0)
+	nu, du := absU(num), absU(den)
+	if nu == 0 {
+		return Rat{0, 1}
 	}
-	g := gcd(abs(num), den)
-	if g != 0 {
-		num /= g
-		den /= g
-	}
-	if den == 0 { // den was MinInt64 and not fully reduced
+	g := gcdU(nu, du)
+	nu, du = nu/g, du/g
+	const minMag = uint64(1) << 63 // |MinInt64|
+	if du >= minMag || nu > minMag || (!neg && nu == minMag) {
 		panic(ErrOverflow)
 	}
-	return Rat{num, den}
+	var n int64
+	if neg && nu == minMag {
+		n = math.MinInt64
+	} else {
+		n = int64(nu)
+		if neg {
+			n = -n
+		}
+	}
+	return Rat{n, int64(du)}
 }
 
 // Parse reads a rational from s. Accepted forms: "7", "-3", "3/4", "-3/4",
-// and decimal literals "2.5", "-0.125" (converted exactly).
-func Parse(s string) (Rat, error) {
+// and decimal literals "2.5", "-0.125" (converted exactly). Parse is a
+// serving-path boundary: inputs whose exact representation overflows the
+// int64 components (e.g. "0.0000000000000000001" or a MinInt64
+// denominator) yield an error wrapping ErrOverflow, never a panic.
+func Parse(s string) (r Rat, err error) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if e, ok := p.(error); ok && errors.Is(e, ErrOverflow) {
+			r, err = Rat{}, fmt.Errorf("rat: %q overflows: %w", s, ErrOverflow)
+			return
+		}
+		panic(p)
+	}()
+	return parse(s)
+}
+
+func parse(s string) (Rat, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return Rat{}, fmt.Errorf("rat: empty input")
@@ -155,21 +186,62 @@ func (r Rat) Sign() int {
 // IsInt reports whether r is an integer.
 func (r Rat) IsInt() bool { return r.Den() == 1 }
 
-// Cmp compares r and s, returning -1, 0, or +1.
+// Cmp compares r and s, returning -1, 0, or +1. Unlike the arithmetic
+// operations, Cmp is total: it never overflows (comparison runs on the
+// continued-fraction expansion rather than cross-multiplication), so
+// conditions over parsed query constants can always be evaluated.
 func (r Rat) Cmp(s Rat) int {
 	r, s = r.norm(), s.norm()
-	// Compare r.num/r.den vs s.num/s.den via cross-multiplication with
-	// overflow-checked products.
-	a := mulChecked(r.num, s.den)
-	b := mulChecked(s.num, r.den)
-	switch {
-	case a < b:
-		return -1
-	case a > b:
+	rs, ss := r.Sign(), s.Sign()
+	if rs != ss {
+		if rs < ss {
+			return -1
+		}
 		return 1
-	default:
+	}
+	if rs == 0 {
 		return 0
 	}
+	c := cmpPos(absU(r.num), uint64(r.den), absU(s.num), uint64(s.den))
+	if rs < 0 {
+		return -c
+	}
+	return c
+}
+
+// cmpPos compares the positive fractions a/b and c/d exactly and without
+// overflow by walking their continued-fraction expansions: equal integer
+// parts reduce the problem to the remainders' reciprocals, whose order is
+// the same as the original after swapping sides.
+func cmpPos(a, b, c, d uint64) int {
+	for {
+		q1, r1 := a/b, a%b
+		q2, r2 := c/d, c%d
+		if q1 != q2 {
+			if q1 < q2 {
+				return -1
+			}
+			return 1
+		}
+		switch {
+		case r1 == 0 && r2 == 0:
+			return 0
+		case r1 == 0:
+			return -1
+		case r2 == 0:
+			return 1
+		}
+		// r1/b vs r2/d (both in (0,1)) orders like d/r2 vs b/r1.
+		a, b, c, d = d, r2, b, r1
+	}
+}
+
+// absU is |a| as a uint64; total, including MinInt64.
+func absU(a int64) uint64 {
+	if a < 0 {
+		return uint64(-(a + 1)) + 1
+	}
+	return uint64(a)
 }
 
 // Equal reports whether r == s.
@@ -269,6 +341,13 @@ func negate(a int64) int64 {
 }
 
 func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func gcdU(a, b uint64) uint64 {
 	for b != 0 {
 		a, b = b, a%b
 	}

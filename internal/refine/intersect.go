@@ -3,6 +3,7 @@ package refine
 import (
 	"errors"
 
+	"incxml/internal/budget"
 	"incxml/internal/ctype"
 	"incxml/internal/dtd"
 	"incxml/internal/itree"
@@ -48,6 +49,17 @@ var ErrIncompatible = errors.New("refine: incompatible incomplete trees (shared 
 // multiplicity mapping joins each pair of disjuncts α1 ⋈ α2 via the matching
 // ρ of all compatible item pairs, guarded by the value checks of the lemma.
 func Intersect(a, b *itree.T) (*itree.T, error) {
+	return IntersectBudgeted(a, b, nil)
+}
+
+// IntersectBudgeted is Intersect under a cooperative budget, charged one
+// step per discovered product symbol and per joined disjunct pair. Although
+// one intersection is polynomial, its inputs grow along a Refine chain
+// (Example 3.2), so a chain can still exceed any fixed budget; on
+// exhaustion the partial product is discarded and the budget error
+// (matching budget.ErrExhausted) is returned. A nil budget is equivalent to
+// Intersect.
+func IntersectBudgeted(a, b *itree.T, bud *budget.B) (*itree.T, error) {
 	if !Compatible(a, b) {
 		return nil, ErrIncompatible
 	}
@@ -141,12 +153,18 @@ func Intersect(a, b *itree.T) (*itree.T, error) {
 	}
 
 	for len(queue) > 0 {
+		if err := bud.Charge(1); err != nil {
+			return nil, err
+		}
 		p := queue[0]
 		queue = queue[1:]
 		ps := pairSym(p.s1, p.s2)
 		var disj ctype.Disj
 		for _, a1 := range a.Type.DisjFor(p.s1) {
 			for _, a2 := range b.Type.DisjFor(p.s2) {
+				if err := bud.Charge(1); err != nil {
+					return nil, err
+				}
 				if atom, ok := joinAtoms(a, b, a1, a2, compatible, valueCompatible, add); ok {
 					disj = append(disj, atom)
 				}

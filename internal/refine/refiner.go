@@ -289,6 +289,10 @@ type Refiner struct {
 	// polynomial (Lemma 3.12) at a small constant per-step cost.
 	CompactEach bool
 	steps       int
+	// lossy records that some observation went through the lossy-shrinking
+	// fallback (ObserveBudgeted): cur is then a rep-superset of the true
+	// refinement.
+	lossy bool
 }
 
 // NewRefiner starts a refinement chain. The source type may be nil if the

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"incxml/internal/query"
+	"incxml/internal/tree"
+	"incxml/internal/workload"
+)
+
+// requestEpsilon is the slack allowed on top of the configured request
+// deadline before a request counts as "pinned": queue wait is already part
+// of the deadline, so this only absorbs scheduler noise, the bounded lossy
+// fallback, and -race overhead.
+const requestEpsilon = 4 * time.Second
+
+// evalSize parses a request body as a ps-query and evaluates it on the
+// true source document — the brute-force oracle for exactness claims.
+func evalSize(t *testing.T, doc tree.Tree, body string) int {
+	t.Helper()
+	q, err := query.Parse(body)
+	if err != nil {
+		t.Fatalf("oracle query %q: %v", body, err)
+	}
+	return q.Eval(doc).Size()
+}
+
+// TestChaosSoak drives a mixed concurrent workload — healthy catalog
+// traffic, Theorem 3.6 blow-up refinement chains, malformed requests,
+// unknown sources, injected source faults, and injected handler panics —
+// against a small-budget, small-admission server under -race (via
+// scripts/verify.sh), and asserts the serving contract:
+//
+//   - every response arrives within the deadline plus a scheduling epsilon
+//     (nothing pins a goroutine on an exponential instance);
+//   - only expected statuses appear, and 500s are exactly the recovered
+//     injected panics;
+//   - exactness claims stay sound: a /local response claiming full
+//     answerability carries q(world), and a non-degraded /complete carries
+//     the exact answer — regardless of budget pressure or lossy fallbacks;
+//   - after the storm the server answers normally again.
+func TestChaosSoak(t *testing.T) {
+	const timeout = 500 * time.Millisecond
+	s, err := New(Config{
+		Timeout: timeout, MaxInflight: 4, Queue: 8, Budget: 30_000,
+		FailRate: 0.15, Latency: time.Millisecond, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	testHookHandler = func(r *http.Request) {
+		if r.URL.Query().Get("boom") != "" {
+			panic("injected handler fault")
+		}
+	}
+	defer func() { testHookHandler = nil }()
+
+	catDoc := workload.PaperCatalog()
+	blowDoc := workload.BlowupWorld()
+	query4Body := "catalog\n  product\n    name\n    cat {= 1}\n      subcat {= 2}\n"
+
+	// Warm the catalog knowledge (the injector may fault the first tries).
+	warmed := false
+	for i := 0; i < 20 && !warmed; i++ {
+		warmed = post(t, h, "/explore", catalogBody).Code == http.StatusOK
+	}
+	if !warmed {
+		t.Fatal("could not warm catalog knowledge through the injector")
+	}
+
+	type result struct {
+		path    string
+		body    string
+		code    int
+		resp    []byte
+		retry   string
+		elapsed time.Duration
+	}
+	do := func(path, body string) result {
+		req := httptest.NewRequest("POST", path, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		start := time.Now()
+		h.ServeHTTP(rec, req)
+		return result{
+			path: path, body: body, code: rec.Code,
+			resp: rec.Body.Bytes(), retry: rec.Header().Get("Retry-After"),
+			elapsed: time.Since(start),
+		}
+	}
+
+	const workers = 8
+	const perWorker = 25
+	results := make(chan result, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < perWorker; i++ {
+				switch rng.Intn(10) {
+				case 0, 1:
+					results <- do("/explore", catalogBody)
+				case 2, 3:
+					results <- do("/local", query4Body)
+				case 4:
+					results <- do("/complete", query4Body)
+				case 5, 6:
+					results <- do("/explore?source=blowup", blowupBody(1+rng.Intn(8)))
+				case 7:
+					results <- do("/local?source=blowup", blowupBody(1+rng.Intn(8)))
+				case 8:
+					switch rng.Intn(3) {
+					case 0:
+						results <- do("/local", "not a query {{{")
+					case 1:
+						results <- do("/local?source=nope", query4Body)
+					default:
+						results <- do("/explore", "")
+					}
+				case 9:
+					results <- do("/local?boom=1", query4Body)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(results)
+
+	allowed := map[int]bool{
+		http.StatusOK: true, http.StatusBadRequest: true, http.StatusNotFound: true,
+		http.StatusTooManyRequests: true, http.StatusInternalServerError: true,
+		http.StatusServiceUnavailable: true, http.StatusGatewayTimeout: true,
+	}
+	var total, shed, panics, fullYes, exactCompletes int
+	for r := range results {
+		total++
+		if r.elapsed > timeout+requestEpsilon {
+			t.Errorf("%s took %v (deadline %v + epsilon)", r.path, r.elapsed, timeout)
+		}
+		if !allowed[r.code] {
+			t.Errorf("%s: unexpected status %d: %s", r.path, r.code, r.resp)
+			continue
+		}
+		switch r.code {
+		case http.StatusInternalServerError:
+			if !strings.Contains(string(r.resp), "recovered panic") {
+				t.Errorf("%s: 500 that is not a recovered panic: %s", r.path, r.resp)
+			}
+			panics++
+		case http.StatusTooManyRequests:
+			shed++
+			if r.retry == "" {
+				t.Errorf("%s: 429 without Retry-After", r.path)
+			}
+		case http.StatusOK:
+			var m map[string]any
+			if err := json.Unmarshal(r.resp, &m); err != nil {
+				t.Errorf("%s: bad JSON: %v", r.path, err)
+				continue
+			}
+			doc := catDoc
+			if strings.Contains(r.path, "source=blowup") {
+				doc = blowDoc
+			}
+			if strings.HasPrefix(r.path, "/local") {
+				if m["fullyV"] == "yes" {
+					fullYes++
+					if got, want := int(m["nodes"].(float64)), evalSize(t, doc, r.body); got != want {
+						t.Errorf("%s %q: claims fully answerable with %d nodes, world has %d",
+							r.path, r.body, got, want)
+					}
+				}
+			}
+			if strings.HasPrefix(r.path, "/complete") && m["degraded"] == false {
+				exactCompletes++
+				if got, want := int(m["nodes"].(float64)), evalSize(t, doc, r.body); got != want {
+					t.Errorf("%s %q: non-degraded completion has %d nodes, world has %d",
+						r.path, r.body, got, want)
+				}
+			}
+		}
+	}
+	if total != workers*perWorker {
+		t.Fatalf("lost responses: %d of %d", total, workers*perWorker)
+	}
+	if panics == 0 {
+		t.Error("storm never hit the panic injection path")
+	}
+
+	// Recovery: with the storm over, a normal local answer succeeds again
+	// (it never touches the faulty source).
+	recovered := false
+	for i := 0; i < 10 && !recovered; i++ {
+		recovered = post(t, h, "/local", query4Body).Code == http.StatusOK
+	}
+	if !recovered {
+		t.Error("server did not recover after the storm")
+	}
+	st := s.Stats()
+	if st.RecoveredPanics == 0 {
+		t.Error("stats recorded no recovered panics")
+	}
+	t.Logf("soak: %d requests, %d shed(429), %d panics recovered, %d fully-exact locals, %d exact completes; stats %+v",
+		total, shed, panics, fullYes, exactCompletes, st)
+}

@@ -1,0 +1,378 @@
+// Package serve is the HTTP serving layer over a webhouse: admission
+// control, per-request deadlines, panic containment, and multi-source
+// routing.
+//
+// The design goal is that the server stays responsive under any mix of
+// traffic — including Theorem 3.6 blow-up instances whose exact evaluation
+// is exponential — by composing three defenses:
+//
+//   - Admission control. At most MaxInflight requests execute handlers
+//     concurrently; up to Queue more wait for a slot (within their own
+//     deadline). Beyond that the server sheds load immediately: 429 when
+//     the wait queue is full, 503 when a queued request's deadline expires
+//     before a slot frees up. Both carry Retry-After.
+//   - Budgets. Every admitted request runs under a context deadline, and
+//     the webhouse charges a cooperative step budget (see internal/budget)
+//     against it plus the configured per-request step limit, degrading to
+//     sound approximations instead of running hot.
+//   - Containment. A panicking handler is recovered, counted, and turned
+//     into a 500; it never takes the process down.
+//
+// The middleware order is recover(deadline(admit(handler))): the recover
+// wrapper is outermost so it also covers the admission path, and the
+// deadline starts ticking while the request waits in the queue, so queue
+// time counts against the client's patience rather than extending it.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"incxml/internal/budget"
+	"incxml/internal/faulty"
+	"incxml/internal/query"
+	"incxml/internal/webhouse"
+	"incxml/internal/workload"
+	"incxml/internal/xmlio"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultMaxInflight = 32
+	DefaultQueue       = 64
+	DefaultTimeout     = 2 * time.Second
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Timeout is the per-request deadline, including queue wait.
+	Timeout time.Duration
+	// MaxInflight bounds concurrently executing handlers.
+	MaxInflight int
+	// Queue bounds requests waiting for an execution slot.
+	Queue int
+	// Budget is the per-request step budget charged by the webhouse's
+	// solvers; <= 0 leaves steps unlimited (the deadline still applies).
+	Budget int64
+	// FailRate, Latency and Seed configure the per-source fault injector
+	// (zero values make it a no-op).
+	FailRate float64
+	Latency  time.Duration
+	Seed     int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = DefaultMaxInflight
+	}
+	if c.Queue <= 0 {
+		c.Queue = DefaultQueue
+	}
+	return c
+}
+
+// Server serves a webhouse over HTTP. Create it with New.
+type Server struct {
+	wh  *webhouse.Webhouse
+	cfg Config
+	// sem is the execution semaphore: holding one slot = one inflight
+	// handler. waiting counts requests blocked on a slot; it may briefly
+	// exceed Queue during the check-then-wait window, which only sheds a
+	// little early — never admits extra work.
+	sem       chan struct{}
+	waiting   atomic.Int64
+	injectors map[string]*faulty.Injector
+
+	shedQueueFull   atomic.Uint64
+	shedWaitTimeout atomic.Uint64
+	recoveredPanics atomic.Uint64
+}
+
+// testHookHandler, when set, runs at handler entry (inside all middleware)
+// with the admitted request. Tests use it to inject panics and stalls.
+var testHookHandler func(*http.Request)
+
+// New builds a server over the paper's two demonstration sources:
+// "catalog" (the Figure 1 running example) and "blowup" (the Example 3.2
+// world, whose refinement chains exhibit the Theorem 3.6 exponential
+// blow-up). Each source sits behind a fault injector and a retrying
+// client, so the serving path always exercises the failure model.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	wh := webhouse.New()
+	wh.SetBudget(cfg.Budget)
+	s := &Server{
+		wh:        wh,
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.MaxInflight),
+		injectors: make(map[string]*faulty.Injector),
+	}
+	reg := func(name string, src *webhouse.Source, seedOff int64) error {
+		wh.Register(src)
+		inj := faulty.NewInjector(src.Name, src, faulty.InjectorConfig{
+			Latency: cfg.Latency, FailRate: cfg.FailRate, Seed: cfg.Seed + seedOff,
+		})
+		if err := wh.SetClient(src.Name, faulty.NewRetryClient(inj, faulty.RetryConfig{Seed: cfg.Seed + seedOff})); err != nil {
+			return err
+		}
+		s.injectors[name] = inj
+		return nil
+	}
+	cat, err := webhouse.NewSource("catalog", workload.CatalogType(), workload.PaperCatalog())
+	if err != nil {
+		return nil, err
+	}
+	if err := reg("catalog", cat, 0); err != nil {
+		return nil, err
+	}
+	blow, err := webhouse.NewSource("blowup", workload.BlowupType(), workload.BlowupWorld())
+	if err != nil {
+		return nil, err
+	}
+	if err := reg("blowup", blow, 1); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Webhouse exposes the underlying webhouse (for tests and embedding).
+func (s *Server) Webhouse() *webhouse.Webhouse { return s.wh }
+
+// Injector returns the fault injector of a registered source, or nil.
+func (s *Server) Injector(source string) *faulty.Injector { return s.injectors[source] }
+
+// Stats is the serving-layer counter snapshot: the webhouse counters plus
+// admission-control and containment counters.
+type Stats struct {
+	webhouse.Stats
+	// ShedQueueFull counts requests rejected with 429 because the wait
+	// queue was full; ShedWaitTimeout counts queued requests whose
+	// deadline expired before a slot freed (503).
+	ShedQueueFull   uint64
+	ShedWaitTimeout uint64
+	// RecoveredPanics counts handler panics converted to 500s.
+	RecoveredPanics uint64
+	// Inflight and Waiting are instantaneous gauges.
+	Inflight int
+	Waiting  int64
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Stats:           s.wh.Stats(),
+		ShedQueueFull:   s.shedQueueFull.Load(),
+		ShedWaitTimeout: s.shedWaitTimeout.Load(),
+		RecoveredPanics: s.recoveredPanics.Load(),
+		Inflight:        len(s.sem),
+		Waiting:         s.waiting.Load(),
+	}
+}
+
+// Handler returns the HTTP handler: POST /explore, /local, /complete (body
+// = ps-query, optional ?source= selecting "catalog" or "blowup") and GET
+// /stats. The three query endpoints run behind the full middleware stack;
+// /stats bypasses admission so it stays observable under overload.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /explore", s.wrap(s.handleExplore))
+	mux.HandleFunc("POST /local", s.wrap(s.handleLocal))
+	mux.HandleFunc("POST /complete", s.wrap(s.handleComplete))
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// wrap composes the middleware stack around a handler; see the package
+// comment for the order and its rationale.
+func (s *Server) wrap(h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.recoveredPanics.Add(1)
+				http.Error(w, fmt.Sprintf("internal error: recovered panic: %v", p), http.StatusInternalServerError)
+			}
+		}()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		release, ok := s.admit(ctx, w)
+		if !ok {
+			return
+		}
+		defer release()
+		if hook := testHookHandler; hook != nil {
+			hook(r)
+		}
+		h(ctx, w, r)
+	}
+}
+
+// admit acquires an execution slot, waiting within the request deadline if
+// the queue has room. On rejection it writes the shed response and returns
+// ok=false; on success the caller must invoke release.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+	}
+	if s.waiting.Add(1) > int64(s.cfg.Queue) {
+		s.waiting.Add(-1)
+		s.shedQueueFull.Add(1)
+		s.shed(w, http.StatusTooManyRequests, "overloaded: wait queue full")
+		return nil, false
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	case <-ctx.Done():
+		s.shedWaitTimeout.Add(1)
+		s.shed(w, http.StatusServiceUnavailable, "overloaded: deadline expired waiting for a slot")
+		return nil, false
+	}
+}
+
+// shed writes a load-shedding response with a Retry-After hint scaled to
+// the configured request timeout (at least one second).
+func (s *Server) shed(w http.ResponseWriter, code int, msg string) {
+	retry := int(s.cfg.Timeout / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
+	http.Error(w, msg, code)
+}
+
+// source picks the target source from the ?source= parameter.
+func (s *Server) source(r *http.Request) string {
+	if src := r.URL.Query().Get("source"); src != "" {
+		return src
+	}
+	return "catalog"
+}
+
+// readQuery parses the ps-query in the request body.
+func readQuery(w http.ResponseWriter, r *http.Request) (query.Query, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return query.Query{}, false
+	}
+	q, err := query.Parse(string(body))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad query: %v", err), http.StatusBadRequest)
+		return query.Query{}, false
+	}
+	return q, true
+}
+
+// fail maps serving errors to HTTP statuses: deadline and budget-deadline
+// exhaustion become 504, source unavailability 503, unknown sources 404,
+// everything else 500.
+func fail(w http.ResponseWriter, err error) {
+	var be *budget.Error
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	case errors.As(err, &be) && be.Cause == budget.CauseDeadline:
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, faulty.ErrUnavailable):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, webhouse.ErrUnknownSource):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleExplore(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	q, ok := readQuery(w, r)
+	if !ok {
+		return
+	}
+	a, err := s.wh.Explore(ctx, s.source(r), q)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	xml, err := xmlio.Marshal(a)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"nodes": a.Size(), "answer": xml})
+}
+
+func (s *Server) handleLocal(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	q, ok := readQuery(w, r)
+	if !ok {
+		return
+	}
+	la, err := s.wh.AnswerLocally(ctx, s.source(r), q)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	xml, err := xmlio.Marshal(la.Exact)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"fully":             la.Fully,
+		"fullyV":            la.FullyV,
+		"certainlyNonEmpty": la.CertainlyNonEmpty,
+		"possiblyNonEmpty":  la.PossiblyNonEmpty,
+		"lossy":             la.Lossy,
+		"budgetExhausted":   la.BudgetExhausted,
+		"nodes":             la.Exact.Size(),
+		"answer":            xml,
+	})
+}
+
+func (s *Server) handleComplete(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	q, ok := readQuery(w, r)
+	if !ok {
+		return
+	}
+	ca, err := s.wh.AnswerComplete(ctx, s.source(r), q)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	xml, err := xmlio.Marshal(ca.Answer)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	resp := map[string]any{
+		"degraded":     ca.Degraded,
+		"localQueries": ca.LocalQueries,
+		"nodes":        ca.Answer.Size(),
+		"answer":       xml,
+	}
+	if ca.Degraded && ca.Cause != nil {
+		resp["cause"] = ca.Cause.Error()
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}

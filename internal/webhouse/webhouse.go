@@ -38,9 +38,11 @@ import (
 	"sync/atomic"
 
 	"incxml/internal/answer"
+	"incxml/internal/budget"
 	"incxml/internal/dtd"
 	"incxml/internal/engine"
 	"incxml/internal/faulty"
+	"incxml/internal/heuristics"
 	"incxml/internal/itree"
 	"incxml/internal/mediator"
 	"incxml/internal/query"
@@ -178,6 +180,14 @@ type Webhouse struct {
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
 	degraded    atomic.Uint64
+
+	// budgetSteps is the per-request step allowance for the solver budgets
+	// (0 = step-unlimited; the context deadline still applies). shrinkTo is
+	// the lossy-fallback size cap (0 = refine.DefaultShrinkTo).
+	budgetSteps       atomic.Int64
+	shrinkTo          atomic.Int64
+	budgetExhaustions atomic.Uint64
+	lossyFallbacks    atomic.Uint64
 }
 
 // New creates an empty webhouse backed by the default worker pool.
@@ -200,6 +210,38 @@ func (wh *Webhouse) getPool() *engine.Pool {
 	wh.mu.RLock()
 	defer wh.mu.RUnlock()
 	return wh.pool
+}
+
+// SetBudget sets the per-request step allowance of the solver budgets;
+// 0 disables the step limit (the context deadline alone bounds the work).
+// Budgeted solvers whose exact run would exceed the allowance degrade to the
+// lossy-shrinking fallback instead of pinning a goroutine (DESIGN.md
+// "Resource budgets & overload control").
+func (wh *Webhouse) SetBudget(steps int64) { wh.budgetSteps.Store(steps) }
+
+// BudgetSteps reports the configured per-request step allowance.
+func (wh *Webhouse) BudgetSteps() int64 { return wh.budgetSteps.Load() }
+
+// SetShrinkTo sets the representation-size cap the lossy fallback shrinks
+// knowledge to; 0 restores refine.DefaultShrinkTo.
+func (wh *Webhouse) SetShrinkTo(n int) { wh.shrinkTo.Store(int64(n)) }
+
+func (wh *Webhouse) shrinkCap() int {
+	if n := wh.shrinkTo.Load(); n > 0 {
+		return int(n)
+	}
+	return refine.DefaultShrinkTo
+}
+
+// newBudget builds the cooperative budget for one request. It returns nil
+// (unlimited) when no step allowance is configured and the context carries
+// no deadline, so unconfigured webhouses behave exactly as before.
+func (wh *Webhouse) newBudget(ctx context.Context) *budget.B {
+	steps := wh.budgetSteps.Load()
+	if steps <= 0 && ctx.Done() == nil {
+		return nil
+	}
+	return budget.New(ctx, steps)
 }
 
 // Register adds a source, initializing its knowledge to the source's tree
@@ -235,13 +277,16 @@ func (wh *Webhouse) SetClient(source string, c faulty.SourceClient) error {
 	return nil
 }
 
+// ErrUnknownSource reports a lookup of an unregistered source name.
+var ErrUnknownSource = errors.New("unknown source")
+
 // Repo returns the repository for a source.
 func (wh *Webhouse) Repo(name string) (*Repository, error) {
 	wh.mu.RLock()
 	r, ok := wh.repos[name]
 	wh.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("webhouse: unknown source %q", name)
+		return nil, fmt.Errorf("webhouse: %w %q", ErrUnknownSource, name)
 	}
 	return r, nil
 }
@@ -271,6 +316,11 @@ type Stats struct {
 	// DegradedAnswers counts AnswerComplete calls that fell back to the
 	// approximate local answer because the source was unavailable.
 	DegradedAnswers uint64
+	// BudgetExhaustions counts local computations whose step or deadline
+	// budget ran out; LossyFallbacks counts those recovered (at least
+	// partially) through the Proposition 3.13 lossy-shrinking fallback.
+	BudgetExhaustions uint64
+	LossyFallbacks    uint64
 	// Source aggregates retry/breaker counters over every repository whose
 	// client exposes faulty.ClientStats (direct clients report nothing).
 	Source faulty.ClientStats
@@ -312,6 +362,8 @@ func (wh *Webhouse) Stats() Stats {
 		AnswerCacheHits:   wh.cacheHits.Load(),
 		AnswerCacheMisses: wh.cacheMisses.Load(),
 		DegradedAnswers:   wh.degraded.Load(),
+		BudgetExhaustions: wh.budgetExhaustions.Load(),
+		LossyFallbacks:    wh.lossyFallbacks.Load(),
 		Source:            src,
 		Decision:          answer.CacheStats(),
 		Membership:        itree.CacheStats(),
@@ -323,12 +375,19 @@ func (wh *Webhouse) Stats() Stats {
 // recovery strategy: when the observation contradicts the accumulated
 // knowledge — the source changed under us — the repository is
 // reinitialized to the source type and the observation replayed against
-// the fresh state. The caller must hold r.mu for writing.
-func observeLocked(r *Repository, q query.Query, a tree.Tree) error {
-	err := r.refiner.Observe(q, a)
+// the fresh state. The refinement runs under the webhouse budget: on
+// exhaustion the refiner degrades to the Proposition 3.13 lossy shrink
+// rather than dropping the (already paid-for) source answer, so
+// acquisition never fails on budget grounds — it merely coarsens. The
+// caller must hold r.mu for writing.
+func (wh *Webhouse) observeLocked(ctx context.Context, r *Repository, q query.Query, a tree.Tree) error {
+	lossy, err := r.refiner.ObserveBudgeted(q, a, wh.newBudget(ctx), wh.shrinkCap())
 	if errors.Is(err, refine.ErrInconsistent) {
 		r.refiner = refine.NewRefiner(r.Source.Type.Alphabet(), r.Source.Type)
-		err = r.refiner.Observe(q, a)
+		lossy, err = r.refiner.ObserveBudgeted(q, a, wh.newBudget(ctx), wh.shrinkCap())
+	}
+	if lossy {
+		wh.lossyFallbacks.Add(1)
 	}
 	return err
 }
@@ -352,7 +411,7 @@ func (wh *Webhouse) Explore(ctx context.Context, source string, q query.Query) (
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := observeLocked(r, q, a); err != nil {
+	if err := wh.observeLocked(ctx, r, q, a); err != nil {
 		return tree.Tree{}, err
 	}
 	r.invalidate()
@@ -412,12 +471,34 @@ type LocalAnswer struct {
 	// Exact is the answer computed on the data tree (meaningful when Fully).
 	Exact tree.Tree
 	// Possible is the incomplete tree q(T) describing all possible answers
-	// (Theorem 3.14).
+	// (Theorem 3.14). When PossibleLossy is set it was computed from a
+	// lossy-shrunk knowledge tree and over-approximates the possible
+	// answers (still sound as a set of candidates).
 	Possible *itree.T
 	// CertainlyNonEmpty and PossiblyNonEmpty are the Corollary 3.18
-	// modalities.
+	// modalities, collapsed to their sound boolean reading:
+	// CertainlyNonEmpty (and Fully) are true only on an exact or
+	// soundly-degraded Yes, while PossiblyNonEmpty stays true when the
+	// verdict is Unknown — an undecided source may still hold relevant
+	// information.
 	CertainlyNonEmpty bool
 	PossiblyNonEmpty  bool
+
+	// FullyV, CertainlyNonEmptyV and PossiblyNonEmptyV are the three-valued
+	// verdicts behind the booleans: Yes/No are exact (or established through
+	// a sound-direction fallback), Unknown means the budget ran out before
+	// the facet was decided in a sound direction.
+	FullyV             budget.Tri
+	CertainlyNonEmptyV budget.Tri
+	PossiblyNonEmptyV  budget.Tri
+	// Lossy reports that at least one facet was recovered through the
+	// Proposition 3.13 lossy-shrinking fallback. PossibleLossy flags the
+	// Possible tree specifically.
+	Lossy         bool
+	PossibleLossy bool
+	// BudgetExhausted reports that the request budget ran out while
+	// computing this answer (the answer is then never cached).
+	BudgetExhausted bool
 }
 
 // lookupLocal consults a repository answer cache; see storeLocal for the
@@ -453,29 +534,108 @@ func (r *Repository) snapshot() (uint64, *itree.T) {
 	return r.gen.Load(), r.refiner.Reachable()
 }
 
+// fallbackSteps bounds the lossy-fallback recomputation: the shrunk tree is
+// small by construction, so this allowance is generous for it while still
+// guaranteeing the fallback itself terminates promptly.
+const fallbackSteps = 1 << 20
+
 // computeLocal evaluates the four local-answer facets of q on know across
-// the worker pool, honoring the context's deadline: when it expires before
-// every facet ran, the context error is returned instead of a partial
-// answer.
+// the worker pool, honoring the context's deadline and the webhouse's
+// per-request step budget. When the deadline expires before every facet
+// ran, the context error is returned instead of a partial answer. When the
+// step allowance runs out, the facets degrade soundly through the
+// Proposition 3.13 lossy-shrinking fallback: verdicts that the rep-superset
+// decides in the sound direction (Fully/CertainlyNonEmpty Yes,
+// PossiblyNonEmpty No) are kept exact, the rest report Unknown.
 func (wh *Webhouse) computeLocal(ctx context.Context, know *itree.T, q query.Query) (*LocalAnswer, error) {
+	bud := wh.newBudget(ctx)
 	out := &LocalAnswer{}
 	var errs [4]error
 	tasks := []func(){
-		func() { out.Fully, errs[0] = answer.FullyAnswerable(know, q) },
+		func() { out.FullyV, errs[0] = answer.FullyAnswerableBudgeted(know, q, bud) },
 		func() { out.Exact = q.Eval(know.DataTree()) },
-		func() { out.Possible, errs[1] = answer.Apply(know, q) },
-		func() { out.CertainlyNonEmpty, errs[2] = answer.CertainlyNonEmpty(know, q) },
-		func() { out.PossiblyNonEmpty, errs[3] = answer.PossiblyNonEmpty(know, q) },
+		func() { out.Possible, errs[1] = answer.ApplyBudgeted(know, q, bud) },
+		func() { out.CertainlyNonEmptyV, errs[2] = answer.CertainlyNonEmptyBudgeted(know, q, bud) },
+		func() { out.PossiblyNonEmptyV, errs[3] = answer.PossiblyNonEmptyBudgeted(know, q, bud) },
 	}
 	if err := wh.getPool().Each(ctx, len(tasks), func(i int) { tasks[i]() }); err != nil {
 		return nil, err
 	}
+	exhausted := false
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, budget.ErrExhausted) {
 			return nil, err
 		}
+		exhausted = true
 	}
+	if exhausted {
+		wh.budgetExhaustions.Add(1)
+		out.BudgetExhausted = true
+		if bud.ExhaustedCause() == budget.CauseDeadline {
+			// Deadline exhaustion is the caller's timeout, not overload the
+			// webhouse can shed work around: surface the context error so
+			// the serving layer maps it to a timeout response.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, bud.Err()
+		}
+		wh.fallbackLocal(know, q, out)
+	}
+	out.Fully = out.FullyV == budget.Yes
+	out.CertainlyNonEmpty = out.CertainlyNonEmptyV == budget.Yes
+	// Unknown must not rule the source out: only an established No does.
+	out.PossiblyNonEmpty = out.PossiblyNonEmptyV != budget.No
 	return out, nil
+}
+
+// fallbackLocal resolves Unknown facets through the lossy-shrinking escape
+// hatch (Proposition 3.13). The shrunk tree S satisfies rep(T) ⊆ rep(S), so
+// only one direction of each verdict transfers soundly:
+//
+//   - FullyAnswerable(S) = yes  ⇒ fully answerable on T (∀ over a superset);
+//   - CertainlyNonEmpty(S) = yes ⇒ certainly non-empty on T (same);
+//   - PossiblyNonEmpty(S) = no  ⇒ possibly-non-empty is no on T (∃ fails
+//     over the superset);
+//
+// and q(S) over-approximates the possible answers. Facets the fallback
+// cannot decide soundly stay Unknown.
+func (wh *Webhouse) fallbackLocal(know *itree.T, q query.Query, out *LocalAnswer) {
+	shrunk := heuristics.LossyShrink(know, wh.shrinkCap())
+	fb := budget.New(context.Background(), fallbackSteps)
+	used := false
+	if out.FullyV == budget.Unknown {
+		if v, err := answer.FullyAnswerableBudgeted(shrunk, q, fb); err == nil && v == budget.Yes {
+			out.FullyV = budget.Yes
+			used = true
+		}
+	}
+	if out.CertainlyNonEmptyV == budget.Unknown {
+		if v, err := answer.CertainlyNonEmptyBudgeted(shrunk, q, fb); err == nil && v == budget.Yes {
+			out.CertainlyNonEmptyV = budget.Yes
+			used = true
+		}
+	}
+	if out.PossiblyNonEmptyV == budget.Unknown {
+		if v, err := answer.PossiblyNonEmptyBudgeted(shrunk, q, fb); err == nil && v == budget.No {
+			out.PossiblyNonEmptyV = budget.No
+			used = true
+		}
+	}
+	if out.Possible == nil {
+		if p, err := answer.ApplyBudgeted(shrunk, q, fb); err == nil {
+			out.Possible = p
+			out.PossibleLossy = true
+			used = true
+		}
+	}
+	if used {
+		out.Lossy = true
+		wh.lossyFallbacks.Add(1)
+	}
 }
 
 // AnswerLocally answers q from the repository without contacting the
@@ -500,7 +660,11 @@ func (wh *Webhouse) AnswerLocally(ctx context.Context, source string, q query.Qu
 	if err != nil {
 		return nil, err
 	}
-	r.storeLocal(gen, key, out)
+	// Degraded answers are never cached: a later request with headroom (or
+	// a raised budget) must be able to compute the exact answer.
+	if !out.BudgetExhausted {
+		r.storeLocal(gen, key, out)
+	}
 	cp := *out
 	return &cp, nil
 }
@@ -565,11 +729,13 @@ func (wh *Webhouse) AnswerComplete(ctx context.Context, source string, q query.Q
 		return nil, err
 	}
 	_, know := r.snapshot()
-	fully, err := answer.FullyAnswerable(know, q)
-	if err != nil {
+	// Unknown (budget exhausted) is treated as "not certified": the source
+	// is contacted, which is always sound, merely less frugal.
+	fullyV, err := answer.FullyAnswerableBudgeted(know, q, wh.newBudget(ctx))
+	if err != nil && !errors.Is(err, budget.ErrExhausted) {
 		return nil, err
 	}
-	if fully {
+	if fullyV == budget.Yes {
 		return &CompleteAnswer{Answer: q.Eval(know.DataTree())}, nil
 	}
 	client := r.Client()
@@ -581,7 +747,7 @@ func (wh *Webhouse) AnswerComplete(ctx context.Context, source string, q query.Q
 		}
 		r.mu.Lock()
 		defer r.mu.Unlock()
-		if err := observeLocked(r, q, a); err != nil {
+		if err := wh.observeLocked(ctx, r, q, a); err != nil {
 			return nil, err
 		}
 		r.invalidate()
@@ -604,7 +770,7 @@ func (wh *Webhouse) AnswerComplete(ctx context.Context, source string, q query.Q
 	// recovery if the source changed between the snapshot and now).
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := observeLocked(r, q, result); err != nil {
+	if err := wh.observeLocked(ctx, r, q, result); err != nil {
 		return nil, err
 	}
 	r.invalidate()

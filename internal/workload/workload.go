@@ -157,6 +157,15 @@ func BlowupWorkload(n int) []query.Query {
 	return out
 }
 
+// BlowupType is a tree type conforming to Example 3.2's world documents:
+// a root with any number of a- and b-children.
+func BlowupType() *dtd.Type {
+	return dtd.MustParse(`
+root: root
+root -> a* b*
+`)
+}
+
 // BlowupWorld is a small document compatible with all Example 3.2 queries
 // having empty answers: a and b values outside 1..n.
 func BlowupWorld() tree.Tree {

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Robustness benchmark: budgeted vs. exact conjunctive emptiness on the
+# Example 3.2 blowup family, plus serve-mode latency percentiles under a
+# faulty concurrent soak. Writes BENCH_robustness.json at the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/benchrobust -out BENCH_robustness.json "$@"

@@ -1,12 +1,29 @@
 #!/bin/sh
-# Full verification gate: static checks, the tier-1 suite, and the
+# Full verification gate: static checks, the tier-1 suite, the
 # race-detector run that guards the concurrent serving layer and parallel
-# solvers. CI and pre-merge checks should run this (or `make verify`).
+# solvers, and a short fuzz smoke over every parser boundary. CI and
+# pre-merge checks should run this (or `make verify`).
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go vet ./...
+# staticcheck is optional tooling: run it when installed, skip silently
+# in minimal environments.
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+fi
 go build ./...
 go test ./...
 go test -race ./...
+
+# Fuzz smoke: a couple of seconds per serving-path parser. This is a
+# regression sweep over the corpora plus a short random exploration, not a
+# full campaign.
+FUZZTIME="${FUZZTIME:-2s}"
+go test ./internal/query/ -fuzz FuzzParse     -fuzztime "$FUZZTIME"
+go test ./internal/cond/  -fuzz FuzzParse     -fuzztime "$FUZZTIME"
+go test ./internal/dtd/   -fuzz FuzzParse     -fuzztime "$FUZZTIME"
+go test ./internal/rat/   -fuzz FuzzParse     -fuzztime "$FUZZTIME"
+go test ./internal/rat/   -fuzz FuzzCmp       -fuzztime "$FUZZTIME"
+go test ./internal/xmlio/ -fuzz FuzzUnmarshal -fuzztime "$FUZZTIME"
