@@ -15,7 +15,13 @@
 //     takes a mixed burst of requests (explores, local/complete answers,
 //     blowups, malformed bodies, unknown sources) from concurrent workers;
 //     the program records per-request latency percentiles, the status
-//     breakdown, and the shed/degradation counters.
+//     breakdown, the shed/degradation counters, and a flattened snapshot
+//     of the server's /metrics registry.
+//
+//  3. Metrics overhead (EXPERIMENTS.md E20): serial /local latency with the
+//     observability pipeline enabled versus the no-op recorder
+//     (obs.SetEnabled(false)), reporting both percentile sets and the p99
+//     ratio — the number behind the "<5% overhead" claim.
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"incxml/internal/budget"
 	"incxml/internal/conj"
 	"incxml/internal/engine"
+	"incxml/internal/obs"
 	"incxml/internal/refine"
 	"incxml/internal/serve"
 	"incxml/internal/workload"
@@ -69,12 +76,24 @@ type soakReport struct {
 	StatusCounts map[string]int `json:"statusCounts"`
 	Latency      latencySummary `json:"latency"`
 	Stats        serve.Stats    `json:"stats"`
+	// Metrics is the post-soak flattened registry snapshot (sample name,
+	// labels included, -> value), the same data GET /metrics exposes.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type overheadReport struct {
+	Requests int            `json:"requests"`
+	Enabled  latencySummary `json:"enabled"`
+	Disabled latencySummary `json:"disabled"`
+	// P99Ratio is enabled-p99 / disabled-p99 (1.0 = free metrics).
+	P99Ratio float64 `json:"p99Ratio"`
 }
 
 type report struct {
 	GeneratedUnix   int64          `json:"generatedUnix"`
 	BlowupEmptiness []emptinessRow `json:"blowupEmptiness"`
 	ServeSoak       soakReport     `json:"serveSoak"`
+	MetricsOverhead overheadReport `json:"metricsOverhead"`
 }
 
 func main() {
@@ -83,11 +102,13 @@ func main() {
 	steps := flag.Int64("budget", 20_000, "step budget for the budgeted emptiness scan")
 	workers := flag.Int("workers", 8, "concurrent soak workers")
 	perWorker := flag.Int("requests", 50, "soak requests per worker")
+	overheadN := flag.Int("overhead-requests", 2000, "serial requests per E20 overhead run")
 	flag.Parse()
 
 	rep := report{GeneratedUnix: time.Now().Unix()}
 	rep.BlowupEmptiness = benchEmptiness(*maxN, *steps)
 	rep.ServeSoak = benchServe(*workers, *perWorker)
+	rep.MetricsOverhead = benchOverhead(*overheadN)
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -238,11 +259,64 @@ func benchServe(workers, perWorker int) soakReport {
 			P99Ms: pctMs(latencies, 99),
 			MaxMs: pctMs(latencies, 100),
 		},
-		Stats: s.Stats(),
+		Stats:   s.Stats(),
+		Metrics: s.MetricsSnapshot(),
 	}
 	fmt.Printf("soak: %d requests, p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms, statuses=%v\n",
 		rep.Requests, rep.Latency.P50Ms, rep.Latency.P95Ms, rep.Latency.P99Ms, rep.Latency.MaxMs, counts)
 	return rep
+}
+
+// benchOverhead is EXPERIMENTS.md E20: the same serial /local workload
+// measured with the observability pipeline live and with the no-op
+// recorder (obs.SetEnabled(false)), in-process to keep network noise out
+// of the comparison.
+func benchOverhead(n int) overheadReport {
+	const body = "catalog\n  product\n    name\n    price {< 200}\n    cat {= 1}\n      subcat\n"
+	run := func(enabled bool) latencySummary {
+		prev := obs.SetEnabled(enabled)
+		defer obs.SetEnabled(prev)
+		s, err := serve.New(serve.Config{Timeout: 5 * time.Second, Budget: 50_000, Trace: enabled})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		h := s.Handler()
+		do := func() int {
+			req := httptest.NewRequest("POST", "/local", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			return rec.Code
+		}
+		for i := 0; i < 50; i++ { // warm caches and code paths
+			do()
+		}
+		lat := make([]time.Duration, n)
+		for i := range lat {
+			start := time.Now()
+			if code := do(); code != http.StatusOK {
+				fmt.Fprintln(os.Stderr, "overhead run: unexpected status", code)
+				os.Exit(1)
+			}
+			lat[i] = time.Since(start)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return latencySummary{
+			P50Ms: pctMs(lat, 50),
+			P95Ms: pctMs(lat, 95),
+			P99Ms: pctMs(lat, 99),
+			MaxMs: pctMs(lat, 100),
+		}
+	}
+	disabled := run(false)
+	enabled := run(true)
+	ratio := 0.0
+	if disabled.P99Ms > 0 {
+		ratio = enabled.P99Ms / disabled.P99Ms
+	}
+	fmt.Printf("metrics overhead: p99 enabled=%.3fms disabled=%.3fms ratio=%.3f (n=%d)\n",
+		enabled.P99Ms, disabled.P99Ms, ratio, n)
+	return overheadReport{Requests: n, Enabled: enabled, Disabled: disabled, P99Ratio: ratio}
 }
 
 func post(client *http.Client, url, body string) (int, error) {

@@ -144,17 +144,20 @@ func runServe(args []string) error {
 	maxInflight := fs.Int("max-inflight", serve.DefaultMaxInflight, "max concurrently executing requests")
 	queue := fs.Int("queue", serve.DefaultQueue, "max requests waiting for an execution slot")
 	budgetSteps := fs.Int64("budget", 0, "per-request solver step budget (0 = unlimited; deadline still applies)")
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/* on the serving mux")
+	traceOn := fs.Bool("trace", false, "attach a per-request span trace, echoed in the X-Trace response header")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	s, err := serve.New(serve.Config{
 		Timeout: *timeout, MaxInflight: *maxInflight, Queue: *queue, Budget: *budgetSteps,
 		FailRate: *failRate, Latency: *latency, Seed: *seed,
+		Pprof: *pprofOn, Trace: *traceOn,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("webhouse: serving catalog+blowup on %s (timeout %v, inflight %d, queue %d, budget %d, fail-rate %g, latency %v)\n",
-		*addr, *timeout, *maxInflight, *queue, *budgetSteps, *failRate, *latency)
+	fmt.Printf("webhouse: serving catalog+blowup on %s (timeout %v, inflight %d, queue %d, budget %d, fail-rate %g, latency %v, pprof %v, trace %v)\n",
+		*addr, *timeout, *maxInflight, *queue, *budgetSteps, *failRate, *latency, *pprofOn, *traceOn)
 	return http.ListenAndServe(*addr, s.Handler())
 }

@@ -48,6 +48,7 @@ import (
 	"incxml/internal/heuristics"
 	"incxml/internal/itree"
 	"incxml/internal/mediator"
+	"incxml/internal/obs"
 	"incxml/internal/query"
 	"incxml/internal/rat"
 	"incxml/internal/refine"
@@ -329,10 +330,12 @@ var (
 	ApplyQueryBudgeted = answer.ApplyBudgeted
 	// FullyAnswerableBudgeted is the three-valued Corollary 3.15 decision.
 	FullyAnswerableBudgeted = answer.FullyAnswerableBudgeted
-	// CertainlyNonEmptyBudgeted and PossiblyNonEmptyBudgeted are the
-	// three-valued Corollary 3.18 modalities.
+	// CertainlyNonEmptyBudgeted is the three-valued "certain" Corollary
+	// 3.18 modality.
 	CertainlyNonEmptyBudgeted = answer.CertainlyNonEmptyBudgeted
-	PossiblyNonEmptyBudgeted  = answer.PossiblyNonEmptyBudgeted
+	// PossiblyNonEmptyBudgeted is the three-valued "possible" Corollary
+	// 3.18 modality.
+	PossiblyNonEmptyBudgeted = answer.PossiblyNonEmptyBudgeted
 	// RefineBudgeted is one budget-guarded application of Algorithm Refine.
 	RefineBudgeted = refine.RefineBudgeted
 	// IntersectBudgeted is Lemma 3.3 intersection under a budget.
@@ -340,6 +343,35 @@ var (
 	// NewServer builds the HTTP serving layer (admission control, budgets,
 	// panic containment) over a webhouse with the standard sources.
 	NewServer = serve.New
+)
+
+// Observability (see "Observability" in DESIGN.md). Every layer records
+// into metric families named incxml_*; the serving layer exposes them at
+// GET /metrics in Prometheus text format. Recording is on by default and
+// can be disabled process-wide, turning every handle into a no-op.
+type (
+	// MetricsRegistry is a set of metric families; DefaultMetrics holds
+	// the process-global families every layer records into.
+	MetricsRegistry = obs.Registry
+	// Trace is a lightweight per-request span trace; the serving layer
+	// attaches one (Config.Trace) and echoes it in the X-Trace header.
+	Trace = obs.Trace
+)
+
+var (
+	// DefaultMetrics returns the process-global registry.
+	DefaultMetrics = obs.Default
+	// NewMetricsRegistry builds an empty registry (per-server families).
+	NewMetricsRegistry = obs.NewRegistry
+	// SetMetricsEnabled toggles all recording process-wide and returns
+	// the previous setting.
+	SetMetricsEnabled = obs.SetEnabled
+	// StartTrace begins a per-request trace (nil when recording is off).
+	StartTrace = obs.StartTrace
+	// WithTrace and TraceFromContext carry a Trace through a context.
+	WithTrace = obs.WithTrace
+	// TraceFromContext retrieves the context's Trace (nil-safe).
+	TraceFromContext = obs.FromContext
 )
 
 // XML serialization.

@@ -23,8 +23,10 @@ func triDecision(it *itree.T, q query.Query, kind uint8,
 	compute func() (bool, error)) (budget.Tri, error) {
 	v, err := cachedDecision(it, q, kind, compute)
 	if err != nil {
+		recordTri(kind, budget.Unknown, err)
 		return budget.Unknown, err
 	}
+	recordTri(kind, budget.Of(v), nil)
 	return budget.Of(v), nil
 }
 

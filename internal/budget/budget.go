@@ -32,7 +32,19 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+
+	"incxml/internal/obs"
 )
+
+// exhaustedTotal counts budget exhaustions by cause on the process-wide
+// metrics registry: `incxml_budget_exhausted_total{cause}`. Each budget
+// contributes at most one increment (exhaustion is sticky), so the counter
+// reads as "requests that hit the tractability wall", split by whether the
+// step allowance or the caller's deadline gave out first.
+var exhaustedTotal = obs.Default().NewCounterVec(
+	"incxml_budget_exhausted_total",
+	"Budget exhaustions by cause (steps = allowance ran out, deadline = context expired).",
+	"cause")
 
 // Cause says why a budget was exhausted.
 type Cause uint8
@@ -74,6 +86,7 @@ type Error struct {
 	Ctx error
 }
 
+// Error renders the exhaustion cause and the allowance that ran out.
 func (e *Error) Error() string {
 	switch e.Cause {
 	case CauseDeadline:
@@ -147,9 +160,12 @@ func (b *B) Charge(n int64) error {
 }
 
 // exhaust records e unless another exhaustion won the race, and returns the
-// recorded error.
+// recorded error. The winning record is also the metrics event: exactly one
+// exhaustion is counted per budget, tagged with its cause.
 func (b *B) exhaust(e *Error) error {
-	b.state.CompareAndSwap(nil, e)
+	if b.state.CompareAndSwap(nil, e) {
+		exhaustedTotal.With(e.Cause.String()).Inc()
+	}
 	return b.state.Load()
 }
 
@@ -176,6 +192,25 @@ func (b *B) ExhaustedCause() Cause {
 		return e.Cause
 	}
 	return CauseNone
+}
+
+// Used reports the steps charged so far — the per-request cost signal the
+// webhouse feeds into the `incxml_webhouse_budget_steps_used` histogram and
+// per-request traces. Works for step-unlimited budgets too (they count up
+// from an effectively infinite allowance).
+func (b *B) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	initial := b.limit
+	if initial <= 0 {
+		initial = math.MaxInt64
+	}
+	used := initial - b.remaining.Load()
+	if used < 0 {
+		return 0
+	}
+	return used
 }
 
 // Remaining reports the steps left (a large number for step-unlimited

@@ -26,7 +26,7 @@ import (
 // nil budget makes the scan exact and equivalent to Empty / EmptyPool.
 func (t *T) EmptyBudgeted(ctx context.Context, p *engine.Pool, b *budget.B) (budget.Tri, error) {
 	if t.MayBeEmpty {
-		return budget.No, nil
+		return recordEmptyTri(budget.No, nil)
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -36,7 +36,8 @@ func (t *T) EmptyBudgeted(ctx context.Context, p *engine.Pool, b *budget.B) (bud
 	}
 	syms, counts, total, linear := t.certificateSpace()
 	if !linear || total < parallelCertificateFloor || p.Workers() <= 1 {
-		return t.emptySequentialBudgeted(ctx, syms, counts, b)
+		v, err := t.emptySequentialBudgeted(ctx, syms, counts, b)
+		return recordEmptyTri(v, err)
 	}
 	chunk := total / int64(p.Workers()*8)
 	if chunk < 1 {
@@ -67,9 +68,10 @@ func (t *T) EmptyBudgeted(ctx context.Context, p *engine.Pool, b *budget.B) (bud
 	})
 	// A witness is exact even if the budget ran out concurrently.
 	if sat {
-		return budget.No, nil
+		return recordEmptyTri(budget.No, nil)
 	}
-	return triFromScan(ctx, b)
+	v, err := triFromScan(ctx, b)
+	return recordEmptyTri(v, err)
 }
 
 // emptySequentialBudgeted is the budgeted mixed-radix scan, used for

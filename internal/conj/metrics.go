@@ -1,0 +1,33 @@
+package conj
+
+import (
+	"errors"
+
+	"incxml/internal/budget"
+	"incxml/internal/obs"
+)
+
+// emptyTriTotal counts emptiness verdicts of the Theorem 3.10 certificate
+// scan: `incxml_conj_empty_tri_total{verdict,cause}`. no = a satisfiable
+// certificate (witness) was found, yes = the full space was scanned empty,
+// unknown = the scan was cut short (cause steps or deadline).
+var emptyTriTotal = obs.Default().NewCounterVec(
+	"incxml_conj_empty_tri_total",
+	"Budgeted conjunctive-emptiness verdicts by verdict and unknown-cause.",
+	"verdict", "cause")
+
+// recordEmptyTri tags one EmptyBudgeted outcome and passes it through, so
+// return sites stay one-liners.
+func recordEmptyTri(v budget.Tri, err error) (budget.Tri, error) {
+	cause := "none"
+	if err != nil {
+		var be *budget.Error
+		if errors.As(err, &be) {
+			cause = be.Cause.String()
+		} else {
+			cause = "error"
+		}
+	}
+	emptyTriTotal.With(v.String(), cause).Inc()
+	return v, err
+}

@@ -218,6 +218,15 @@ func NewRetryClient(inner SourceClient, cfg RetryConfig) *RetryClient {
 	}
 }
 
+// BreakerOpen reports whether the circuit breaker is currently not serving
+// normally — open (rejecting) or half-open (single probe in flight). It is
+// the live admission state behind the `incxml_source_breaker_open` gauge.
+func (c *RetryClient) BreakerOpen() bool {
+	c.brk.mu.Lock()
+	defer c.brk.mu.Unlock()
+	return c.brk.state != stateClosed
+}
+
 // Stats returns a snapshot of the client's counters.
 func (c *RetryClient) Stats() ClientStats {
 	c.brk.mu.Lock()

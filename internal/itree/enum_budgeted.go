@@ -39,11 +39,11 @@ func (it *T) EnumerateBudgeted(b Bounds, bud *budget.B) ([]tree.Tree, error) {
 				result = append(result, t)
 			}
 			if len(result) >= b.MaxTrees {
-				return result, bud.Err()
+				return result, recordEnum(bud.Err())
 			}
 		}
 	}
-	return result, bud.Err()
+	return result, recordEnum(bud.Err())
 }
 
 // RepSetBudgeted is RepSet over EnumerateBudgeted: the canonical-key set of

@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("t_counter_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.NewGauge("t_gauge", "a gauge")
+	g.Set(7)
+	if got := g.Add(-3); got != 4 {
+		t.Fatalf("gauge Add returned %d, want 4", got)
+	}
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	// Nil handles are valid no-op recorders.
+	var nc *Counter
+	var ng *Gauge
+	var nh *Histogram
+	nc.Inc()
+	ng.Set(1)
+	nh.Observe(1)
+	if nc.Value() != 0 || ng.Value() != 0 || nh.Count() != 0 {
+		t.Error("nil recorders must read as zero")
+	}
+}
+
+func TestVecChildrenAreDistinctAndCached(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("t_vec_total", "labeled", "route", "code")
+	v.With("local", "200").Add(3)
+	v.With("local", "429").Inc()
+	if v.With("local", "200") != v.With("local", "200") {
+		t.Error("same labels must return the same child")
+	}
+	if got := v.With("local", "200").Value(); got != 3 {
+		t.Fatalf("child = %d, want 3", got)
+	}
+	var seen int
+	v.Each(func(labels []string, val uint64) { seen++ })
+	if seen != 2 {
+		t.Fatalf("Each visited %d children, want 2", seen)
+	}
+}
+
+func TestRegistryReRegistrationRules(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounterVec("t_re_total", "h", "cache")
+	b := r.NewCounterVec("t_re_total", "h", "cache")
+	a.With("x").Inc()
+	if got := b.With("x").Value(); got != 1 {
+		t.Fatalf("re-registration must share the family, got %d", got)
+	}
+	mustPanic(t, "kind conflict", func() { r.NewGauge("t_re_total", "h") })
+	mustPanic(t, "label conflict", func() { r.NewCounterVec("t_re_total", "h", "other") })
+	mustPanic(t, "arity mismatch", func() { a.With("x", "y") })
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	f()
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 1, 3, 900, 1 << 40} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 0+1+1+3+900+(1<<40) {
+		t.Fatalf("sum = %d", got)
+	}
+	// 0,1,1 land in bucket le=1; 3 in le=4; 900 in le=1024; 1<<40 in +Inf.
+	// The rank-3 (0-indexed) sample is 3, whose bucket bound is 4.
+	if q := h.Quantile(0.5); q != 4 {
+		t.Errorf("p50 = %v, want 4", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("p0 = %v, want 1", q)
+	}
+	// The +Inf bucket reports the largest finite bound rather than Inf.
+	if q := h.Quantile(1); math.IsInf(q, 1) {
+		t.Errorf("p100 must stay finite, got %v", q)
+	}
+	if got := bucketIndex(1024); got != 10 {
+		t.Errorf("bucketIndex(1024) = %d, want 10", got)
+	}
+	if got := bucketIndex(1025); got != 11 {
+		t.Errorf("bucketIndex(1025) = %d, want 11", got)
+	}
+}
+
+// TestPrometheusRoundTrip is the format-parsing test the serving layer's
+// /metrics contract relies on: everything WritePrometheus emits must come
+// back intact through the independent ParsePrometheus reader, with
+// histogram invariants (cumulative buckets, +Inf == count) verified.
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("t_plain_total", "no labels").Add(9)
+	v := r.NewCounterVec("t_labeled_total", `help with \ backslash`, "verdict", "cause")
+	v.With("unknown", "steps").Add(2)
+	v.With("yes", "none").Inc()
+	r.GaugeFunc("t_live", "func gauge", func() float64 { return 2.5 })
+	gv := r.NewGaugeVec("t_gen", "per source", "source")
+	gv.Func(func() float64 { return 3 }, `quo"ted`)
+	h := r.NewHistogramVec("t_lat_micros", "latency", "route")
+	for i := int64(1); i < 5000; i *= 3 {
+		h.With("local").Observe(i)
+	}
+	h.With("complete").Observe(0)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	fams, err := ParsePrometheus(text)
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, text)
+	}
+	if got := len(fams); got != 5 {
+		t.Fatalf("parsed %d families, want 5", got)
+	}
+	if f := fams["t_plain_total"]; f.Type != "counter" || f.Samples["t_plain_total"] != 9 {
+		t.Errorf("plain counter mangled: %+v", f)
+	}
+	if f := fams["t_labeled_total"]; f.Samples[`t_labeled_total{verdict="unknown",cause="steps"}`] != 2 {
+		t.Errorf("labeled counter mangled: %+v", f.Samples)
+	}
+	if f := fams["t_live"]; f.Type != "gauge" || f.Samples["t_live"] != 2.5 {
+		t.Errorf("func gauge mangled: %+v", f)
+	}
+	if f := fams["t_gen"]; f.Samples[`t_gen{source="quo\"ted"}`] != 3 {
+		t.Errorf("escaped label mangled: %+v", f.Samples)
+	}
+	hist := fams["t_lat_micros"]
+	if hist.Type != "histogram" {
+		t.Fatalf("histogram type = %q", hist.Type)
+	}
+	if hist.Samples[`t_lat_micros_count{route="local"}`] != 8 {
+		t.Errorf("histogram count mangled: %+v", hist.Samples)
+	}
+	// Snapshot agrees with the parsed exposition on every scalar sample.
+	snap := r.Snapshot()
+	for k, v := range snap {
+		if strings.Contains(k, "_bucket") {
+			continue
+		}
+		base := SampleFamily(k)
+		f, ok := fams[base]
+		if !ok {
+			t.Errorf("snapshot key %q missing from exposition", k)
+			continue
+		}
+		if got := f.Samples[k]; got != v {
+			t.Errorf("snapshot %q = %v, exposition %v", k, v, got)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"t_orphan 1\n",
+		"# HELP a h\n# TYPE a counter\n# HELP a h\n# TYPE a counter\na 1\n",
+		"# HELP a h\n# TYPE a notatype\na 1\n",
+		"# HELP a h\n# TYPE a counter\na{x=\"1\" 1\n",
+	}
+	for _, text := range bad {
+		if _, err := ParsePrometheus(text); err == nil {
+			t.Errorf("parse accepted malformed input %q", text)
+		}
+	}
+}
+
+func TestSetEnabledStopsRecording(t *testing.T) {
+	defer SetEnabled(true)
+	r := NewRegistry()
+	c := r.NewCounter("t_off_total", "h")
+	h := r.NewHistogram("t_off_hist", "h")
+	SetEnabled(false)
+	c.Inc()
+	h.Observe(5)
+	if tr := StartTrace("x"); tr != nil {
+		t.Error("StartTrace must return nil while disabled")
+	}
+	SetEnabled(true)
+	c.Inc()
+	if got := c.Value(); got != 1 {
+		t.Fatalf("counter = %d, want exactly the enabled increment", got)
+	}
+	if h.Count() != 0 {
+		t.Error("histogram recorded while disabled")
+	}
+}
+
+func TestTraceStagesAndSummary(t *testing.T) {
+	tr := StartTrace("local")
+	end := tr.Stage("compute")
+	time.Sleep(time.Millisecond)
+	end(4096)
+	tr.Stage("marshal")(0)
+	sum := tr.Summary()
+	for _, want := range []string{"local total=", "compute=", "/4096", "marshal="} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary %q missing %q", sum, want)
+		}
+	}
+	if n := len(tr.Stages()); n != 2 {
+		t.Fatalf("stages = %d, want 2", n)
+	}
+
+	// Context plumbing, including the nil no-op path.
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Error("FromContext lost the trace")
+	}
+	FromContext(context.Background()).Stage("ghost")(1) // must not panic
+	if FromContext(context.Background()) != nil {
+		t.Error("empty context must yield a nil trace")
+	}
+}
+
+func TestConcurrentRecordingIsSafe(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("t_conc_total", "h", "i")
+	h := r.NewHistogram("t_conc_hist", "h")
+	tr := StartTrace("conc")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v.With([]string{"a", "b", "c"}[i%3]).Inc()
+				h.Observe(int64(i))
+				tr.Stage("s")(int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total uint64
+	v.Each(func(_ []string, val uint64) { total += val })
+	if total != 8*500 {
+		t.Fatalf("lost counter increments: %d", total)
+	}
+	if h.Count() != 8*500 {
+		t.Fatalf("lost histogram observations: %d", h.Count())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParsePrometheus(sb.String()); err != nil {
+		t.Fatalf("concurrent-write exposition unparsable: %v", err)
+	}
+}

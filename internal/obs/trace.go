@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is one request's span record: a name, a start time, and the stages
+// the request passed through with per-stage wall time and budget steps
+// charged. It is the lightweight tracing model of DESIGN.md
+// "Observability": one allocation per traced request, no global collector —
+// the trace travels in the request context and is rendered into the
+// X-Trace response header by the serving layer. All methods are safe for
+// concurrent use (stages may be recorded from pooled workers) and
+// nil-tolerant, so instrumented code calls FromContext(ctx).Stage(...)
+// unconditionally.
+type Trace struct {
+	name  string
+	start time.Time
+
+	mu     sync.Mutex
+	stages []StageRecord
+}
+
+// StageRecord is one completed stage of a trace.
+type StageRecord struct {
+	// Name identifies the stage (a small closed set: "queue", "handle",
+	// "local", "source", ...).
+	Name string
+	// D is the stage's wall-clock duration.
+	D time.Duration
+	// Steps is the budget charge the stage reported (0 when unbudgeted).
+	Steps int64
+}
+
+// StartTrace begins a trace named after the request's route.
+func StartTrace(name string) *Trace {
+	if !enabled.Load() {
+		return nil
+	}
+	return &Trace{name: name, start: time.Now()}
+}
+
+// Stage starts timing a stage and returns the function that ends it,
+// recording the elapsed time and the number of budget steps the stage
+// charged (pass 0 when no budget applies). On a nil trace both calls are
+// no-ops.
+func (t *Trace) Stage(name string) func(steps int64) {
+	if t == nil {
+		return func(int64) {}
+	}
+	start := time.Now()
+	return func(steps int64) {
+		d := time.Since(start)
+		t.mu.Lock()
+		t.stages = append(t.stages, StageRecord{Name: name, D: d, Steps: steps})
+		t.mu.Unlock()
+	}
+}
+
+// Stages returns a copy of the recorded stages in completion order.
+func (t *Trace) Stages() []StageRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]StageRecord(nil), t.stages...)
+}
+
+// Summary renders the trace as a single header-safe line:
+// "route total=12.3ms stage=dur[/steps] ...". Total is measured at the
+// call, so the serving layer renders it exactly once, when the response
+// headers are written.
+func (t *Trace) Summary() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s total=%s", t.name, roundDur(time.Since(t.start)))
+	for _, s := range t.Stages() {
+		fmt.Fprintf(&b, " %s=%s", s.Name, roundDur(s.D))
+		if s.Steps > 0 {
+			fmt.Fprintf(&b, "/%d", s.Steps)
+		}
+	}
+	return b.String()
+}
+
+// roundDur trims durations to microsecond precision so summaries stay
+// short.
+func roundDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+// traceKey is the context key type for the request trace.
+type traceKey struct{}
+
+// WithTrace attaches a trace to a context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the trace attached to ctx, or nil — and a nil trace
+// is a valid no-op recorder, so callers need not branch.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

@@ -44,7 +44,9 @@ func RefineBudgeted(t *itree.T, q query.Query, a tree.Tree, sigma []tree.Label, 
 //
 // The returned lossy flag is true when this step (or any earlier one)
 // degraded. shrinkTo <= 0 uses DefaultShrinkTo.
-func (r *Refiner) ObserveBudgeted(q query.Query, a tree.Tree, bud *budget.B, shrinkTo int) (bool, error) {
+func (r *Refiner) ObserveBudgeted(q query.Query, a tree.Tree, bud *budget.B, shrinkTo int) (lossy bool, err error) {
+	degradedNow := false
+	defer func() { recordObserve(degradedNow, err) }()
 	if shrinkTo <= 0 {
 		shrinkTo = DefaultShrinkTo
 	}
@@ -53,7 +55,6 @@ func (r *Refiner) ObserveBudgeted(q query.Query, a tree.Tree, bud *budget.B, shr
 		return r.lossy, err
 	}
 	next, err := IntersectBudgeted(r.cur, qa, bud)
-	degradedNow := false
 	if err != nil {
 		if !errors.Is(err, budget.ErrExhausted) {
 			if errors.Is(err, ErrIncompatible) {

@@ -5,11 +5,13 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"incxml/internal/obs"
 	"incxml/internal/query"
 	"incxml/internal/tree"
 	"incxml/internal/workload"
@@ -140,7 +142,7 @@ func TestChaosSoak(t *testing.T) {
 		http.StatusTooManyRequests: true, http.StatusInternalServerError: true,
 		http.StatusServiceUnavailable: true, http.StatusGatewayTimeout: true,
 	}
-	var total, shed, panics, fullYes, exactCompletes int
+	var total, shed, panics, fullYes, exactCompletes, degradedCompletes int
 	for r := range results {
 		total++
 		if r.elapsed > timeout+requestEpsilon {
@@ -180,11 +182,15 @@ func TestChaosSoak(t *testing.T) {
 					}
 				}
 			}
-			if strings.HasPrefix(r.path, "/complete") && m["degraded"] == false {
-				exactCompletes++
-				if got, want := int(m["nodes"].(float64)), evalSize(t, doc, r.body); got != want {
-					t.Errorf("%s %q: non-degraded completion has %d nodes, world has %d",
-						r.path, r.body, got, want)
+			if strings.HasPrefix(r.path, "/complete") {
+				if m["degraded"] == false {
+					exactCompletes++
+					if got, want := int(m["nodes"].(float64)), evalSize(t, doc, r.body); got != want {
+						t.Errorf("%s %q: non-degraded completion has %d nodes, world has %d",
+							r.path, r.body, got, want)
+					}
+				} else {
+					degradedCompletes++
 				}
 			}
 		}
@@ -209,6 +215,60 @@ func TestChaosSoak(t *testing.T) {
 	if st.RecoveredPanics == 0 {
 		t.Error("stats recorded no recovered panics")
 	}
-	t.Logf("soak: %d requests, %d shed(429), %d panics recovered, %d fully-exact locals, %d exact completes; stats %+v",
-		total, shed, panics, fullYes, exactCompletes, st)
+
+	// The serving counters must match the oracle-counted events exactly:
+	// the storm's 429s are precisely the queue-full sheds (the warm-up and
+	// recovery probes run sequentially and can never shed), its 500s are
+	// precisely the recovered injected panics, and its degraded /complete
+	// responses are precisely the webhouse's degraded answers.
+	if st.ShedQueueFull != uint64(shed) {
+		t.Errorf("ShedQueueFull = %d, storm observed %d 429s", st.ShedQueueFull, shed)
+	}
+	if st.RecoveredPanics != uint64(panics) {
+		t.Errorf("RecoveredPanics = %d, storm observed %d 500s", st.RecoveredPanics, panics)
+	}
+	if st.DegradedAnswers != uint64(degradedCompletes) {
+		t.Errorf("DegradedAnswers = %d, storm observed %d degraded completes",
+			st.DegradedAnswers, degradedCompletes)
+	}
+
+	// GET /metrics must agree with the same oracles — it reads the same
+	// atomics as Stats — and must round-trip through the format parser.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	mrec := httptest.NewRecorder()
+	h.ServeHTTP(mrec, req)
+	if mrec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", mrec.Code)
+	}
+	metricsText := mrec.Body.String()
+	fams, err := obs.ParsePrometheus(metricsText)
+	if err != nil {
+		t.Fatalf("post-soak /metrics unparsable: %v", err)
+	}
+	checks := map[string]float64{
+		`incxml_serve_panics_recovered_total`:                   float64(panics),
+		`incxml_serve_shed_total{reason="queue_full"}`:          float64(shed),
+		`incxml_webhouse_degraded_answers_total`:                float64(degradedCompletes),
+		`incxml_serve_requests_total{route="local",code="500"}`: float64(panics),
+	}
+	for sample, want := range checks {
+		fam, ok := fams[obs.SampleFamily(sample)]
+		if !ok {
+			t.Errorf("metrics family for %s missing", sample)
+			continue
+		}
+		if got := fam.Samples[sample]; got != want {
+			t.Errorf("%s = %v, oracle counted %v", sample, got, want)
+		}
+	}
+
+	// When the CI soak runs, persist the scrape as a build artifact.
+	if out := os.Getenv("CHAOS_METRICS_OUT"); out != "" {
+		if err := os.WriteFile(out, []byte(metricsText), 0o644); err != nil {
+			t.Errorf("writing CHAOS_METRICS_OUT: %v", err)
+		}
+	}
+
+	t.Logf("soak: %d requests, %d shed(429), %d panics recovered, %d fully-exact locals, %d exact completes, %d degraded; stats %+v",
+		total, shed, panics, fullYes, exactCompletes, degradedCompletes, st)
 }

@@ -22,6 +22,17 @@
 // wrapper is outermost so it also covers the admission path, and the
 // deadline starts ticking while the request waits in the queue, so queue
 // time counts against the client's patience rather than extending it.
+//
+// The server is also the process's observability surface (DESIGN.md
+// "Observability"): GET /metrics exposes the per-server obs registry —
+// which Includes the process-global families (engine pool, shared caches,
+// decider verdicts, budget exhaustions) — in Prometheus text format; GET
+// /stats renders the same counters as JSON for humans, reading the very
+// same atomics, so the two endpoints can never disagree; /debug/pprof/* is
+// mounted when Config.Pprof is set; and Config.Trace attaches a span trace
+// to every wrapped request, echoed in the X-Trace response header. /stats
+// and /metrics bypass admission so the server stays observable under
+// overload.
 package serve
 
 import (
@@ -31,11 +42,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sync/atomic"
+	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"incxml/internal/budget"
+	_ "incxml/internal/conj" // register the conjunctive-emptiness decider's metric families
 	"incxml/internal/faulty"
+	"incxml/internal/obs"
 	"incxml/internal/query"
 	"incxml/internal/webhouse"
 	"incxml/internal/workload"
@@ -65,6 +79,12 @@ type Config struct {
 	FailRate float64
 	Latency  time.Duration
 	Seed     int64
+	// Pprof mounts the net/http/pprof handlers under /debug/pprof/ on the
+	// server's own mux (never the default mux).
+	Pprof bool
+	// Trace attaches an obs.Trace to every wrapped request and echoes its
+	// stage summary in the X-Trace response header.
+	Trace bool
 }
 
 func (c Config) withDefaults() Config {
@@ -87,14 +107,22 @@ type Server struct {
 	// sem is the execution semaphore: holding one slot = one inflight
 	// handler. waiting counts requests blocked on a slot; it may briefly
 	// exceed Queue during the check-then-wait window, which only sheds a
-	// little early — never admits extra work.
+	// little early — never admits extra work. waiting is an obs.Gauge
+	// because it is both a metric and live admission state (Gauge.Add keeps
+	// working when metrics are disabled, by design).
 	sem       chan struct{}
-	waiting   atomic.Int64
+	waiting   *obs.Gauge
 	injectors map[string]*faulty.Injector
 
-	shedQueueFull   atomic.Uint64
-	shedWaitTimeout atomic.Uint64
-	recoveredPanics atomic.Uint64
+	// reg is the per-server metrics registry; it Includes the process-wide
+	// obs.Default() families, so one scrape sees the whole stack. The
+	// serving counters below are the single source of truth: both /metrics
+	// and Stats()/GET /stats read them.
+	reg      *obs.Registry
+	requests *obs.CounterVec
+	latency  *obs.HistogramVec
+	shed     *obs.CounterVec
+	panics   *obs.Counter
 }
 
 // testHookHandler, when set, runs at handler entry (inside all middleware)
@@ -110,13 +138,32 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	wh := webhouse.New()
 	wh.SetBudget(cfg.Budget)
+	reg := obs.NewRegistry()
+	reg.Include(obs.Default())
 	s := &Server{
 		wh:        wh,
 		cfg:       cfg,
 		sem:       make(chan struct{}, cfg.MaxInflight),
 		injectors: make(map[string]*faulty.Injector),
+		reg:       reg,
+		waiting: reg.NewGauge("incxml_serve_waiting",
+			"Requests currently queued for an execution slot."),
+		requests: reg.NewCounterVec("incxml_serve_requests_total",
+			"Requests completed through the middleware stack, by route and status code.",
+			"route", "code"),
+		latency: reg.NewHistogramVec("incxml_serve_request_micros",
+			"Request wall time in microseconds (queue wait included), by route (log2 buckets).",
+			"route"),
+		shed: reg.NewCounterVec("incxml_serve_shed_total",
+			"Requests shed by admission control, by reason (queue_full = 429, wait_timeout = 503).",
+			"reason"),
+		panics: reg.NewCounter("incxml_serve_panics_recovered_total",
+			"Handler panics recovered and converted to 500 responses."),
 	}
-	reg := func(name string, src *webhouse.Source, seedOff int64) error {
+	reg.GaugeFunc("incxml_serve_inflight",
+		"Handlers currently holding an execution slot.",
+		func() float64 { return float64(len(s.sem)) })
+	register := func(name string, src *webhouse.Source, seedOff int64) error {
 		wh.Register(src)
 		inj := faulty.NewInjector(src.Name, src, faulty.InjectorConfig{
 			Latency: cfg.Latency, FailRate: cfg.FailRate, Seed: cfg.Seed + seedOff,
@@ -131,18 +178,29 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := reg("catalog", cat, 0); err != nil {
+	if err := register("catalog", cat, 0); err != nil {
 		return nil, err
 	}
 	blow, err := webhouse.NewSource("blowup", workload.BlowupType(), workload.BlowupWorld())
 	if err != nil {
 		return nil, err
 	}
-	if err := reg("blowup", blow, 1); err != nil {
+	if err := register("blowup", blow, 1); err != nil {
 		return nil, err
 	}
+	// Expose the webhouse after the fleet is registered so the per-source
+	// gauge children (cache generation, breaker state) exist.
+	wh.ExposeMetrics(reg)
 	return s, nil
 }
+
+// Registry returns the server's metrics registry (the /metrics source),
+// for embedding and benchmark snapshots.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// MetricsSnapshot flattens the registry into sample name -> value, the
+// form benchrobust embeds in its report.
+func (s *Server) MetricsSnapshot() map[string]float64 { return s.reg.Snapshot() }
 
 // Webhouse exposes the underlying webhouse (for tests and embedding).
 func (s *Server) Webhouse() *webhouse.Webhouse { return s.wh }
@@ -164,46 +222,123 @@ type Stats struct {
 	// Inflight and Waiting are instantaneous gauges.
 	Inflight int
 	Waiting  int64
+	// RouteP50Micros and RouteP99Micros are per-route request-latency
+	// quantiles in microseconds, estimated from the log2-bucketed serving
+	// histogram (each value is the upper bound of the quantile's bucket).
+	RouteP50Micros map[string]float64 `json:",omitempty"`
+	RouteP99Micros map[string]float64 `json:",omitempty"`
 }
 
-// Stats returns a snapshot of the serving counters.
+// Stats returns a snapshot of the serving counters. Every field is a view
+// over the obs registry backing GET /metrics (or over the same atomics the
+// registry scrapes), so /stats and /metrics cannot disagree.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Stats:           s.wh.Stats(),
-		ShedQueueFull:   s.shedQueueFull.Load(),
-		ShedWaitTimeout: s.shedWaitTimeout.Load(),
-		RecoveredPanics: s.recoveredPanics.Load(),
+		ShedQueueFull:   s.shed.With("queue_full").Value(),
+		ShedWaitTimeout: s.shed.With("wait_timeout").Value(),
+		RecoveredPanics: s.panics.Value(),
 		Inflight:        len(s.sem),
-		Waiting:         s.waiting.Load(),
+		Waiting:         s.waiting.Value(),
 	}
+	s.latency.Each(func(labels []string, h *obs.Histogram) {
+		if h.Count() == 0 {
+			return
+		}
+		if st.RouteP50Micros == nil {
+			st.RouteP50Micros = map[string]float64{}
+			st.RouteP99Micros = map[string]float64{}
+		}
+		st.RouteP50Micros[labels[0]] = h.Quantile(0.5)
+		st.RouteP99Micros[labels[0]] = h.Quantile(0.99)
+	})
+	return st
 }
 
 // Handler returns the HTTP handler: POST /explore, /local, /complete (body
-// = ps-query, optional ?source= selecting "catalog" or "blowup") and GET
-// /stats. The three query endpoints run behind the full middleware stack;
-// /stats bypasses admission so it stays observable under overload.
+// = ps-query, optional ?source= selecting "catalog" or "blowup"), GET
+// /stats (JSON counters) and GET /metrics (Prometheus text format). The
+// three query endpoints run behind the full middleware stack; /stats and
+// /metrics bypass admission so they stay observable under overload. When
+// Config.Pprof is set the net/http/pprof handlers are mounted under
+// /debug/pprof/ on this mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /explore", s.wrap(s.handleExplore))
-	mux.HandleFunc("POST /local", s.wrap(s.handleLocal))
-	mux.HandleFunc("POST /complete", s.wrap(s.handleComplete))
+	mux.HandleFunc("POST /explore", s.wrap("explore", s.handleExplore))
+	mux.HandleFunc("POST /local", s.wrap("local", s.handleLocal))
+	mux.HandleFunc("POST /complete", s.wrap("complete", s.handleComplete))
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
+// statusRecorder captures the first status code written on a response (for
+// the per-route request counter) and injects the X-Trace header just
+// before the headers are flushed — the last moment the trace can still be
+// amended.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	trace  *obs.Trace
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+		if sr.trace != nil {
+			sr.ResponseWriter.Header().Set("X-Trace", sr.trace.Summary())
+		}
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.WriteHeader(http.StatusOK)
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// Status returns the recorded status (200 if the handler wrote nothing).
+func (sr *statusRecorder) Status() int {
+	if sr.status == 0 {
+		return http.StatusOK
+	}
+	return sr.status
+}
+
 // wrap composes the middleware stack around a handler; see the package
-// comment for the order and its rationale.
-func (s *Server) wrap(h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+// comment for the order and its rationale. route labels the request's
+// metrics (a closed set — one label value per endpoint, never derived from
+// the request) and names its trace.
+func (s *Server) wrap(route string, h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		if s.cfg.Trace {
+			rec.trace = obs.StartTrace(route)
+		}
 		defer func() {
 			if p := recover(); p != nil {
-				s.recoveredPanics.Add(1)
-				http.Error(w, fmt.Sprintf("internal error: recovered panic: %v", p), http.StatusInternalServerError)
+				s.panics.Inc()
+				http.Error(rec, fmt.Sprintf("internal error: recovered panic: %v", p), http.StatusInternalServerError)
 			}
+			s.requests.With(route, strconv.Itoa(rec.Status())).Inc()
+			s.latency.With(route).Observe(time.Since(start).Microseconds())
 		}()
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 		defer cancel()
-		release, ok := s.admit(ctx, w)
+		ctx = obs.WithTrace(ctx, rec.trace)
+		endQueue := rec.trace.Stage("queue")
+		release, ok := s.admit(ctx, rec)
+		endQueue(0)
 		if !ok {
 			return
 		}
@@ -211,7 +346,11 @@ func (s *Server) wrap(h func(ctx context.Context, w http.ResponseWriter, r *http
 		if hook := testHookHandler; hook != nil {
 			hook(r)
 		}
-		h(ctx, w, r)
+		// No "handle" stage: the trace summary is rendered when the handler
+		// writes its headers, so a stage ending after the handler returns
+		// could never be observed. The webhouse's inner stages (local,
+		// certify, source, fold) all end before the response is written.
+		h(ctx, rec, r)
 	}
 }
 
@@ -226,8 +365,8 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func
 	}
 	if s.waiting.Add(1) > int64(s.cfg.Queue) {
 		s.waiting.Add(-1)
-		s.shedQueueFull.Add(1)
-		s.shed(w, http.StatusTooManyRequests, "overloaded: wait queue full")
+		s.shed.With("queue_full").Inc()
+		s.shedResponse(w, http.StatusTooManyRequests, "overloaded: wait queue full")
 		return nil, false
 	}
 	defer s.waiting.Add(-1)
@@ -235,15 +374,15 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func
 	case s.sem <- struct{}{}:
 		return func() { <-s.sem }, true
 	case <-ctx.Done():
-		s.shedWaitTimeout.Add(1)
-		s.shed(w, http.StatusServiceUnavailable, "overloaded: deadline expired waiting for a slot")
+		s.shed.With("wait_timeout").Inc()
+		s.shedResponse(w, http.StatusServiceUnavailable, "overloaded: deadline expired waiting for a slot")
 		return nil, false
 	}
 }
 
-// shed writes a load-shedding response with a Retry-After hint scaled to
-// the configured request timeout (at least one second).
-func (s *Server) shed(w http.ResponseWriter, code int, msg string) {
+// shedResponse writes a load-shedding response with a Retry-After hint
+// scaled to the configured request timeout (at least one second).
+func (s *Server) shedResponse(w http.ResponseWriter, code int, msg string) {
 	retry := int(s.cfg.Timeout / time.Second)
 	if retry < 1 {
 		retry = 1
@@ -375,4 +514,11 @@ func (s *Server) handleComplete(ctx context.Context, w http.ResponseWriter, r *h
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.Stats())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }

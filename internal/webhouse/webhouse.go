@@ -45,6 +45,7 @@ import (
 	"incxml/internal/heuristics"
 	"incxml/internal/itree"
 	"incxml/internal/mediator"
+	"incxml/internal/obs"
 	"incxml/internal/query"
 	"incxml/internal/refine"
 	"incxml/internal/tree"
@@ -345,19 +346,8 @@ type clientStats interface{ Stats() faulty.ClientStats }
 
 // Stats returns a snapshot of the webhouse's serving counters.
 func (wh *Webhouse) Stats() Stats {
-	wh.mu.RLock()
-	p := wh.pool
-	repos := make([]*Repository, 0, len(wh.repos))
-	for _, r := range wh.repos {
-		repos = append(repos, r)
-	}
-	wh.mu.RUnlock()
-	var src faulty.ClientStats
-	for _, r := range repos {
-		if cs, ok := r.Client().(clientStats); ok {
-			src.Add(cs.Stats())
-		}
-	}
+	p := wh.getPool()
+	src := wh.sourceStats()
 	return Stats{
 		AnswerCacheHits:   wh.cacheHits.Load(),
 		AnswerCacheMisses: wh.cacheMisses.Load(),
@@ -405,7 +395,9 @@ func (wh *Webhouse) Explore(ctx context.Context, source string, q query.Query) (
 	if err != nil {
 		return tree.Tree{}, err
 	}
+	endSource := obs.FromContext(ctx).Stage("source")
 	a, err := r.Client().Ask(ctx, q)
+	endSource(0)
 	if err != nil {
 		return tree.Tree{}, fmt.Errorf("webhouse: explore %q: %w", source, err)
 	}
@@ -549,6 +541,12 @@ const fallbackSteps = 1 << 20
 // PossiblyNonEmpty No) are kept exact, the rest report Unknown.
 func (wh *Webhouse) computeLocal(ctx context.Context, know *itree.T, q query.Query) (*LocalAnswer, error) {
 	bud := wh.newBudget(ctx)
+	endStage := obs.FromContext(ctx).Stage("local")
+	defer func() {
+		used := bud.Used()
+		stepsUsed.Observe(used)
+		endStage(used)
+	}()
 	out := &LocalAnswer{}
 	var errs [4]error
 	tasks := []func(){
@@ -731,7 +729,10 @@ func (wh *Webhouse) AnswerComplete(ctx context.Context, source string, q query.Q
 	_, know := r.snapshot()
 	// Unknown (budget exhausted) is treated as "not certified": the source
 	// is contacted, which is always sound, merely less frugal.
-	fullyV, err := answer.FullyAnswerableBudgeted(know, q, wh.newBudget(ctx))
+	certBud := wh.newBudget(ctx)
+	endCertify := obs.FromContext(ctx).Stage("certify")
+	fullyV, err := answer.FullyAnswerableBudgeted(know, q, certBud)
+	endCertify(certBud.Used())
 	if err != nil && !errors.Is(err, budget.ErrExhausted) {
 		return nil, err
 	}
@@ -741,12 +742,15 @@ func (wh *Webhouse) AnswerComplete(ctx context.Context, source string, q query.Q
 	client := r.Client()
 	if know.DataTree().Root == nil {
 		// Nothing known: pose the query itself.
+		endSource := obs.FromContext(ctx).Stage("source")
 		a, err := client.Ask(ctx, q)
+		endSource(0)
 		if err != nil {
 			return wh.degrade(ctx, know, q, 1, err)
 		}
 		r.mu.Lock()
 		defer r.mu.Unlock()
+		defer obs.FromContext(ctx).Stage("fold")(0)
 		if err := wh.observeLocked(ctx, r, q, a); err != nil {
 			return nil, err
 		}
@@ -757,7 +761,9 @@ func (wh *Webhouse) AnswerComplete(ctx context.Context, source string, q query.Q
 	if err != nil {
 		return nil, err
 	}
+	endSource := obs.FromContext(ctx).Stage("source")
 	answers, err := mediator.ExecuteAll(ctx, client, ls)
+	endSource(0)
 	if err != nil {
 		return wh.degrade(ctx, know, q, len(ls), err)
 	}
@@ -770,6 +776,7 @@ func (wh *Webhouse) AnswerComplete(ctx context.Context, source string, q query.Q
 	// recovery if the source changed between the snapshot and now).
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	defer obs.FromContext(ctx).Stage("fold")(0)
 	if err := wh.observeLocked(ctx, r, q, result); err != nil {
 		return nil, err
 	}

@@ -8,6 +8,9 @@ set -eux
 cd "$(dirname "$0")/.."
 
 go vet ./...
+# Godoc gate: the public facade and the operator-facing packages must
+# document every exported symbol (see scripts/doclint).
+go run ./scripts/doclint incxml.go ./internal/obs ./internal/budget ./internal/serve
 # staticcheck is optional tooling: run it when installed, skip silently
 # in minimal environments.
 if command -v staticcheck >/dev/null 2>&1; then
@@ -16,6 +19,11 @@ fi
 go build ./...
 go test ./...
 go test -race ./...
+
+# E20 smoke (EXPERIMENTS.md): the metrics/tracing pipeline must not cost
+# more than 5% of p99 serving latency. Short mode keeps the gate fast;
+# cmd/benchrobust produces the full-size numbers.
+go test ./internal/serve/ -run TestE20MetricsOverhead -short -count=1
 
 # Fuzz smoke: a couple of seconds per serving-path parser. This is a
 # regression sweep over the corpora plus a short random exploration, not a
