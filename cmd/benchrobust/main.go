@@ -22,6 +22,12 @@
 //     observability pipeline enabled versus the no-op recorder
 //     (obs.SetEnabled(false)), reporting both percentile sets and the p99
 //     ratio — the number behind the "<5% overhead" claim.
+//
+//  4. Raw-speed pass (EXPERIMENTS.md E21): the budgeted-`unknown` crossover
+//     of the blowup family under the pruned certificate search (steps used
+//     per n at the fixed 20k budget), plus single-worker ns/op and
+//     allocs/op of the pruned search versus the reference mixed-radix scan
+//     on the hard-empty 2^k family.
 package main
 
 import (
@@ -37,10 +43,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"testing"
 	"time"
 
 	"incxml/internal/budget"
+	"incxml/internal/cond"
 	"incxml/internal/conj"
+	"incxml/internal/ctype"
+	"incxml/internal/dtd"
 	"incxml/internal/engine"
 	"incxml/internal/obs"
 	"incxml/internal/refine"
@@ -89,26 +99,59 @@ type overheadReport struct {
 	P99Ratio float64 `json:"p99Ratio"`
 }
 
+// e21Row records one blowup prefix under the fixed E21 budget: the
+// three-valued verdict and the steps the pruned search actually charged.
+type e21Row struct {
+	N       int    `json:"n"`
+	Verdict string `json:"verdict"`
+	Steps   int64  `json:"steps"`
+}
+
+// e21Report is the EXPERIMENTS.md E21 block: where (if anywhere) the
+// budgeted verdict degrades to unknown on the blowup family, and the
+// single-worker before/after comparison on the hard-empty family.
+type e21Report struct {
+	BudgetSteps int64 `json:"budgetSteps"`
+	MaxN        int   `json:"maxN"`
+	// CrossoverN is the first n whose budgeted verdict is unknown;
+	// 0 means every prefix up to MaxN stayed exactly decided.
+	CrossoverN int      `json:"crossoverN"`
+	Blowup     []e21Row `json:"blowup"`
+
+	// Single-worker hard-empty comparison: reference mixed-radix scan
+	// ("before") vs the pruned certificate search ("after").
+	HardK              int     `json:"hardK"`
+	SequentialNsOp     int64   `json:"sequentialNsOp"`
+	SequentialAllocsOp int64   `json:"sequentialAllocsOp"`
+	PrunedNsOp         int64   `json:"prunedNsOp"`
+	PrunedAllocsOp     int64   `json:"prunedAllocsOp"`
+	SpeedupX           float64 `json:"speedupX"`
+}
+
 type report struct {
 	GeneratedUnix   int64          `json:"generatedUnix"`
 	BlowupEmptiness []emptinessRow `json:"blowupEmptiness"`
 	ServeSoak       soakReport     `json:"serveSoak"`
 	MetricsOverhead overheadReport `json:"metricsOverhead"`
+	E21             e21Report      `json:"e21"`
 }
 
 func main() {
 	out := flag.String("out", "BENCH_robustness.json", "output file")
-	maxN := flag.Int("max-n", 7, "largest blowup workload prefix")
+	maxN := flag.Int("max-n", 9, "largest blowup workload prefix")
 	steps := flag.Int64("budget", 20_000, "step budget for the budgeted emptiness scan")
 	workers := flag.Int("workers", 8, "concurrent soak workers")
 	perWorker := flag.Int("requests", 50, "soak requests per worker")
 	overheadN := flag.Int("overhead-requests", 2000, "serial requests per E20 overhead run")
+	e21MaxN := flag.Int("e21-max-n", 12, "largest blowup prefix for the E21 crossover scan")
+	e21HardK := flag.Int("e21-hard-k", 12, "hard-empty family size for the E21 before/after benchmark")
 	flag.Parse()
 
 	rep := report{GeneratedUnix: time.Now().Unix()}
 	rep.BlowupEmptiness = benchEmptiness(*maxN, *steps)
 	rep.ServeSoak = benchServe(*workers, *perWorker)
 	rep.MetricsOverhead = benchOverhead(*overheadN)
+	rep.E21 = benchE21(*e21MaxN, *steps, *e21HardK)
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -317,6 +360,82 @@ func benchOverhead(n int) overheadReport {
 	fmt.Printf("metrics overhead: p99 enabled=%.3fms disabled=%.3fms ratio=%.3f (n=%d)\n",
 		enabled.P99Ms, disabled.P99Ms, ratio, n)
 	return overheadReport{Requests: n, Enabled: enabled, Disabled: disabled, P99Ratio: ratio}
+}
+
+// benchE21 is EXPERIMENTS.md E21. Part one: run the pruned budgeted search
+// on each blowup prefix at the fixed step budget and record the first n (if
+// any) where the verdict degrades to unknown — before the raw-speed pass the
+// crossover sat at n=6. Part two: single-worker hard-empty emptiness, the
+// reference mixed-radix certificate scan versus the pruned search, measured
+// with testing.Benchmark so ns/op and allocs/op land in the report.
+func benchE21(maxN int, steps int64, hardK int) e21Report {
+	rep := e21Report{BudgetSteps: steps, MaxN: maxN, HardK: hardK}
+
+	world := workload.BlowupWorld()
+	t := conj.FromITree(refine.Universal(workload.BlowupSigma))
+	for n := 1; n <= maxN; n++ {
+		q := workload.BlowupQuery(int64(n))
+		if err := t.RefinePlus(q, q.Eval(world), workload.BlowupSigma); err != nil {
+			fmt.Fprintln(os.Stderr, "refine:", err)
+			os.Exit(1)
+		}
+		bud := budget.New(context.Background(), steps)
+		verdict, _ := t.EmptyBudgeted(context.Background(), nil, bud)
+		rep.Blowup = append(rep.Blowup, e21Row{N: n, Verdict: verdict.String(), Steps: bud.Used()})
+		if verdict == budget.Unknown && rep.CrossoverN == 0 {
+			rep.CrossoverN = n
+		}
+		fmt.Printf("e21 blowup n=%d budgeted=%s steps=%d/%d\n", n, verdict, bud.Used(), steps)
+	}
+
+	hard := hardEmptyConj(hardK)
+	seq := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !hard.EmptySequential() {
+				b.Fatal("hard instance not empty")
+			}
+		}
+	})
+	pruned := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !hard.Empty() {
+				b.Fatal("hard instance not empty")
+			}
+		}
+	})
+	rep.SequentialNsOp = seq.NsPerOp()
+	rep.SequentialAllocsOp = seq.AllocsPerOp()
+	rep.PrunedNsOp = pruned.NsPerOp()
+	rep.PrunedAllocsOp = pruned.AllocsPerOp()
+	if pruned.NsPerOp() > 0 {
+		rep.SpeedupX = float64(seq.NsPerOp()) / float64(pruned.NsPerOp())
+	}
+	fmt.Printf("e21 hard-empty k=%d: sequential %dns/op %dallocs/op, pruned %dns/op %dallocs/op (%.1fx)\n",
+		hardK, rep.SequentialNsOp, rep.SequentialAllocsOp, rep.PrunedNsOp, rep.PrunedAllocsOp, rep.SpeedupX)
+	return rep
+}
+
+// hardEmptyConj mirrors the E18/E21 benchmark fixture: 2^k certificates,
+// none satisfiable, so emptiness must exhaust the space.
+func hardEmptyConj(k int) *conj.T {
+	t := conj.New()
+	t.Sigma["r"] = ctype.LabelTarget("r")
+	t.Sigma["c"] = ctype.LabelTarget("x")
+	t.Cond["c"] = cond.EqInt(3)
+	t.Sigma["a"] = ctype.LabelTarget("x")
+	t.Cond["a"] = cond.EqInt(1)
+	t.Sigma["b"] = ctype.LabelTarget("x")
+	t.Cond["b"] = cond.EqInt(2)
+	cnf := conj.CNF{ctype.Disj{ctype.SAtom{{Sym: "c", Mult: dtd.One}}}}
+	for i := 0; i < k; i++ {
+		cnf = append(cnf, ctype.Disj{
+			ctype.SAtom{{Sym: "a", Mult: dtd.One}},
+			ctype.SAtom{{Sym: "b", Mult: dtd.One}},
+		})
+	}
+	t.Mu["r"] = cnf
+	t.Roots = []conj.RootChoice{{"r"}}
+	return t
 }
 
 func post(client *http.Client, url, body string) (int, error) {

@@ -46,6 +46,7 @@ import (
 	"incxml/internal/extquery"
 	"incxml/internal/faulty"
 	"incxml/internal/heuristics"
+	"incxml/internal/intern"
 	"incxml/internal/itree"
 	"incxml/internal/mediator"
 	"incxml/internal/obs"
@@ -273,6 +274,12 @@ type (
 	CacheStats = engine.CacheStats
 	// WebhouseStats aggregates the serving-layer counters.
 	WebhouseStats = webhouse.Stats
+	// InternID is the stable 64-bit handle of an interned value (see
+	// "Hash-consing & interning" in DESIGN.md). Valid within one process.
+	InternID = intern.ID
+	// InternTableStats reports one intern table's entry count, hit/miss
+	// traffic and bytes saved through sharing.
+	InternTableStats = intern.TableStats
 )
 
 var (
@@ -285,6 +292,14 @@ var (
 	MembershipCacheStats = itree.CacheStats
 	// DecisionCacheStats reports the query-decision cache.
 	DecisionCacheStats = answer.CacheStats
+	// InternStats snapshots the process-global intern tables.
+	InternStats = intern.Stats
+	// InternTree hash-conses a data tree, returning its stable ID: equal
+	// trees (children order ignored) share one ID, making repeated
+	// comparisons and cache keys word-sized.
+	InternTree = intern.Tree
+	// InternCond interns a condition by its canonical interval form.
+	InternCond = intern.Cond
 )
 
 // Resource budgets (see "Resource budgets & overload control" in

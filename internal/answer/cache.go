@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"incxml/internal/engine"
+	"incxml/internal/intern"
 	"incxml/internal/itree"
 	"incxml/internal/query"
 )
@@ -23,9 +24,13 @@ func CacheStats() engine.CacheStats { return decisionCache.Stats() }
 // ResetCache drops the decision-procedure cache.
 func ResetCache() { decisionCache.Reset() }
 
+// decisionKey keys a memoized decision: the knowledge's content fingerprint,
+// the interned ID of the query's canonical string — an 8-byte stable handle
+// instead of the string itself, so key hashing and comparison are
+// fixed-width — and the decision kind.
 type decisionKey struct {
 	t    itree.FP
-	q    string
+	q    intern.ID
 	kind uint8
 }
 
@@ -38,7 +43,7 @@ const (
 // cachedDecision memoizes compute under (it, q, kind). Errors are not
 // cached: compute runs again on the next call.
 func cachedDecision(it *itree.T, q query.Query, kind uint8, compute func() (bool, error)) (bool, error) {
-	key := decisionKey{it.Fingerprint(), q.String(), kind}
+	key := decisionKey{it.Fingerprint(), intern.String(q.String()), kind}
 	h := binary.LittleEndian.Uint64(key.t[:8]) ^ uint64(kind)
 	if v, ok := decisionCache.Get(h, key); ok {
 		return v.(bool), nil

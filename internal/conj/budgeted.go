@@ -9,68 +9,28 @@ import (
 )
 
 // EmptyBudgeted is the three-valued, budget-guarded form of Empty: it
-// decides rep(T) = ∅ exactly when the certificate scan of Theorem 3.10 fits
-// the budget, and reports budget.Unknown (with the exhaustion error) when it
+// decides rep(T) = ∅ exactly when the pruned certificate search fits the
+// budget, and reports budget.Unknown (with the exhaustion error) when it
 // does not. It is never wrong when it answers:
 //
 //   - budget.No means a satisfiable certificate was found — a positive
 //     witness, exact regardless of how much budget remains;
-//   - budget.Yes means every certificate in the space was scanned and found
-//     infeasible or empty;
+//   - budget.Yes means the search exhausted every assignment that could
+//     make a certificate satisfiable;
 //   - budget.Unknown means the budget (steps or deadline) ran out before
 //     either of the above; the returned error matches budget.ErrExhausted.
 //
-// The budget is charged one step per certificate, plus one step per product
-// symbol and join tuple materialized while building each T_π — so a single
-// pathological certificate cannot sneak unbounded work between charges. A
-// nil budget makes the scan exact and equivalent to Empty / EmptyPool.
+// The budget is charged one step per digit assignment, interned symbol set,
+// join tuple, and productivity evaluation — memo hits are free, which is
+// what moves the budgeted-unknown crossover on the blowup family (E21). A
+// nil budget makes the search exact and equivalent to Empty / EmptyPool.
+// The pool parameter is kept for API compatibility; the search no longer
+// fans certificates out (see EmptyPool).
 func (t *T) EmptyBudgeted(ctx context.Context, p *engine.Pool, b *budget.B) (budget.Tri, error) {
-	if t.MayBeEmpty {
-		return recordEmptyTri(budget.No, nil)
-	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if p == nil {
-		p = engine.Default()
-	}
-	syms, counts, total, linear := t.certificateSpace()
-	if !linear || total < parallelCertificateFloor || p.Workers() <= 1 {
-		v, err := t.emptySequentialBudgeted(ctx, syms, counts, b)
-		return recordEmptyTri(v, err)
-	}
-	chunk := total / int64(p.Workers()*8)
-	if chunk < 1 {
-		chunk = 1
-	}
-	if chunk > 4096 {
-		chunk = 4096
-	}
-	sat := p.SearchRange(ctx, total, chunk, func(ctx context.Context, lo, hi int64) bool {
-		idx := make([]int, len(counts))
-		for c := lo; c < hi; c++ {
-			if ctx.Err() != nil || b.Exhausted() {
-				return false
-			}
-			if b.Charge(1) != nil {
-				return false
-			}
-			decodeCertificate(c, counts, idx)
-			pi, err := t.buildPi(syms, idx, b)
-			if err != nil {
-				return false
-			}
-			if pi != nil && !pi.Empty() {
-				return true
-			}
-		}
-		return false
-	})
-	// A witness is exact even if the budget ran out concurrently.
-	if sat {
-		return recordEmptyTri(budget.No, nil)
-	}
-	v, err := triFromScan(ctx, b)
+	v, err := t.emptyScan(ctx, b)
 	return recordEmptyTri(v, err)
 }
 

@@ -533,24 +533,23 @@ func (t *T) Member(d tree.Tree) bool {
 	return expanded.Member(d)
 }
 
-// Empty decides rep(T) = ∅ by the NP procedure of Theorem 3.10: guess, for
-// every symbol, one disjunct per conjunct (the certificate π), build the
-// regular incomplete tree T_π in polynomial time, and test its emptiness in
-// polynomial time; rep(T) = ∅ iff every certificate yields an empty T_π.
-// The enumeration of certificates is exponential in the worst case — that is
-// the NP-hardness, measured by benchmark E6.
-//
-// The certificates are independent subproblems, so Empty fans the scan out
-// across the default engine pool; the first satisfiable certificate cancels
-// its siblings. EmptySequential preserves the single-threaded scan.
+// Empty decides rep(T) = ∅. The decision problem is the NP procedure of
+// Theorem 3.10 — guess, for every symbol, one disjunct per conjunct (the
+// certificate π), build the regular incomplete tree T_π in polynomial time,
+// and test its emptiness; rep(T) = ∅ iff every certificate yields an empty
+// T_π — but rather than enumerating the exponential certificate space, the
+// implementation runs the pruned backtracking search of scan.go, which
+// assigns certificate digits lazily over the reachable symbol sets and
+// memoizes joins and productivity verdicts. Verdicts are identical to
+// EmptySequential, the reference certificate scan kept for the differential
+// tests and the E18/E21 before-after benchmarks.
 func (t *T) Empty() bool {
 	return t.EmptyPool(context.Background(), engine.Default())
 }
 
-// EmptySequential is the single-threaded certificate scan (the baseline the
-// E18 benchmark and the differential tests compare the parallel scan
-// against). It handles certificate spaces of any size via a mixed-radix
-// counter.
+// EmptySequential is the reference certificate scan (the baseline the E18
+// benchmark and the differential tests compare the pruned search against).
+// It handles certificate spaces of any size via a mixed-radix counter.
 func (t *T) EmptySequential() bool {
 	if t.MayBeEmpty {
 		return false
@@ -581,55 +580,23 @@ func (t *T) EmptySequential() bool {
 	}
 }
 
-// parallelCertificateFloor is the certificate-space size below which the
-// parallel scan is not worth its dispatch overhead.
-const parallelCertificateFloor = 32
-
-// maxLinearCertificates bounds the linearly indexable certificate space;
-// beyond it (or on int64 overflow) EmptyPool falls back to the sequential
-// mixed-radix scan, which such a space could never finish anyway.
+// maxLinearCertificates bounds the linearly indexable certificate space
+// reported by certificateSpace; past it (or on int64 overflow) total is
+// meaningless and ok is false.
 const maxLinearCertificates = int64(1) << 42
 
-// EmptyPool is Empty on an explicit pool: the certificate space is split
-// into contiguous chunks scanned by the pool's workers, and the first
-// satisfiable certificate cancels the remaining branches. Results are
-// identical to EmptySequential. Cancelling ctx abandons the scan (the
-// result is then unreliable, reported as empty).
+// EmptyPool is Empty on an explicit pool, kept for API compatibility with
+// the old chunked certificate scan. The pruned search replaced the
+// per-certificate fan-out (memo reuse across branches beats re-deriving
+// them in parallel — see EXPERIMENTS.md E21), so the pool is no longer
+// consulted. Results are identical to EmptySequential. Cancelling ctx
+// abandons the search (the result is then unreliable, reported as empty).
 func (t *T) EmptyPool(ctx context.Context, p *engine.Pool) bool {
-	if t.MayBeEmpty {
-		return false
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	if p == nil {
-		p = engine.Default()
-	}
-	syms, counts, total, ok := t.certificateSpace()
-	if !ok || total < parallelCertificateFloor || p.Workers() <= 1 {
-		return t.EmptySequential()
-	}
-	// Aim for several chunks per worker so uneven certificate costs
-	// rebalance, without letting dispatch dominate tiny chunks.
-	chunk := total / int64(p.Workers()*8)
-	if chunk < 1 {
-		chunk = 1
-	}
-	if chunk > 4096 {
-		chunk = 4096
-	}
-	sat := p.SearchRange(ctx, total, chunk, func(ctx context.Context, lo, hi int64) bool {
-		idx := make([]int, len(counts))
-		for c := lo; c < hi; c++ {
-			if ctx.Err() != nil {
-				return false
-			}
-			decodeCertificate(c, counts, idx)
-			pi, _ := t.buildPi(syms, idx, nil)
-			if pi != nil && !pi.Empty() {
-				return true
-			}
-		}
-		return false
-	})
-	return !sat
+	v, _ := t.emptyScan(ctx, nil)
+	return v != budget.No
 }
 
 // certificateSpace returns the symbol order, per-symbol choice counts, and
@@ -658,16 +625,6 @@ func (t *T) certificateSpace() (syms []ctype.Symbol, counts []int, total int64, 
 		}
 	}
 	return syms, counts, total, ok
-}
-
-// decodeCertificate writes the mixed-radix digits of linear certificate c
-// into idx (least-significant digit first, matching the sequential scan's
-// counter order).
-func decodeCertificate(c int64, counts []int, idx []int) {
-	for i, n := range counts {
-		idx[i] = int(c % int64(n))
-		c /= int64(n)
-	}
 }
 
 // buildPi constructs the regular incomplete tree T_π for one certificate:

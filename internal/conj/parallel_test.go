@@ -99,10 +99,13 @@ func TestEmptyPoolMatchesSequential(t *testing.T) {
 	}
 }
 
-// hardEmptyInstance builds an instance whose emptiness requires scanning all
-// 2^k certificates: the root requires one child typed c (value 3) in every
+// hardEmptyInstance builds an instance with 2^k certificates, none
+// satisfiable: the root requires one child typed c (value 3) in every
 // expansion, but every conjunct choice forces the child set {a or b} whose
-// joined condition contradicts c's.
+// joined condition contradicts c's. The reference scan visits all 2^k
+// certificates; the pruned search shares join work across them but still
+// faces an exponential digit space, making this the stress case for the
+// budgeted solvers.
 func hardEmptyInstance(k int) *T {
 	t := New()
 	t.Sigma["r"] = ctype.LabelTarget("r")

@@ -1,0 +1,293 @@
+// Package intern provides process-wide hash-consing: strings and symbols,
+// conditions, and whole data-tree nodes are mapped to canonical
+// representatives with stable 64-bit IDs. Two equal values always intern to
+// the same ID, so downstream equality (memo-cache keys, set membership,
+// fingerprints) becomes a single integer compare instead of re-hashing or
+// re-serializing structures.
+//
+// Invariants (see DESIGN.md "Hash-consing & interning"):
+//
+//   - Interned values are immutable. Callers must never mutate a tree node
+//     after interning it; the canonical representative is shared.
+//   - IDs are stable within a process but NOT across processes or restarts;
+//     they must never be persisted.
+//   - Tables are append-only: memory grows with the number of *distinct*
+//     values interned. Hot paths therefore intern only long-lived values
+//     (knowledge trees, query keys, conditions, symbols) and use per-scan
+//     scratch tables for transient values (see conj's certificate scan).
+//
+// Every table keeps hit/miss counters and a bytes-saved estimate (the
+// encoded size of values that were already present), exposed as
+// incxml_intern_* metrics.
+package intern
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"incxml/internal/cond"
+	"incxml/internal/tree"
+)
+
+// ID is a stable, process-local identifier of an interned value. The zero ID
+// is never allocated, so it can serve as a sentinel.
+type ID uint64
+
+const shardBits = 4
+const numShards = 1 << shardBits // 16
+
+// table is one sharded intern table: canonical byte key -> ID, with the
+// per-shard entry list giving Resolve. IDs encode (shard, slot) as
+// slot<<shardBits | shard, plus one so the zero ID stays free.
+type table struct {
+	name   string
+	shards [numShards]shard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	saved  atomic.Uint64 // bytes-saved estimate: encoded size of re-interned values
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	ids     map[string]ID
+	entries []any // slot -> stored value (string, cond.Cond, *tree.Node)
+}
+
+// fnv1a64 hashes b (FNV-1a, 64-bit).
+func fnv1a64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// fnv1a64s is fnv1a64 over a string, avoiding the []byte conversion.
+func fnv1a64s(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// get interns key, storing value() in the entry list on first sight.
+// The key slice is not retained.
+func (t *table) get(key []byte, value func() any) ID {
+	idx := fnv1a64(key) & (numShards - 1)
+	sh := &t.shards[idx]
+	sh.mu.RLock()
+	id, ok := sh.ids[string(key)] // no-alloc map lookup
+	sh.mu.RUnlock()
+	if ok {
+		t.hits.Add(1)
+		t.saved.Add(uint64(len(key)))
+		return id
+	}
+	return t.insert(idx, string(key), value)
+}
+
+// getStr is get for string keys, allocation-free on the hit path.
+func (t *table) getStr(key string, value func() any) ID {
+	idx := fnv1a64s(key) & (numShards - 1)
+	sh := &t.shards[idx]
+	sh.mu.RLock()
+	id, ok := sh.ids[key]
+	sh.mu.RUnlock()
+	if ok {
+		t.hits.Add(1)
+		t.saved.Add(uint64(len(key)))
+		return id
+	}
+	return t.insert(idx, key, value)
+}
+
+// insert adds key to shard idx under the write lock, re-checking for a
+// racing insert.
+func (t *table) insert(idx uint64, key string, value func() any) ID {
+	sh := &t.shards[idx]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if id, ok := sh.ids[key]; ok {
+		t.hits.Add(1)
+		t.saved.Add(uint64(len(key)))
+		return id
+	}
+	t.misses.Add(1)
+	if sh.ids == nil {
+		sh.ids = make(map[string]ID, 64)
+	}
+	id := ID(uint64(len(sh.entries))<<shardBits|idx) + 1
+	sh.entries = append(sh.entries, value())
+	sh.ids[key] = id
+	return id
+}
+
+// resolve returns the stored value for id.
+func (t *table) resolve(id ID) (any, bool) {
+	if id == 0 {
+		return nil, false
+	}
+	id--
+	sh := &t.shards[id&(numShards-1)]
+	slot := int(id >> shardBits)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if slot >= len(sh.entries) {
+		return nil, false
+	}
+	return sh.entries[slot], true
+}
+
+// entryCount returns the total number of entries across shards.
+func (t *table) entryCount() uint64 {
+	var n uint64
+	for i := range t.shards {
+		t.shards[i].mu.RLock()
+		n += uint64(len(t.shards[i].entries))
+		t.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+var (
+	strTable  = &table{name: "strings"}
+	condTable = &table{name: "conds"}
+	nodeTable = &table{name: "nodes"}
+)
+
+// keyBufPool recycles the scratch buffers used to encode intern keys.
+var keyBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// String interns a string (or any string-derived type, e.g. ctype.Symbol or
+// tree.NodeID) and returns its stable ID.
+func String[S ~string](s S) ID {
+	return strTable.getStr(string(s), func() any { return string(s) })
+}
+
+// Bytes interns the string content of b without copying on the hit path.
+func Bytes(b []byte) ID {
+	return strTable.get(b, func() any { return string(b) })
+}
+
+// ResolveString returns the string with the given ID.
+func ResolveString(id ID) (string, bool) {
+	v, ok := strTable.resolve(id)
+	if !ok {
+		return "", false
+	}
+	return v.(string), true
+}
+
+// Cond interns a condition by its canonical interval-form key: logically
+// equivalent conditions always intern to the same ID.
+func Cond(c cond.Cond) ID {
+	bp := keyBufPool.Get().(*[]byte)
+	key := c.AppendKey((*bp)[:0])
+	id := condTable.get(key, func() any { return c })
+	*bp = key[:0]
+	keyBufPool.Put(bp)
+	return id
+}
+
+// ResolveCond returns a condition logically equal to the one interned as id.
+func ResolveCond(id ID) (cond.Cond, bool) {
+	v, ok := condTable.resolve(id)
+	if !ok {
+		return cond.Cond{}, false
+	}
+	return v.(cond.Cond), true
+}
+
+// Node hash-conses a tree node (recursively) and returns its ID together
+// with the canonical representative. Equal subtrees — same ids, labels,
+// values, and child multisets — share one representative, so repeated
+// interning of equal trees costs no new memory and ID equality decides
+// subtree equality. The input must not be mutated afterwards.
+func Node(n *tree.Node) (ID, *tree.Node) {
+	if n == nil {
+		return 0, nil
+	}
+	kidIDs := make([]ID, len(n.Children))
+	kids := make([]*tree.Node, len(n.Children))
+	for i, c := range n.Children {
+		kidIDs[i], kids[i] = Node(c)
+	}
+	// Children are unordered: sort the (id, child) pairs by id for a
+	// canonical key.
+	for i := 1; i < len(kidIDs); i++ {
+		for j := i; j > 0 && kidIDs[j] < kidIDs[j-1]; j-- {
+			kidIDs[j], kidIDs[j-1] = kidIDs[j-1], kidIDs[j]
+			kids[j], kids[j-1] = kids[j-1], kids[j]
+		}
+	}
+	bp := keyBufPool.Get().(*[]byte)
+	key := (*bp)[:0]
+	key = append(key, n.ID...)
+	key = append(key, 0)
+	key = append(key, n.Label...)
+	key = append(key, 0)
+	vk := n.Value.Key()
+	key = appendU64(key, uint64(vk[0]))
+	key = appendU64(key, uint64(vk[1]))
+	for _, kid := range kidIDs {
+		key = appendU64(key, uint64(kid))
+	}
+	id := nodeTable.get(key, func() any {
+		return &tree.Node{ID: n.ID, Label: n.Label, Value: n.Value, Children: kids}
+	})
+	*bp = key[:0]
+	keyBufPool.Put(bp)
+	rep, _ := nodeTable.resolve(id)
+	return id, rep.(*tree.Node)
+}
+
+// Tree hash-conses a whole data tree. The empty tree interns to ID 0.
+func Tree(t tree.Tree) ID {
+	id, _ := Node(t.Root)
+	return id
+}
+
+// ResolveTree returns the canonical representative of an interned tree.
+func ResolveTree(id ID) (tree.Tree, bool) {
+	if id == 0 {
+		return tree.Tree{}, true
+	}
+	v, ok := nodeTable.resolve(id)
+	if !ok {
+		return tree.Tree{}, false
+	}
+	return tree.Tree{Root: v.(*tree.Node)}, true
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// TableStats is a point-in-time snapshot of one intern table.
+type TableStats struct {
+	Table      string `json:"table"`
+	Entries    uint64 `json:"entries"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	BytesSaved uint64 `json:"bytesSavedEstimate"`
+}
+
+// Stats snapshots all intern tables (strings, conds, nodes).
+func Stats() []TableStats {
+	out := make([]TableStats, 0, 3)
+	for _, t := range []*table{strTable, condTable, nodeTable} {
+		out = append(out, TableStats{
+			Table:      t.name,
+			Entries:    t.entryCount(),
+			Hits:       t.hits.Load(),
+			Misses:     t.misses.Load(),
+			BytesSaved: t.saved.Load(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"incxml/internal/cond"
+	"incxml/internal/rat"
+	"incxml/internal/tree"
+)
+
+func TestStringRoundTrip(t *testing.T) {
+	a := String("hello")
+	b := String("hello")
+	if a != b {
+		t.Fatalf("equal strings interned to different IDs: %d vs %d", a, b)
+	}
+	if c := String("world"); c == a {
+		t.Fatalf("distinct strings share ID %d", a)
+	}
+	s, ok := ResolveString(a)
+	if !ok || s != "hello" {
+		t.Fatalf("ResolveString(%d) = %q, %v", a, s, ok)
+	}
+	if _, ok := ResolveString(0); ok {
+		t.Fatal("zero ID resolved")
+	}
+}
+
+func TestBytesMatchesString(t *testing.T) {
+	if Bytes([]byte("xyz")) != String("xyz") {
+		t.Fatal("Bytes and String disagree on the same content")
+	}
+}
+
+func TestCondIdentity(t *testing.T) {
+	// Logically equivalent conditions built differently intern equal.
+	a := Cond(cond.GeInt(1).And(cond.LeInt(3)))
+	b := Cond(cond.Between(rat.FromInt(1), rat.FromInt(3)))
+	if a != b {
+		t.Fatalf("equivalent conditions interned to %d and %d", a, b)
+	}
+	if Cond(cond.True()) != Cond(cond.Cond{}) {
+		t.Fatal("zero-value condition not identified with True")
+	}
+	if Cond(cond.EqInt(1)) == Cond(cond.EqInt(2)) {
+		t.Fatal("distinct conditions share an ID")
+	}
+	got, ok := ResolveCond(a)
+	if !ok || !got.Equal(cond.Between(rat.FromInt(1), rat.FromInt(3))) {
+		t.Fatalf("ResolveCond round trip failed: %v, %v", got, ok)
+	}
+}
+
+func mkTree(seed int64) tree.Tree {
+	kid1 := tree.NewID("k1", "a", rat.FromInt(seed))
+	kid2 := tree.NewID("k2", "b", rat.FromInt(seed+1))
+	return tree.Tree{Root: tree.NewID("r", "root", rat.FromInt(0), kid1, kid2)}
+}
+
+func TestTreeHashConsing(t *testing.T) {
+	a := Tree(mkTree(1))
+	b := Tree(mkTree(1))
+	if a != b {
+		t.Fatalf("equal trees interned to %d and %d", a, b)
+	}
+	if Tree(mkTree(2)) == a {
+		t.Fatal("distinct trees share an ID")
+	}
+	// Child order must not matter.
+	k1 := tree.NewID("k1", "a", rat.FromInt(1))
+	k2 := tree.NewID("k2", "b", rat.FromInt(2))
+	fwd := Tree(tree.Tree{Root: tree.NewID("r", "root", rat.FromInt(0), k1, k2)})
+	k1b := tree.NewID("k1", "a", rat.FromInt(1))
+	k2b := tree.NewID("k2", "b", rat.FromInt(2))
+	rev := Tree(tree.Tree{Root: tree.NewID("r", "root", rat.FromInt(0), k2b, k1b)})
+	if fwd != rev {
+		t.Fatal("child order changed the interned ID")
+	}
+	// The canonical representative is Equal to the input.
+	got, ok := ResolveTree(a)
+	if !ok || !got.Equal(mkTree(1)) {
+		t.Fatalf("ResolveTree round trip failed (ok=%v):\n%s", ok, got)
+	}
+	if Tree(tree.Empty()) != 0 {
+		t.Fatal("empty tree must intern to the zero ID")
+	}
+}
+
+// TestConcurrentIntern hammers all three tables from many goroutines; run
+// under -race this is the interner's data-race test. Every goroutine interning
+// the same value must observe the same ID.
+func TestConcurrentIntern(t *testing.T) {
+	const workers = 16
+	const perWorker = 200
+	ids := make([][]ID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids[w] = make([]ID, 0, perWorker*3)
+			for i := 0; i < perWorker; i++ {
+				ids[w] = append(ids[w], String(fmt.Sprintf("conc-%d", i%50)))
+				ids[w] = append(ids[w], Cond(cond.EqInt(int64(i%20))))
+				ids[w] = append(ids[w], Tree(mkTree(int64(i%10))))
+			}
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i, id := range ids[w] {
+			if id != ids[0][i] {
+				t.Fatalf("worker %d slot %d: ID %d != worker 0's %d", w, i, id, ids[0][i])
+			}
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	before := Stats()
+	String("stats-probe-a")
+	String("stats-probe-a")
+	after := Stats()
+	if len(after) != 3 {
+		t.Fatalf("want 3 tables, got %d", len(after))
+	}
+	var b0, a0 TableStats
+	for i := range after {
+		if after[i].Table == "strings" {
+			a0, b0 = after[i], before[i]
+		}
+	}
+	if a0.Misses <= b0.Misses || a0.Hits <= b0.Hits || a0.BytesSaved <= b0.BytesSaved {
+		t.Fatalf("stats did not advance: before %+v after %+v", b0, a0)
+	}
+}
+
+// FuzzInternRoundTrip asserts the two intern laws on arbitrary strings:
+// intern→resolve is the identity, and equal values intern to the same ID.
+func FuzzInternRoundTrip(f *testing.F) {
+	f.Add("")
+	f.Add("hello")
+	f.Add("a\x00b")
+	f.Add("日本語")
+	f.Fuzz(func(t *testing.T, s string) {
+		id1 := String(s)
+		id2 := String(s)
+		if id1 != id2 {
+			t.Fatalf("equal strings interned differently: %d vs %d", id1, id2)
+		}
+		got, ok := ResolveString(id1)
+		if !ok || got != s {
+			t.Fatalf("round trip: ResolveString(String(%q)) = %q, %v", s, got, ok)
+		}
+	})
+}

@@ -1,0 +1,27 @@
+package intern
+
+import "incxml/internal/obs"
+
+// Metrics exposition for the intern tables: func-backed views over the same
+// atomics Stats() reads, one child per table, under the incxml_intern_*
+// families. Entries only grow (tables are append-only), so the entries gauge
+// doubles as a memory-pressure signal for the speed/memory trade-off
+// documented in README.
+func init() {
+	d := obs.Default()
+	hits := d.NewCounterVec("incxml_intern_hits_total",
+		"Intern lookups that found an existing canonical representative, by table.", "table")
+	misses := d.NewCounterVec("incxml_intern_misses_total",
+		"Intern lookups that created a new entry, by table.", "table")
+	saved := d.NewCounterVec("incxml_intern_bytes_saved_total",
+		"Estimated bytes of re-interned value encodings shared instead of duplicated, by table.", "table")
+	entries := d.NewGaugeVec("incxml_intern_entries",
+		"Current entry count of an intern table (append-only), by table.", "table")
+	for _, t := range []*table{strTable, condTable, nodeTable} {
+		t := t
+		hits.Func(t.hits.Load, t.name)
+		misses.Func(t.misses.Load, t.name)
+		saved.Func(t.saved.Load, t.name)
+		entries.Func(func() float64 { return float64(t.entryCount()) }, t.name)
+	}
+}

@@ -2,12 +2,11 @@ package itree
 
 import (
 	"encoding/binary"
-	"hash"
-	"hash/fnv"
-	"io"
+	"math/bits"
 	"sort"
 	"sync"
 
+	"incxml/internal/ctype"
 	"incxml/internal/engine"
 	"incxml/internal/tree"
 )
@@ -32,9 +31,50 @@ func CacheStats() engine.CacheStats { return sharedCache.Stats() }
 // ResetCache drops the shared decision-procedure cache.
 func ResetCache() { sharedCache.Reset() }
 
-func fpSum(h hash.Hash) FP {
+// fnv128 is an inline FNV-1a 128-bit state (the same function as
+// hash/fnv.New128a, reimplemented so hashing costs no heap traffic: the
+// stdlib hash works through an interface and Sum allocates its result).
+type fnv128 struct{ hi, lo uint64 }
+
+const (
+	fnvOffsetHi = 0x6c62272e07bb0142
+	fnvOffsetLo = 0x62b821756295c58d
+	fnvPrimeLo  = 0x13b // prime = 2^88 + 2^8 + 0x3b
+	fnvShift    = 24
+)
+
+func newFNV128() fnv128 { return fnv128{fnvOffsetHi, fnvOffsetLo} }
+
+func (h *fnv128) writeByte(c byte) {
+	h.lo ^= uint64(c)
+	hi, lo := bits.Mul64(fnvPrimeLo, h.lo)
+	hi += h.lo<<fnvShift + fnvPrimeLo*h.hi
+	h.hi, h.lo = hi, lo
+}
+
+func (h *fnv128) writeString(s string) {
+	for i := 0; i < len(s); i++ {
+		h.writeByte(s[i])
+	}
+}
+
+func (h *fnv128) writeBytes(b []byte) {
+	for _, c := range b {
+		h.writeByte(c)
+	}
+}
+
+func (h *fnv128) writeUint64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.writeByte(byte(v))
+		v >>= 8
+	}
+}
+
+func (h *fnv128) sum() FP {
 	var fp FP
-	copy(fp[:], h.Sum(nil))
+	binary.BigEndian.PutUint64(fp[:8], h.hi)
+	binary.BigEndian.PutUint64(fp[8:], h.lo)
 	return fp
 }
 
@@ -43,35 +83,111 @@ func shard(a, b FP) uint64 {
 	return binary.LittleEndian.Uint64(a[:8]) ^ binary.LittleEndian.Uint64(b[8:])
 }
 
+// fpScratch holds the reusable working set of Fingerprint: the sorted symbol
+// and node-id views plus a byte buffer for condition keys. Pooled so a
+// fingerprint computation performs no allocation in steady state.
+type fpScratch struct {
+	ids  []string
+	syms []string
+	buf  []byte
+}
+
+var fpPool = sync.Pool{New: func() any { return new(fpScratch) }}
+
 // Fingerprint returns a content hash of the incomplete tree covering
 // everything the decision procedures depend on: the data nodes with their
 // labels and values, the conditional tree type (roots, multiplicities,
-// conditions, specializations), and the may-be-empty flag.
+// conditions, specializations), and the may-be-empty flag. Conditions hash
+// through their canonical interval-form key (cond.AppendKey), so the
+// fingerprint is as semantically faithful as the Lemma 2.3 normal form the
+// string rendering used, without materializing any string.
 func (it *T) Fingerprint() FP {
-	h := fnv.New128a()
-	ids := make([]string, 0, len(it.Nodes))
+	s := fpPool.Get().(*fpScratch)
+	h := newFNV128()
+
+	s.ids = s.ids[:0]
 	for id := range it.Nodes {
-		ids = append(ids, string(id))
+		s.ids = append(s.ids, string(id))
 	}
-	sort.Strings(ids)
-	for _, id := range ids {
+	sort.Strings(s.ids)
+	for _, id := range s.ids {
 		info := it.Nodes[tree.NodeID(id)]
-		io.WriteString(h, id)
-		h.Write([]byte{0})
-		io.WriteString(h, string(info.Label))
-		h.Write([]byte{0})
-		io.WriteString(h, info.Value.String())
-		h.Write([]byte{0})
+		h.writeString(id)
+		h.writeByte(0)
+		h.writeString(string(info.Label))
+		h.writeByte(0)
+		k := info.Value.Key()
+		h.writeUint64(uint64(k[0]))
+		h.writeUint64(uint64(k[1]))
 	}
-	h.Write([]byte{1})
-	// Type.String sorts symbols and renders conditions in the Lemma 2.3
-	// normal form, so it is a deterministic, semantically faithful
-	// serialization of the type.
-	io.WriteString(h, it.Type.String())
+	h.writeByte(1)
+
+	ty := it.Type
+	// Root list in declared order (it is semantically a set, but order
+	// sensitivity at worst costs a cache miss, exactly as before).
+	for _, r := range ty.Roots {
+		h.writeString(string(r))
+		h.writeByte(0)
+	}
+	h.writeByte(2)
+	// Union of every symbol the type mentions, sorted for determinism.
+	s.syms = s.syms[:0]
+	for _, r := range ty.Roots {
+		s.syms = append(s.syms, string(r))
+	}
+	for sym, d := range ty.Mu {
+		s.syms = append(s.syms, string(sym))
+		for _, a := range d {
+			for _, item := range a {
+				s.syms = append(s.syms, string(item.Sym))
+			}
+		}
+	}
+	for sym := range ty.Cond {
+		s.syms = append(s.syms, string(sym))
+	}
+	for sym := range ty.Sigma {
+		s.syms = append(s.syms, string(sym))
+	}
+	sort.Strings(s.syms)
+	prev := ""
+	for i, sym := range s.syms {
+		if i > 0 && sym == prev {
+			continue
+		}
+		prev = sym
+		h.writeString(sym)
+		h.writeByte(0)
+		if d, ok := ty.Mu[ctype.Symbol(sym)]; ok {
+			for _, a := range d {
+				for _, item := range a {
+					h.writeString(string(item.Sym))
+					h.writeByte(byte(item.Mult))
+				}
+				h.writeByte('v')
+			}
+		}
+		h.writeByte(3)
+		if c, ok := ty.Cond[ctype.Symbol(sym)]; ok {
+			s.buf = c.AppendKey(s.buf[:0])
+			h.writeBytes(s.buf)
+		}
+		h.writeByte(4)
+		if tg, ok := ty.Sigma[ctype.Symbol(sym)]; ok {
+			if tg.IsNode() {
+				h.writeByte('@')
+				h.writeString(string(tg.Node))
+			} else {
+				h.writeString(string(tg.Label))
+			}
+		}
+		h.writeByte(5)
+	}
 	if it.MayBeEmpty {
-		h.Write([]byte{2})
+		h.writeByte(6)
 	}
-	return fpSum(h)
+	fpPool.Put(s)
+	return h.sum()
 }
 
 // FingerprintTree returns a content hash of a data tree: node ids, labels,
@@ -79,24 +195,26 @@ func (it *T) Fingerprint() FP {
 // hash is sensitive to sibling order, which at worst costs a cache miss
 // (membership and the prefix relations are order-insensitive).
 func FingerprintTree(t tree.Tree) FP {
-	h := fnv.New128a()
+	h := newFNV128()
 	var rec func(n *tree.Node)
 	rec = func(n *tree.Node) {
-		io.WriteString(h, string(n.ID))
-		h.Write([]byte{0})
-		io.WriteString(h, string(n.Label))
-		h.Write([]byte{0})
-		io.WriteString(h, n.Value.String())
-		h.Write([]byte{'('})
+		h.writeString(string(n.ID))
+		h.writeByte(0)
+		h.writeString(string(n.Label))
+		h.writeByte(0)
+		k := n.Value.Key()
+		h.writeUint64(uint64(k[0]))
+		h.writeUint64(uint64(k[1]))
+		h.writeByte('(')
 		for _, c := range n.Children {
 			rec(c)
 		}
-		h.Write([]byte{')'})
+		h.writeByte(')')
 	}
 	if t.Root != nil {
 		rec(t.Root)
 	}
-	return fpSum(h)
+	return h.sum()
 }
 
 // resultKey keys a memoized decision-procedure result.

@@ -102,11 +102,15 @@ func (e *enumerator) bases(s ctype.Symbol) []*tree.Node {
 // overflow.
 func (e *enumerator) expandAtom(out []*tree.Node, a ctype.SAtom, bases []*tree.Node, depth int) ([]*tree.Node, bool) {
 	childSets := e.enumAtom(a, depth)
+	var slab nodeSlab
 	for _, cs := range childSets {
 		for _, base := range bases {
-			n := &tree.Node{ID: base.ID, Label: base.Label, Value: base.Value}
-			for _, c := range cs {
-				n.Children = append(n.Children, cloneNode(c))
+			n := slab.node(base.ID, base.Label, base.Value)
+			if len(cs) > 0 {
+				n.Children = make([]*tree.Node, len(cs))
+				for i, c := range cs {
+					n.Children[i] = slab.clone(c)
+				}
 			}
 			// Fresh ids for non-data nodes so siblings differ.
 			out = append(out, refreshIDs(n, e.it.Nodes))
@@ -310,10 +314,32 @@ func multichoose(vars []*tree.Node, count int) [][]*tree.Node {
 	return out
 }
 
-func cloneNode(n *tree.Node) *tree.Node {
-	out := &tree.Node{ID: n.ID, Label: n.Label, Value: n.Value}
-	for _, c := range n.Children {
-		out.Children = append(out.Children, cloneNode(c))
+// nodeSlab hands out tree.Nodes from chunked blocks, cutting the
+// one-allocation-per-node cost of deep cloning in the enumeration inner loop.
+// A slab is single-goroutine (each expandAtom call owns one); the blocks are
+// never reused, so the nodes it produced stay valid for the enumeration's
+// lifetime and beyond.
+type nodeSlab struct{ buf []tree.Node }
+
+const slabBlock = 256
+
+func (s *nodeSlab) node(id tree.NodeID, label tree.Label, v rat.Rat) *tree.Node {
+	if len(s.buf) == 0 {
+		s.buf = make([]tree.Node, slabBlock)
+	}
+	n := &s.buf[0]
+	s.buf = s.buf[1:]
+	n.ID, n.Label, n.Value = id, label, v
+	return n
+}
+
+func (s *nodeSlab) clone(n *tree.Node) *tree.Node {
+	out := s.node(n.ID, n.Label, n.Value)
+	if len(n.Children) > 0 {
+		out.Children = make([]*tree.Node, len(n.Children))
+		for i, c := range n.Children {
+			out.Children[i] = s.clone(c)
+		}
 	}
 	return out
 }
@@ -330,18 +356,37 @@ func refreshIDs(n *tree.Node, dataNodes map[tree.NodeID]NodeInfo) *tree.Node {
 	return n
 }
 
+// dupScratch recycles dupDataNode's seen-set: the check runs once per
+// candidate tree in the enumeration dedup loop, so a per-call map allocation
+// is pure overhead.
+var dupScratch = sync.Pool{
+	New: func() any { return make(map[tree.NodeID]bool, 16) },
+}
+
 // dupDataNode reports whether a data node id occurs more than once in t.
 func dupDataNode(t tree.Tree, dataNodes map[tree.NodeID]NodeInfo) bool {
-	count := map[tree.NodeID]int{}
-	dup := false
-	t.Walk(func(n *tree.Node) {
+	if t.Root == nil {
+		return false
+	}
+	seen := dupScratch.Get().(map[tree.NodeID]bool)
+	var rec func(n *tree.Node) bool
+	rec = func(n *tree.Node) bool {
 		if _, ok := dataNodes[n.ID]; ok {
-			count[n.ID]++
-			if count[n.ID] > 1 {
-				dup = true
+			if seen[n.ID] {
+				return true
+			}
+			seen[n.ID] = true
+		}
+		for _, c := range n.Children {
+			if rec(c) {
+				return true
 			}
 		}
-	})
+		return false
+	}
+	dup := rec(t.Root)
+	clear(seen)
+	dupScratch.Put(seen)
 	return dup
 }
 
@@ -349,25 +394,10 @@ func dupDataNode(t tree.Tree, dataNodes map[tree.NodeID]NodeInfo) bool {
 // in n are significant and all other identifiers are erased. Two trees agree
 // under CanonRelative iff they are the same tree up to renaming of non-N
 // node ids — the right equality for comparing rep-sets of incomplete trees
-// sharing data nodes.
+// sharing data nodes. The rendering is tree.CanonicalRelative's pooled arena:
+// one allocation per call instead of one per node.
 func CanonRelative(t tree.Tree, n map[tree.NodeID]bool) string {
-	var rec func(*tree.Node) string
-	rec = func(node *tree.Node) string {
-		id := ""
-		if n[node.ID] {
-			id = string(node.ID)
-		}
-		kids := make([]string, len(node.Children))
-		for i, c := range node.Children {
-			kids[i] = rec(c)
-		}
-		sort.Strings(kids)
-		return id + ":" + string(node.Label) + "=" + node.Value.String() + "(" + strings.Join(kids, ",") + ")"
-	}
-	if t.Root == nil {
-		return "<empty>"
-	}
-	return rec(t.Root)
+	return t.CanonicalRelative(n)
 }
 
 // RepSet enumerates rep(T) under the bounds and returns the canonical keys,

@@ -1,0 +1,32 @@
+package itree
+
+import (
+	"bytes"
+	"hash/fnv"
+	"testing"
+	"testing/quick"
+)
+
+// The inline FNV-128a must agree with hash/fnv byte for byte.
+func TestFNV128MatchesStdlib(t *testing.T) {
+	f := func(data []byte) bool {
+		h := newFNV128()
+		h.writeBytes(data)
+		got := h.sum()
+		ref := fnv.New128a()
+		ref.Write(data)
+		return bytes.Equal(got[:], ref.Sum(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	it := example22()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = it.Fingerprint()
+	}
+}

@@ -326,6 +326,18 @@ func (r Rat) Key() [2]int64 {
 	return [2]int64{r.num, r.den}
 }
 
+// Append appends the String rendering of r to dst and returns the extended
+// slice, without the intermediate allocations of String.
+func (r Rat) Append(dst []byte) []byte {
+	r = r.norm()
+	dst = strconv.AppendInt(dst, r.num, 10)
+	if r.den != 1 {
+		dst = append(dst, '/')
+		dst = strconv.AppendInt(dst, r.den, 10)
+	}
+	return dst
+}
+
 func abs(a int64) int64 {
 	if a < 0 {
 		return negate(a)

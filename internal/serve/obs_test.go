@@ -85,6 +85,8 @@ func TestMetricsFamiliesSpanTheStack(t *testing.T) {
 		"incxml_webhouse_budget_steps_used",       // steps histogram
 		"incxml_serve_requests_total",             // serving layer
 		"incxml_serve_request_micros",             // latency histogram
+		"incxml_intern_hits_total",                // intern tables (hash-consing)
+		"incxml_intern_entries",                   // intern table sizes
 	} {
 		if _, ok := fams[name]; !ok {
 			t.Errorf("family %s missing from scrape:\n%s", name, text)

@@ -9,9 +9,12 @@
 package tree
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"incxml/internal/matching"
@@ -42,8 +45,18 @@ type Tree struct {
 var idCounter atomic.Uint64
 
 // FreshID allocates a process-unique node identifier with the given prefix.
+// Enumeration mints one per materialized node, so the rendering avoids the
+// fmt machinery: one allocation for the id string itself.
 func FreshID(prefix string) NodeID {
-	return NodeID(fmt.Sprintf("%s#%d", prefix, idCounter.Add(1)))
+	var arr [64]byte
+	buf := arr[:0]
+	if len(prefix)+21 > len(arr) {
+		buf = make([]byte, 0, len(prefix)+21)
+	}
+	buf = append(buf, prefix...)
+	buf = append(buf, '#')
+	buf = strconv.AppendUint(buf, idCounter.Add(1), 10)
+	return NodeID(buf)
 }
 
 // New returns a node with a fresh identifier.
@@ -290,41 +303,107 @@ func (t Tree) PrefixOn(keep map[NodeID]bool) Tree {
 	return Tree{}
 }
 
+// canonScratch is the pooled working state for Canonical: a byte arena that
+// holds every intermediate rendering and a span stack for child sorting. One
+// canonical form costs a single allocation (the returned string) instead of
+// one per node and per concatenation.
+type canonScratch struct {
+	arena  []byte
+	kids   []canonSpan
+	sorter canonSorter
+	keep   map[NodeID]bool // non-nil: render only these ids (relative mode)
+}
+
+type canonSpan struct{ start, end int }
+
+// canonSorter sorts a window of child spans by the bytes they reference;
+// implementing sort.Interface on a pooled struct keeps the sort allocation-free
+// (sort.Slice's closure would allocate once per node).
+type canonSorter struct {
+	arena []byte
+	kids  []canonSpan
+}
+
+func (c *canonSorter) Len() int      { return len(c.kids) }
+func (c *canonSorter) Swap(i, j int) { c.kids[i], c.kids[j] = c.kids[j], c.kids[i] }
+func (c *canonSorter) Less(i, j int) bool {
+	a, b := c.kids[i], c.kids[j]
+	return bytes.Compare(c.arena[a.start:a.end], c.arena[b.start:b.end]) < 0
+}
+
+var canonPool = sync.Pool{New: func() any { return new(canonScratch) }}
+
+// render writes n's canonical form to the end of the arena and returns its
+// span. Children render first (into earlier arena segments), get sorted by
+// byte comparison — the same order sort.Strings gave the string-based
+// implementation — and are then copied into the parent's rendering.
+func (s *canonScratch) render(n *Node, withIDs bool) canonSpan {
+	mark := len(s.kids)
+	for _, c := range n.Children {
+		sp := s.render(c, withIDs)
+		s.kids = append(s.kids, sp)
+	}
+	kids := s.kids[mark:]
+	s.sorter.arena, s.sorter.kids = s.arena, kids
+	sort.Sort(&s.sorter)
+	start := len(s.arena)
+	if withIDs {
+		if s.keep == nil || s.keep[n.ID] {
+			s.arena = append(s.arena, n.ID...)
+		}
+		s.arena = append(s.arena, ':')
+	}
+	s.arena = append(s.arena, n.Label...)
+	s.arena = append(s.arena, '=')
+	s.arena = n.Value.Append(s.arena)
+	s.arena = append(s.arena, '(')
+	for i, sp := range kids {
+		if i > 0 {
+			s.arena = append(s.arena, ',')
+		}
+		// Self-append of an earlier arena segment: the source range ends
+		// before the destination starts, so the copy cannot overlap.
+		s.arena = append(s.arena, s.arena[sp.start:sp.end]...)
+	}
+	s.arena = append(s.arena, ')')
+	s.kids = s.kids[:mark]
+	return canonSpan{start, len(s.arena)}
+}
+
+func (t Tree) canonical(withIDs bool, keep map[NodeID]bool) string {
+	if t.Root == nil {
+		return "<empty>"
+	}
+	s := canonPool.Get().(*canonScratch)
+	s.arena = s.arena[:0]
+	s.kids = s.kids[:0]
+	s.keep = keep
+	sp := s.render(t.Root, withIDs)
+	out := string(s.arena[sp.start:sp.end])
+	s.keep = nil
+	canonPool.Put(s)
+	return out
+}
+
 // Canonical returns a canonical string encoding of the tree ignoring both
 // children order and node identifiers; two trees are Isomorphic iff their
 // Canonical forms are equal. Used to compare enumerated rep-sets.
-func (t Tree) Canonical() string {
-	var rec func(*Node) string
-	rec = func(n *Node) string {
-		kids := make([]string, len(n.Children))
-		for i, c := range n.Children {
-			kids[i] = rec(c)
-		}
-		sort.Strings(kids)
-		return string(n.Label) + "=" + n.Value.String() + "(" + strings.Join(kids, ",") + ")"
-	}
-	if t.Root == nil {
-		return "<empty>"
-	}
-	return rec(t.Root)
-}
+func (t Tree) Canonical() string { return t.canonical(false, nil) }
 
 // CanonicalWithIDs is Canonical but includes node identifiers; two trees are
 // Equal iff their CanonicalWithIDs forms are equal.
-func (t Tree) CanonicalWithIDs() string {
-	var rec func(*Node) string
-	rec = func(n *Node) string {
-		kids := make([]string, len(n.Children))
-		for i, c := range n.Children {
-			kids[i] = rec(c)
-		}
-		sort.Strings(kids)
-		return string(n.ID) + ":" + string(n.Label) + "=" + n.Value.String() + "(" + strings.Join(kids, ",") + ")"
+func (t Tree) CanonicalWithIDs() string { return t.canonical(true, nil) }
+
+// CanonicalRelative is CanonicalWithIDs with only the identifiers in keep
+// significant: all other ids render as empty. Two trees agree under
+// CanonicalRelative iff they are equal up to renaming of the ids outside
+// keep — the comparison used for rep-sets of incomplete trees sharing data
+// nodes (itree.CanonRelative delegates here).
+func (t Tree) CanonicalRelative(keep map[NodeID]bool) string {
+	if keep == nil {
+		keep = map[NodeID]bool{}
 	}
-	if t.Root == nil {
-		return "<empty>"
-	}
-	return rec(t.Root)
+	return t.canonical(true, keep)
 }
 
 // String renders the tree in indented form, children sorted by label then id

@@ -1,6 +1,7 @@
 package tree
 
 import (
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -362,5 +363,78 @@ func TestEqualDuplicateSiblingIDs(t *testing.T) {
 		NewID("x", "a", v(1)), NewID("x", "a", v(3)))}
 	if a.Equal(c) {
 		t.Error("different duplicate-id trees reported equal")
+	}
+}
+
+// refCanonical is the original string-concatenation implementation, kept as
+// the reference the pooled arena version must match byte for byte.
+func refCanonical(t Tree, withIDs bool) string {
+	var rec func(*Node) string
+	rec = func(n *Node) string {
+		kids := make([]string, len(n.Children))
+		for i, c := range n.Children {
+			kids[i] = rec(c)
+		}
+		sort.Strings(kids)
+		prefix := ""
+		if withIDs {
+			prefix = string(n.ID) + ":"
+		}
+		return prefix + string(n.Label) + "=" + n.Value.String() + "(" + strings.Join(kids, ",") + ")"
+	}
+	if t.Root == nil {
+		return "<empty>"
+	}
+	return rec(t.Root)
+}
+
+func TestQuickCanonicalMatchesReference(t *testing.T) {
+	f := func(seeds []byte) bool {
+		tr := genTree(seeds)
+		return tr.Canonical() == refCanonical(tr, false) &&
+			tr.CanonicalWithIDs() == refCanonical(tr, true)
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func benchTree(fanout, depth int) Tree {
+	var rec func(d int) *Node
+	rec = func(d int) *Node {
+		n := New(Label([]string{"a", "b", "c"}[d%3]), v(int64(d)))
+		if d < depth {
+			for i := 0; i < fanout; i++ {
+				n.Children = append(n.Children, rec(d+1))
+			}
+		}
+		return n
+	}
+	return Tree{Root: rec(0)}
+}
+
+func BenchmarkCanonical(b *testing.B) {
+	tr := benchTree(3, 4) // 121 nodes
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Canonical()
+	}
+}
+
+func BenchmarkCanonicalWithIDs(b *testing.B) {
+	tr := benchTree(3, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.CanonicalWithIDs()
+	}
+}
+
+func BenchmarkFreshID(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = FreshID("node")
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"incxml/internal/answer"
 	"incxml/internal/extquery"
+	"incxml/internal/intern"
 	"incxml/internal/query"
 	"incxml/internal/tree"
 )
@@ -77,7 +78,7 @@ func extKey(q extquery.Query) string {
 }
 
 // storeExt is storeLocal's counterpart for extended answers.
-func (r *Repository) storeExt(gen uint64, key string, ea *ExtendedAnswer) {
+func (r *Repository) storeExt(gen uint64, key intern.ID, ea *ExtendedAnswer) {
 	r.cacheMu.Lock()
 	if r.gen.Load() == gen {
 		r.ext[key] = ea
@@ -97,7 +98,7 @@ func (wh *Webhouse) AnswerExtended(ctx context.Context, source string, q extquer
 	if err != nil {
 		return nil, err
 	}
-	key := extKey(q)
+	key := intern.String(extKey(q))
 	r.cacheMu.Lock()
 	ea, ok := r.ext[key]
 	r.cacheMu.Unlock()

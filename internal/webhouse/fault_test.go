@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"incxml/internal/faulty"
+	"incxml/internal/intern"
 	"incxml/internal/mediator"
 	"incxml/internal/query"
 	"incxml/internal/tree"
@@ -417,7 +418,7 @@ func TestInvalidateGenerationAtomic(t *testing.T) {
 				return
 			default:
 				gen := r.gen.Load()
-				r.storeLocal(gen, fmt.Sprintf("g%d", gen), &LocalAnswer{})
+				r.storeLocal(gen, intern.String(fmt.Sprintf("g%d", gen)), &LocalAnswer{})
 			}
 		}
 	}()
@@ -430,9 +431,9 @@ func TestInvalidateGenerationAtomic(t *testing.T) {
 		r.cacheMu.Lock()
 		g1 := r.gen.Load()
 		for k := range r.answers {
-			if k != fmt.Sprintf("g%d", g1) {
+			if k != intern.String(fmt.Sprintf("g%d", g1)) {
 				r.cacheMu.Unlock()
-				t.Fatalf("cache entry %s visible at generation %d: invalidate is not atomic", k, g1)
+				t.Fatalf("cache entry %d visible at generation %d: invalidate is not atomic", k, g1)
 			}
 		}
 		for i := 0; i < 200; i++ { // dwell inside the critical section

@@ -43,6 +43,7 @@ import (
 	"incxml/internal/engine"
 	"incxml/internal/faulty"
 	"incxml/internal/heuristics"
+	"incxml/internal/intern"
 	"incxml/internal/itree"
 	"incxml/internal/mediator"
 	"incxml/internal/obs"
@@ -149,8 +150,8 @@ type Repository struct {
 
 	cacheMu sync.Mutex
 	gen     atomic.Uint64
-	answers map[string]*LocalAnswer
-	ext     map[string]*ExtendedAnswer
+	answers map[intern.ID]*LocalAnswer
+	ext     map[intern.ID]*ExtendedAnswer
 }
 
 // invalidate marks the knowledge changed and drops all cached answers.
@@ -160,8 +161,8 @@ type Repository struct {
 func (r *Repository) invalidate() {
 	r.cacheMu.Lock()
 	r.gen.Add(1)
-	r.answers = map[string]*LocalAnswer{}
-	r.ext = map[string]*ExtendedAnswer{}
+	r.answers = map[intern.ID]*LocalAnswer{}
+	r.ext = map[intern.ID]*ExtendedAnswer{}
 	r.cacheMu.Unlock()
 }
 
@@ -256,8 +257,8 @@ func (wh *Webhouse) Register(src *Source) {
 		Source:  src,
 		client:  faulty.NewDirect(src),
 		refiner: refine.NewRefiner(src.Type.Alphabet(), src.Type),
-		answers: map[string]*LocalAnswer{},
-		ext:     map[string]*ExtendedAnswer{},
+		answers: map[intern.ID]*LocalAnswer{},
+		ext:     map[intern.ID]*ExtendedAnswer{},
 	}
 }
 
@@ -338,6 +339,11 @@ type Stats struct {
 	Membership engine.CacheStats
 	// Engine reports worker-pool utilization (shared iff the pool is).
 	Engine engine.Stats
+	// Intern reports the process-global intern tables (strings, conditions,
+	// hash-consed trees): entry counts, hit/miss traffic, and the bytes of
+	// duplicate content the sharing avoided. Like Decision/Membership these
+	// are process gauges, not per-webhouse ones.
+	Intern []intern.TableStats
 }
 
 // clientStats is implemented by clients that track reliability counters
@@ -358,6 +364,7 @@ func (wh *Webhouse) Stats() Stats {
 		Decision:          answer.CacheStats(),
 		Membership:        itree.CacheStats(),
 		Engine:            p.Stats(),
+		Intern:            intern.Stats(),
 	}
 }
 
@@ -495,7 +502,7 @@ type LocalAnswer struct {
 
 // lookupLocal consults a repository answer cache; see storeLocal for the
 // staleness protocol.
-func (wh *Webhouse) lookupLocal(r *Repository, key string) (*LocalAnswer, bool) {
+func (wh *Webhouse) lookupLocal(r *Repository, key intern.ID) (*LocalAnswer, bool) {
 	r.cacheMu.Lock()
 	la, ok := r.answers[key]
 	r.cacheMu.Unlock()
@@ -511,7 +518,7 @@ func (wh *Webhouse) lookupLocal(r *Repository, key string) (*LocalAnswer, bool) 
 // the computation started. invalidate bumps gen and clears the maps in one
 // cacheMu critical section, so the gen check under cacheMu is exact: the
 // insert happens iff no invalidation intervened since the snapshot.
-func (r *Repository) storeLocal(gen uint64, key string, la *LocalAnswer) {
+func (r *Repository) storeLocal(gen uint64, key intern.ID, la *LocalAnswer) {
 	r.cacheMu.Lock()
 	if r.gen.Load() == gen {
 		r.answers[key] = la
@@ -648,7 +655,10 @@ func (wh *Webhouse) AnswerLocally(ctx context.Context, source string, q query.Qu
 	if err != nil {
 		return nil, err
 	}
-	key := "ps:" + q.String()
+	// The canonical query string is interned once; the cache map is keyed by
+	// the stable 8-byte ID, so repeated lookups compare and hash a word
+	// instead of re-hashing the rendered query.
+	key := intern.String(q.String())
 	if la, ok := wh.lookupLocal(r, key); ok {
 		cp := *la
 		return &cp, nil

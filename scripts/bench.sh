@@ -1,9 +1,21 @@
 #!/bin/sh
 # Robustness benchmark: budgeted vs. exact conjunctive emptiness on the
-# Example 3.2 blowup family, plus serve-mode latency percentiles under a
-# faulty concurrent soak. Writes BENCH_robustness.json at the repo root.
+# Example 3.2 blowup family, serve-mode latency percentiles under a faulty
+# concurrent soak, the E20 metrics-overhead comparison, and the E21
+# raw-speed block (budgeted crossover n, single-worker before/after ns/op
+# and allocs/op on the hard-empty family). Writes BENCH_robustness.json at
+# the repo root.
+#
+# `scripts/bench.sh e21` runs only the raw-speed microbenchmarks (no JSON),
+# handy for before/after comparisons while iterating on the hot paths.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "e21" ]; then
+	shift
+	exec go test -bench 'EmptyScan|EmptySequentialHardEmpty|Canonical|Fingerprint|FreshID' \
+		-benchmem -run '^$' ./internal/conj ./internal/itree ./internal/tree "$@"
+fi
 
 go run ./cmd/benchrobust -out BENCH_robustness.json "$@"

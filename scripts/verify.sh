@@ -25,6 +25,11 @@ go test -race ./...
 # cmd/benchrobust produces the full-size numbers.
 go test ./internal/serve/ -run TestE20MetricsOverhead -short -count=1
 
+# E21 smoke (EXPERIMENTS.md): the pruned certificate search must keep the
+# blowup family exactly decided at the benchmark budget well past the old
+# n=6 crossover. cmd/benchrobust produces the full crossover table.
+go test ./internal/conj/ -run TestE21CrossoverSmoke -short -count=1
+
 # Fuzz smoke: a couple of seconds per serving-path parser. This is a
 # regression sweep over the corpora plus a short random exploration, not a
 # full campaign.
