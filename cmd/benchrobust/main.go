@@ -28,6 +28,13 @@
 //     per n at the fixed 20k budget), plus single-worker ns/op and
 //     allocs/op of the pruned search versus the reference mixed-radix scan
 //     on the hard-empty 2^k family.
+//
+//  5. Scatter-gather scaling (EXPERIMENTS.md E22): cluster-wide completion
+//     latency of the parallel scatter versus the sequential baseline over
+//     the same fleet at 1, 2 and 4 shards under injected per-call source
+//     latency, plus the one-shard-down p99 at 4 shards — the parallel
+//     fan-out must keep degrading per shard without stretching the tail
+//     across the healthy ones.
 package main
 
 import (
@@ -52,9 +59,12 @@ import (
 	"incxml/internal/ctype"
 	"incxml/internal/dtd"
 	"incxml/internal/engine"
+	"incxml/internal/faulty"
 	"incxml/internal/obs"
 	"incxml/internal/refine"
 	"incxml/internal/serve"
+	"incxml/internal/shard"
+	"incxml/internal/webhouse"
 	"incxml/internal/workload"
 )
 
@@ -128,12 +138,49 @@ type e21Report struct {
 	SpeedupX           float64 `json:"speedupX"`
 }
 
+// e22Row compares the parallel scatter against the sequential baseline over
+// the same fleet at one shard count.
+type e22Row struct {
+	Shards       int     `json:"shards"`
+	ScatterP50Ms float64 `json:"scatterP50Ms"`
+	ScatterP99Ms float64 `json:"scatterP99Ms"`
+	SeqP50Ms     float64 `json:"seqP50Ms"`
+	SeqP99Ms     float64 `json:"seqP99Ms"`
+	// SpeedupX is seq-p50 / scatter-p50 (1.0 = no parallel win).
+	SpeedupX float64 `json:"speedupX"`
+}
+
+// e22Outage is the one-shard-down pass: the scatter must keep answering —
+// flagged Theorem 3.14 approximations for the dead shard, exact answers
+// elsewhere — without the outage stretching the healthy shards' tail.
+type e22Outage struct {
+	Shards    int     `json:"shards"`
+	DownShard int     `json:"downShard"`
+	Rounds    int     `json:"rounds"`
+	P99Ms     float64 `json:"p99Ms"`
+	// DegradedPerRound is the per-round count of flagged degraded source
+	// answers (the down shard's population; everyone else stays exact).
+	DegradedPerRound int  `json:"degradedPerRound"`
+	AllHealthyExact  bool `json:"allHealthyExact"`
+}
+
+// e22Report is the EXPERIMENTS.md E22 block: scatter-gather scaling under
+// injected per-call source latency.
+type e22Report struct {
+	Sources   int       `json:"sources"`
+	LatencyMs float64   `json:"latencyMs"`
+	Rounds    int       `json:"rounds"`
+	Rows      []e22Row  `json:"rows"`
+	Outage    e22Outage `json:"outage"`
+}
+
 type report struct {
 	GeneratedUnix   int64          `json:"generatedUnix"`
 	BlowupEmptiness []emptinessRow `json:"blowupEmptiness"`
 	ServeSoak       soakReport     `json:"serveSoak"`
 	MetricsOverhead overheadReport `json:"metricsOverhead"`
 	E21             e21Report      `json:"e21"`
+	E22             e22Report      `json:"e22"`
 }
 
 func main() {
@@ -145,6 +192,9 @@ func main() {
 	overheadN := flag.Int("overhead-requests", 2000, "serial requests per E20 overhead run")
 	e21MaxN := flag.Int("e21-max-n", 12, "largest blowup prefix for the E21 crossover scan")
 	e21HardK := flag.Int("e21-hard-k", 12, "hard-empty family size for the E21 before/after benchmark")
+	e22Sources := flag.Int("e22-sources", 8, "fleet size for the E22 scatter-gather scan")
+	e22Rounds := flag.Int("e22-rounds", 7, "timed completion rounds per E22 configuration")
+	e22Latency := flag.Duration("e22-latency", 5*time.Millisecond, "injected per-call source latency for E22")
 	flag.Parse()
 
 	rep := report{GeneratedUnix: time.Now().Unix()}
@@ -152,6 +202,7 @@ func main() {
 	rep.ServeSoak = benchServe(*workers, *perWorker)
 	rep.MetricsOverhead = benchOverhead(*overheadN)
 	rep.E21 = benchE21(*e21MaxN, *steps, *e21HardK)
+	rep.E22 = benchE22(*e22Sources, *e22Rounds, *e22Latency)
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -412,6 +463,175 @@ func benchE21(maxN int, steps int64, hardK int) e21Report {
 	}
 	fmt.Printf("e21 hard-empty k=%d: sequential %dns/op %dallocs/op, pruned %dns/op %dallocs/op (%.1fx)\n",
 		hardK, rep.SequentialNsOp, rep.SequentialAllocsOp, rep.PrunedNsOp, rep.PrunedAllocsOp, rep.SpeedupX)
+	return rep
+}
+
+// newE22Cluster builds a shard cluster over `sources` random catalogs with
+// per-call injected latency and fast, bounded retries — the E22 fleet. The
+// source names hash 2-2-2-2 over four shards at the default fleet size, so
+// the parallel scatter's theoretical win at N=4 is ~4x.
+func newE22Cluster(shards, sources int, latency time.Duration) (*shard.Cluster, error) {
+	c := shard.New(shard.Config{
+		Shards:   shards,
+		Injector: faulty.InjectorConfig{Latency: latency},
+		Retry: faulty.RetryConfig{
+			MaxAttempts: 2, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond,
+			BreakerThreshold: 3, BreakerCooldown: 50 * time.Millisecond,
+		},
+	})
+	for i := 0; i < sources; i++ {
+		src, err := webhouse.NewSource(fmt.Sprintf("src%02d", i),
+			workload.CatalogType(), workload.RandomCatalog(4+i%5, int64(100+i)))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.Register(src); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// e22Reset re-cools a source between timed rounds: it drops the source's
+// knowledge and re-warms it with Query 1 (untimed). Without the reset the
+// first completion makes Query 4 fully answerable and every later round
+// would answer from knowledge alone, timing nothing.
+func e22Reset(ctx context.Context, c *shard.Cluster, source string) error {
+	if err := c.Invalidate(source); err != nil {
+		return err
+	}
+	_, err := c.Explore(ctx, source, workload.Query1(200))
+	return err
+}
+
+// benchE22 is the EXPERIMENTS.md E22 scan: cluster-wide Query-4 completion
+// latency, parallel scatter vs the sequential baseline, at 1/2/4 shards,
+// plus the one-shard-down pass at 4 shards.
+func benchE22(sources, rounds int, latency time.Duration) e22Report {
+	ctx := context.Background()
+	q4 := workload.Query4()
+	rep := e22Report{
+		Sources:   sources,
+		LatencyMs: float64(latency) / float64(time.Millisecond),
+		Rounds:    rounds,
+	}
+
+	timed := func(c *shard.Cluster, parallel bool) ([]time.Duration, error) {
+		durs := make([]time.Duration, 0, rounds)
+		for r := 0; r < rounds; r++ {
+			for _, name := range c.Sources() {
+				if err := e22Reset(ctx, c, name); err != nil {
+					return nil, fmt.Errorf("reset %s: %w", name, err)
+				}
+			}
+			start := time.Now()
+			var err error
+			if parallel {
+				_, err = c.ScatterComplete(ctx, q4)
+			} else {
+				_, err = c.ScatterCompleteSeq(ctx, q4)
+			}
+			if err != nil {
+				return nil, err
+			}
+			durs = append(durs, time.Since(start))
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		return durs, nil
+	}
+
+	for _, n := range []int{1, 2, 4} {
+		row := e22Row{Shards: n}
+		for _, parallel := range []bool{true, false} {
+			c, err := newE22Cluster(n, sources, latency)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "e22:", err)
+				os.Exit(1)
+			}
+			durs, err := timed(c, parallel)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "e22:", err)
+				os.Exit(1)
+			}
+			if parallel {
+				row.ScatterP50Ms, row.ScatterP99Ms = pctMs(durs, 50), pctMs(durs, 99)
+			} else {
+				row.SeqP50Ms, row.SeqP99Ms = pctMs(durs, 50), pctMs(durs, 99)
+			}
+		}
+		if row.ScatterP50Ms > 0 {
+			row.SpeedupX = row.SeqP50Ms / row.ScatterP50Ms
+		}
+		fmt.Printf("e22 shards=%d: scatter p50 %.1fms p99 %.1fms, sequential p50 %.1fms p99 %.1fms (%.1fx)\n",
+			n, row.ScatterP50Ms, row.ScatterP99Ms, row.SeqP50Ms, row.SeqP99Ms, row.SpeedupX)
+		rep.Rows = append(rep.Rows, row)
+	}
+
+	// One-shard-down pass at 4 shards: warm everyone, kill the first
+	// populated shard, and keep scattering. The down shard's sources must
+	// come back flagged-degraded every round (the healthy ones exact), and
+	// the outage must not stretch the healthy tail — fail-fast outage
+	// errors plus the open breaker keep the dead shard cheap.
+	c, err := newE22Cluster(4, sources, latency)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "e22:", err)
+		os.Exit(1)
+	}
+	for _, name := range c.Sources() {
+		if err := e22Reset(ctx, c, name); err != nil {
+			fmt.Fprintln(os.Stderr, "e22:", err)
+			os.Exit(1)
+		}
+	}
+	down := -1
+	for _, g := range c.Groups() {
+		if len(g.Sources()) > 0 {
+			down = g.ID()
+			break
+		}
+	}
+	downG := c.Group(down)
+	downG.SetDown(true)
+	downSet := map[string]bool{}
+	for _, name := range downG.Sources() {
+		downSet[name] = true
+	}
+	out := e22Outage{Shards: 4, DownShard: down, Rounds: rounds, AllHealthyExact: true}
+	durs := make([]time.Duration, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		for _, name := range c.Sources() {
+			if downSet[name] {
+				continue // keep the dead shard's pre-outage knowledge
+			}
+			if err := e22Reset(ctx, c, name); err != nil {
+				fmt.Fprintln(os.Stderr, "e22:", err)
+				os.Exit(1)
+			}
+		}
+		start := time.Now()
+		sc, err := c.ScatterComplete(ctx, q4)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "e22:", err)
+			os.Exit(1)
+		}
+		durs = append(durs, time.Since(start))
+		degraded := 0
+		for i := range sc.Answers {
+			a := &sc.Answers[i]
+			switch {
+			case a.Degraded() && downSet[a.Source]:
+				degraded++
+			case a.Degraded():
+				out.AllHealthyExact = false
+			}
+		}
+		out.DegradedPerRound = degraded
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	out.P99Ms = pctMs(durs, 99)
+	fmt.Printf("e22 outage shards=4 down=%d: p99 %.1fms, %d degraded per round, healthy exact %v\n",
+		down, out.P99Ms, out.DegradedPerRound, out.AllHealthyExact)
+	rep.Outage = out
 	return rep
 }
 

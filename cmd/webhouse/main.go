@@ -146,6 +146,8 @@ func runServe(args []string) error {
 	budgetSteps := fs.Int64("budget", 0, "per-request solver step budget (0 = unlimited; deadline still applies)")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/* on the serving mux")
 	traceOn := fs.Bool("trace", false, "attach a per-request span trace, echoed in the X-Trace response header")
+	shards := fs.Int("shards", 1, "shard groups the source fleet is spread over (scatter routes fan out per shard)")
+	extraSources := fs.Int("extra-sources", 0, "additional random catalog sources (cat00...) beyond catalog+blowup")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -153,11 +155,12 @@ func runServe(args []string) error {
 		Timeout: *timeout, MaxInflight: *maxInflight, Queue: *queue, Budget: *budgetSteps,
 		FailRate: *failRate, Latency: *latency, Seed: *seed,
 		Pprof: *pprofOn, Trace: *traceOn,
+		Shards: *shards, ExtraSources: *extraSources,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("webhouse: serving catalog+blowup on %s (timeout %v, inflight %d, queue %d, budget %d, fail-rate %g, latency %v, pprof %v, trace %v)\n",
-		*addr, *timeout, *maxInflight, *queue, *budgetSteps, *failRate, *latency, *pprofOn, *traceOn)
+	fmt.Printf("webhouse: serving %d sources over %d shard(s) on %s (timeout %v, inflight %d, queue %d, budget %d, fail-rate %g, latency %v, pprof %v, trace %v)\n",
+		len(s.Cluster().Sources()), s.Cluster().Shards(), *addr, *timeout, *maxInflight, *queue, *budgetSteps, *failRate, *latency, *pprofOn, *traceOn)
 	return http.ListenAndServe(*addr, s.Handler())
 }

@@ -9,12 +9,15 @@ package mediator
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"incxml/internal/answer"
 	"incxml/internal/ctype"
+	"incxml/internal/engine"
 	"incxml/internal/itree"
 	"incxml/internal/query"
 	"incxml/internal/tree"
@@ -194,14 +197,80 @@ type Executor interface {
 }
 
 // ExecuteAll runs every local query of a Theorem 3.19 completion through
-// the executor, preserving order (answers[i] answers ls[i]). The
-// completion is only useful whole — a partial answer set does not complete
-// the representation — so the first failure (after whatever retries the
-// executor performs) aborts and is returned; the caller then degrades to a
-// local approximation.
+// the executor as a scatter plan: the queries are independent by
+// non-redundancy, so they are fanned out across the default worker pool
+// with bounded concurrency, preserving order (answers[i] answers ls[i]).
+// The completion is only useful whole — a partial answer set does not
+// complete the representation — so the first hard failure (after whatever
+// retries the executor performs) cancels the in-flight siblings' contexts
+// and is returned; the caller then degrades to a local approximation.
 func ExecuteAll(ctx context.Context, ex Executor, ls []LocalQuery) ([]tree.Tree, error) {
+	return ExecuteAllPool(ctx, engine.Default(), ex, ls)
+}
+
+// ExecuteAllPool is ExecuteAll fanned out over an explicit worker pool
+// (nil selects the default pool). The executor must be safe for concurrent
+// use — every SourceClient is.
+func ExecuteAllPool(ctx context.Context, p *engine.Pool, ex Executor, ls []LocalQuery) ([]tree.Tree, error) {
+	if p == nil {
+		p = engine.Default()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// sctx is the shared scatter context: the first hard failure cancels it,
+	// so in-flight siblings stop retrying a plan that can no longer complete.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	answers := make([]tree.Tree, len(ls))
+	var (
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+	)
+	p.Each(sctx, len(ls), func(i int) {
+		a, err := ex.AskLocal(sctx, ls[i])
+		if err != nil {
+			// A sibling that merely observed our own cancellation is an echo
+			// of the root failure, not a failure of its own: the recording
+			// happens before cancel below, so sctx being dead while the
+			// caller's ctx is alive implies firstErr is already set.
+			if errors.Is(err, context.Canceled) && ctx.Err() == nil && sctx.Err() != nil {
+				return
+			}
+			mu.Lock()
+			if firstErr == nil {
+				firstErr, firstIdx = err, i
+			}
+			mu.Unlock()
+			cancel()
+			return
+		}
+		answers[i] = a
+	})
+	mu.Lock()
+	err, idx := firstErr, firstIdx
+	mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("mediator: local query %d of %d (%s): %w", idx+1, len(ls), ls[idx], err)
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancelled externally: Each may have skipped queries without any
+		// executor reporting it.
+		return nil, err
+	}
+	return answers, nil
+}
+
+// ExecuteAllSeq is the pre-scatter serial execution of a completion, kept
+// as the differential-testing baseline: ExecuteAll must produce
+// byte-identical answers in the same order.
+func ExecuteAllSeq(ctx context.Context, ex Executor, ls []LocalQuery) ([]tree.Tree, error) {
 	answers := make([]tree.Tree, len(ls))
 	for i, lq := range ls {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		a, err := ex.AskLocal(ctx, lq)
 		if err != nil {
 			return nil, fmt.Errorf("mediator: local query %d of %d (%s): %w", i+1, len(ls), lq, err)
@@ -214,14 +283,37 @@ func ExecuteAll(ctx context.Context, ex Executor, ls []LocalQuery) ([]tree.Tree,
 // Merge adjoins the answers of executed local queries to a base prefix of
 // the document: all inputs must be prefixes of the same world with
 // persistent ids, and the result is the world's prefix induced by the union
-// of their nodes.
-func Merge(world tree.Tree, base tree.Tree, answers ...tree.Tree) tree.Tree {
+// of their nodes. An input node whose id does not occur in world — an
+// answer from a different document generation, or a cross-shard answer that
+// does not share the world's persistent ids — would silently vanish from
+// the prefix and corrupt the completion; Merge reports it as an error
+// instead.
+func Merge(world tree.Tree, base tree.Tree, answers ...tree.Tree) (tree.Tree, error) {
+	known := world.IDs()
 	keep := map[tree.NodeID]bool{}
-	base.Walk(func(n *tree.Node) { keep[n.ID] = true })
-	for _, a := range answers {
-		a.Walk(func(n *tree.Node) { keep[n.ID] = true })
+	collect := func(what string, t tree.Tree) error {
+		var bad tree.NodeID
+		found := false
+		t.Walk(func(n *tree.Node) {
+			if !found && !known[n.ID] {
+				bad, found = n.ID, true
+			}
+			keep[n.ID] = true
+		})
+		if found {
+			return fmt.Errorf("mediator: merge: %s node %q is not in the world (inputs must share the world's persistent ids)", what, bad)
+		}
+		return nil
 	}
-	return world.PrefixOn(keep)
+	if err := collect("base", base); err != nil {
+		return tree.Tree{}, err
+	}
+	for i, a := range answers {
+		if err := collect(fmt.Sprintf("answer %d", i), a); err != nil {
+			return tree.Tree{}, err
+		}
+	}
+	return world.PrefixOn(keep), nil
 }
 
 // Completes verifies the completion property on a concrete world: answering
@@ -233,6 +325,9 @@ func Completes(it *itree.T, q query.Query, world tree.Tree, ls []LocalQuery) boo
 	for i, lq := range ls {
 		answers[i] = lq.Execute(world)
 	}
-	merged := Merge(world, td, answers...)
+	merged, err := Merge(world, td, answers...)
+	if err != nil {
+		return false
+	}
 	return q.Eval(merged).Equal(q.Eval(world))
 }

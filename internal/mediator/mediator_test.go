@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"incxml/internal/dtd"
@@ -215,7 +216,10 @@ func TestMerge(t *testing.T) {
 	world := catalogWorld()
 	base := world.PrefixOn(map[tree.NodeID]bool{"canon": true})
 	ansA := world.PrefixOn(map[tree.NodeID]bool{"nikon.price": true})
-	merged := Merge(world, base, ansA)
+	merged, err := Merge(world, base, ansA)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ids := merged.IDs()
 	for _, want := range []string{"c0", "canon", "nikon", "nikon.price"} {
 		if !ids[tree.NodeID(want)] {
@@ -296,23 +300,33 @@ func TestCompleteAfterFullExtraction(t *testing.T) {
 	}
 }
 
-// scriptedExec is an Executor that answers from a fixed world and fails on
-// one scripted call (1-based; 0 never fails).
+// scriptedExec is a concurrency-safe Executor that answers from a fixed
+// world and fails every query anchored at failAt ("" never fails).
 type scriptedExec struct {
 	world  tree.Tree
-	failAt int
-	calls  int
+	failAt tree.NodeID
+
+	mu    sync.Mutex
+	calls int
 }
 
 func (e *scriptedExec) AskLocal(ctx context.Context, lq LocalQuery) (tree.Tree, error) {
 	if err := ctx.Err(); err != nil {
 		return tree.Tree{}, err
 	}
+	e.mu.Lock()
 	e.calls++
-	if e.calls == e.failAt {
+	e.mu.Unlock()
+	if e.failAt != "" && lq.At == e.failAt {
 		return tree.Tree{}, errors.New("boom")
 	}
 	return lq.Execute(e.world), nil
+}
+
+func (e *scriptedExec) Calls() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.calls
 }
 
 func TestExecuteAllOrderAndAbort(t *testing.T) {
@@ -323,7 +337,8 @@ func TestExecuteAllOrderAndAbort(t *testing.T) {
 		{At: "sony", Q: query.MustParse("product\n  cat\n    subcat\n")},
 	}
 
-	// Success: answers come back aligned with their queries.
+	// Success: answers come back aligned with their queries even though the
+	// fan-out is concurrent.
 	ex := &scriptedExec{world: world}
 	answers, err := ExecuteAll(context.Background(), ex, ls)
 	if err != nil {
@@ -338,16 +353,14 @@ func TestExecuteAllOrderAndAbort(t *testing.T) {
 		}
 	}
 
-	// Failure mid-way: aborts immediately (a partial answer set cannot
-	// complete the representation) and reports which query failed.
-	ex = &scriptedExec{world: world, failAt: 2}
+	// Failure: the scatter aborts (a partial answer set cannot complete the
+	// representation) and the error identifies the query that failed — never
+	// a sibling that merely observed the cancellation.
+	ex = &scriptedExec{world: world, failAt: "nikon"}
 	if _, err := ExecuteAll(context.Background(), ex, ls); err == nil {
 		t.Fatal("failure swallowed")
 	} else if !strings.Contains(err.Error(), fmt.Sprintf("local query 2 of %d", len(ls))) {
 		t.Errorf("error does not identify the failing query: %v", err)
-	}
-	if ex.calls != 2 {
-		t.Errorf("executor called %d times after a failure at call 2", ex.calls)
 	}
 
 	// Cancelled context surfaces before any execution.
@@ -357,7 +370,7 @@ func TestExecuteAllOrderAndAbort(t *testing.T) {
 	if _, err := ExecuteAll(ctx, ex, ls); !errors.Is(err, context.Canceled) {
 		t.Errorf("cancelled context: %v", err)
 	}
-	if ex.calls != 0 {
-		t.Errorf("executor ran %d queries under a cancelled context", ex.calls)
+	if got := ex.Calls(); got != 0 {
+		t.Errorf("executor ran %d queries under a cancelled context", got)
 	}
 }

@@ -51,6 +51,7 @@ import (
 	"incxml/internal/faulty"
 	"incxml/internal/obs"
 	"incxml/internal/query"
+	"incxml/internal/shard"
 	"incxml/internal/webhouse"
 	"incxml/internal/workload"
 	"incxml/internal/xmlio"
@@ -85,6 +86,14 @@ type Config struct {
 	// Trace attaches an obs.Trace to every wrapped request and echoes its
 	// stage summary in the X-Trace response header.
 	Trace bool
+	// Shards is the number of shard groups the source fleet is spread over
+	// by the consistent-hash ring (default 1: the classic single-webhouse
+	// server). Scatter routes fan out one sub-request per shard.
+	Shards int
+	// ExtraSources registers that many additional random catalog sources
+	// (cat00, cat01, ...) beyond the two demonstration sources, so a
+	// multi-shard server has a fleet worth scattering over.
+	ExtraSources int
 }
 
 func (c Config) withDefaults() Config {
@@ -100,19 +109,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves a webhouse over HTTP. Create it with New.
+// Server serves a sharded webhouse cluster over HTTP. Create it with New.
 type Server struct {
-	wh  *webhouse.Webhouse
-	cfg Config
+	cluster *shard.Cluster
+	cfg     Config
 	// sem is the execution semaphore: holding one slot = one inflight
 	// handler. waiting counts requests blocked on a slot; it may briefly
 	// exceed Queue during the check-then-wait window, which only sheds a
 	// little early — never admits extra work. waiting is an obs.Gauge
 	// because it is both a metric and live admission state (Gauge.Add keeps
 	// working when metrics are disabled, by design).
-	sem       chan struct{}
-	waiting   *obs.Gauge
-	injectors map[string]*faulty.Injector
+	sem     chan struct{}
+	waiting *obs.Gauge
 
 	// reg is the per-server metrics registry; it Includes the process-wide
 	// obs.Default() families, so one scrape sees the whole stack. The
@@ -129,23 +137,36 @@ type Server struct {
 // with the admitted request. Tests use it to inject panics and stalls.
 var testHookHandler func(*http.Request)
 
-// New builds a server over the paper's two demonstration sources:
+// testHookPostAdmit, when set, runs immediately after admission succeeds —
+// in the window between acquiring the execution slot and entering the
+// handler. The queue-slot-leak regression test panics here.
+var testHookPostAdmit func()
+
+// New builds a server over the paper's two demonstration sources —
 // "catalog" (the Figure 1 running example) and "blowup" (the Example 3.2
 // world, whose refinement chains exhibit the Theorem 3.6 exponential
-// blow-up). Each source sits behind a fault injector and a retrying
-// client, so the serving path always exercises the failure model.
+// blow-up) — plus Config.ExtraSources random catalogs, spread over
+// Config.Shards shard groups by a consistent-hash ring. Each source sits
+// behind a fault injector and a retrying client, so the serving path
+// always exercises the failure model; each shard is an independent failure
+// domain the scatter routes degrade per-shard.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	wh := webhouse.New()
-	wh.SetBudget(cfg.Budget)
+	cluster := shard.New(shard.Config{
+		Shards: cfg.Shards,
+		Budget: cfg.Budget,
+		Injector: faulty.InjectorConfig{
+			Latency: cfg.Latency, FailRate: cfg.FailRate, Seed: cfg.Seed,
+		},
+		Retry: faulty.RetryConfig{Seed: cfg.Seed},
+	})
 	reg := obs.NewRegistry()
 	reg.Include(obs.Default())
 	s := &Server{
-		wh:        wh,
-		cfg:       cfg,
-		sem:       make(chan struct{}, cfg.MaxInflight),
-		injectors: make(map[string]*faulty.Injector),
-		reg:       reg,
+		cluster: cluster,
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		reg:     reg,
 		waiting: reg.NewGauge("incxml_serve_waiting",
 			"Requests currently queued for an execution slot."),
 		requests: reg.NewCounterVec("incxml_serve_requests_total",
@@ -163,34 +184,37 @@ func New(cfg Config) (*Server, error) {
 	reg.GaugeFunc("incxml_serve_inflight",
 		"Handlers currently holding an execution slot.",
 		func() float64 { return float64(len(s.sem)) })
-	register := func(name string, src *webhouse.Source, seedOff int64) error {
-		wh.Register(src)
-		inj := faulty.NewInjector(src.Name, src, faulty.InjectorConfig{
-			Latency: cfg.Latency, FailRate: cfg.FailRate, Seed: cfg.Seed + seedOff,
-		})
-		if err := wh.SetClient(src.Name, faulty.NewRetryClient(inj, faulty.RetryConfig{Seed: cfg.Seed + seedOff})); err != nil {
-			return err
-		}
-		s.injectors[name] = inj
-		return nil
-	}
+	// Registration order is the seed order (catalog 0, blowup 1, extras
+	// 2...): the cluster derives each source's injector and retry seeds
+	// from Config.Seed plus its registration sequence number, preserving
+	// the fault sequences of the pre-sharding server.
 	cat, err := webhouse.NewSource("catalog", workload.CatalogType(), workload.PaperCatalog())
 	if err != nil {
 		return nil, err
 	}
-	if err := register("catalog", cat, 0); err != nil {
+	if _, err := cluster.Register(cat); err != nil {
 		return nil, err
 	}
 	blow, err := webhouse.NewSource("blowup", workload.BlowupType(), workload.BlowupWorld())
 	if err != nil {
 		return nil, err
 	}
-	if err := register("blowup", blow, 1); err != nil {
+	if _, err := cluster.Register(blow); err != nil {
 		return nil, err
 	}
-	// Expose the webhouse after the fleet is registered so the per-source
+	for i := 0; i < cfg.ExtraSources; i++ {
+		src, err := webhouse.NewSource(fmt.Sprintf("cat%02d", i),
+			workload.CatalogType(), workload.RandomCatalog(4+i%5, cfg.Seed+int64(1000+i)))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cluster.Register(src); err != nil {
+			return nil, err
+		}
+	}
+	// Expose the cluster after the fleet is registered so the per-source
 	// gauge children (cache generation, breaker state) exist.
-	wh.ExposeMetrics(reg)
+	cluster.ExposeMetrics(reg)
 	return s, nil
 }
 
@@ -202,11 +226,28 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // form benchrobust embeds in its report.
 func (s *Server) MetricsSnapshot() map[string]float64 { return s.reg.Snapshot() }
 
-// Webhouse exposes the underlying webhouse (for tests and embedding).
-func (s *Server) Webhouse() *webhouse.Webhouse { return s.wh }
+// Cluster exposes the shard cluster behind the server (for tests,
+// embedding, and chaos tooling that downs whole shards).
+func (s *Server) Cluster() *shard.Cluster { return s.cluster }
+
+// Webhouse exposes the webhouse owning the "catalog" source — on a
+// single-shard server, the webhouse (for tests and embedding).
+func (s *Server) Webhouse() *webhouse.Webhouse {
+	g, err := s.cluster.Owner("catalog")
+	if err != nil {
+		return s.cluster.Group(0).Webhouse()
+	}
+	return g.Webhouse()
+}
 
 // Injector returns the fault injector of a registered source, or nil.
-func (s *Server) Injector(source string) *faulty.Injector { return s.injectors[source] }
+func (s *Server) Injector(source string) *faulty.Injector {
+	inj, err := s.cluster.Injector(source)
+	if err != nil {
+		return nil
+	}
+	return inj
+}
 
 // Stats is the serving-layer counter snapshot: the webhouse counters plus
 // admission-control and containment counters.
@@ -234,7 +275,7 @@ type Stats struct {
 // registry scrapes), so /stats and /metrics cannot disagree.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Stats:           s.wh.Stats(),
+		Stats:           s.cluster.Stats(),
 		ShedQueueFull:   s.shed.With("queue_full").Value(),
 		ShedWaitTimeout: s.shed.With("wait_timeout").Value(),
 		RecoveredPanics: s.panics.Value(),
@@ -267,6 +308,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /explore", s.wrap("explore", s.handleExplore))
 	mux.HandleFunc("POST /local", s.wrap("local", s.handleLocal))
 	mux.HandleFunc("POST /complete", s.wrap("complete", s.handleComplete))
+	mux.HandleFunc("POST /scatter/local", s.wrap("scatter_local", s.handleScatterLocal))
+	mux.HandleFunc("POST /scatter/complete", s.wrap("scatter_complete", s.handleScatterComplete))
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.Pprof {
@@ -337,12 +380,27 @@ func (s *Server) wrap(route string, h func(ctx context.Context, w http.ResponseW
 		defer cancel()
 		ctx = obs.WithTrace(ctx, rec.trace)
 		endQueue := rec.trace.Stage("queue")
-		release, ok := s.admit(ctx, rec)
+		// The release defer is armed BEFORE admission: once admit hands the
+		// slot over, any panic on this goroutine — in the trace stage, a
+		// test hook, or the handler itself — runs it. Deferring only after
+		// admit returned ok would leave a window in which a panic is
+		// recovered into a 500 but the semaphore slot leaks forever,
+		// shrinking effective MaxInflight until the server deadlocks.
+		var release func()
+		defer func() {
+			if release != nil {
+				release()
+			}
+		}()
+		var ok bool
+		release, ok = s.admit(ctx, rec)
+		if hook := testHookPostAdmit; ok && hook != nil {
+			hook()
+		}
 		endQueue(0)
 		if !ok {
 			return
 		}
-		defer release()
 		if hook := testHookHandler; hook != nil {
 			hook(r)
 		}
@@ -381,9 +439,13 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func
 }
 
 // shedResponse writes a load-shedding response with a Retry-After hint
-// scaled to the configured request timeout (at least one second).
+// scaled to the configured request timeout (at least one second). The
+// duration is rounded UP to whole seconds: truncation would tell a client
+// of a 1.5s-timeout server to retry after 1s, while the requests that got
+// it shed may hold their slots for up to 1.5s more — inviting a second
+// shed instead of a successful retry.
 func (s *Server) shedResponse(w http.ResponseWriter, code int, msg string) {
-	retry := int(s.cfg.Timeout / time.Second)
+	retry := int((s.cfg.Timeout + time.Second - 1) / time.Second)
 	if retry < 1 {
 		retry = 1
 	}
@@ -445,7 +507,7 @@ func (s *Server) handleExplore(ctx context.Context, w http.ResponseWriter, r *ht
 	if !ok {
 		return
 	}
-	a, err := s.wh.Explore(ctx, s.source(r), q)
+	a, err := s.cluster.Explore(ctx, s.source(r), q)
 	if err != nil {
 		fail(w, err)
 		return
@@ -463,7 +525,7 @@ func (s *Server) handleLocal(ctx context.Context, w http.ResponseWriter, r *http
 	if !ok {
 		return
 	}
-	la, err := s.wh.AnswerLocally(ctx, s.source(r), q)
+	la, err := s.cluster.AnswerLocally(ctx, s.source(r), q)
 	if err != nil {
 		fail(w, err)
 		return
@@ -490,7 +552,7 @@ func (s *Server) handleComplete(ctx context.Context, w http.ResponseWriter, r *h
 	if !ok {
 		return
 	}
-	ca, err := s.wh.AnswerComplete(ctx, s.source(r), q)
+	ca, err := s.cluster.AnswerComplete(ctx, s.source(r), q)
 	if err != nil {
 		fail(w, err)
 		return
@@ -510,6 +572,96 @@ func (s *Server) handleComplete(ctx context.Context, w http.ResponseWriter, r *h
 		resp["cause"] = ca.Cause.Error()
 	}
 	writeJSON(w, resp)
+}
+
+// scatterAnswers renders a gathered scatter into the response envelope
+// shared by both scatter routes.
+func scatterAnswers(w http.ResponseWriter, sc *shard.Scatter) ([]map[string]any, bool) {
+	out := make([]map[string]any, 0, len(sc.Answers))
+	for _, sa := range sc.Answers {
+		entry := map[string]any{
+			"source":   sa.Source,
+			"shard":    sa.Shard,
+			"degraded": sa.Degraded(),
+		}
+		switch {
+		case sa.Err != nil:
+			entry["error"] = sa.Err.Error()
+		case sa.Complete != nil:
+			xml, err := xmlio.Marshal(sa.Complete.Answer)
+			if err != nil {
+				fail(w, err)
+				return nil, false
+			}
+			entry["nodes"] = sa.Complete.Answer.Size()
+			entry["answer"] = xml
+			entry["localQueries"] = sa.Complete.LocalQueries
+			if sa.Complete.Degraded && sa.Complete.Cause != nil {
+				entry["cause"] = sa.Complete.Cause.Error()
+			}
+		case sa.Local != nil:
+			xml, err := xmlio.Marshal(sa.Local.Exact)
+			if err != nil {
+				fail(w, err)
+				return nil, false
+			}
+			entry["nodes"] = sa.Local.Exact.Size()
+			entry["answer"] = xml
+			entry["fully"] = sa.Local.Fully
+			entry["certainlyNonEmpty"] = sa.Local.CertainlyNonEmpty
+			entry["possiblyNonEmpty"] = sa.Local.PossiblyNonEmpty
+			entry["budgetExhausted"] = sa.Local.BudgetExhausted
+		}
+		out = append(out, entry)
+	}
+	return out, true
+}
+
+func (s *Server) writeScatter(w http.ResponseWriter, sc *shard.Scatter) {
+	answers, ok := scatterAnswers(w, sc)
+	if !ok {
+		return
+	}
+	writeJSON(w, map[string]any{
+		"shards":         s.cluster.Shards(),
+		"degraded":       sc.Degraded(),
+		"completeShards": sc.CompleteShards,
+		"degradedShards": sc.DegradedShards,
+		"answers":        answers,
+	})
+}
+
+// handleScatterComplete answers the posted query completely on every
+// registered source, fanned out one sub-request per shard. A down shard
+// degrades its own sources (flagged per answer and in degradedShards) —
+// the response is still 200; only a dead deadline or a solver error fails
+// the whole scatter.
+func (s *Server) handleScatterComplete(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	q, ok := readQuery(w, r)
+	if !ok {
+		return
+	}
+	sc, err := s.cluster.ScatterComplete(ctx, q)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	s.writeScatter(w, sc)
+}
+
+// handleScatterLocal answers from local knowledge on every source; no
+// source is contacted.
+func (s *Server) handleScatterLocal(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	q, ok := readQuery(w, r)
+	if !ok {
+		return
+	}
+	sc, err := s.cluster.ScatterLocal(ctx, q)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	s.writeScatter(w, sc)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

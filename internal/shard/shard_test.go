@@ -1,0 +1,414 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"incxml/internal/faulty"
+	"incxml/internal/tree"
+	"incxml/internal/webhouse"
+	"incxml/internal/workload"
+)
+
+// fastRetry keeps retry/breaker timing test-friendly: fail fast, recover
+// fast.
+var fastRetry = faulty.RetryConfig{
+	MaxAttempts:      2,
+	BaseDelay:        50 * time.Microsecond,
+	MaxDelay:         time.Millisecond,
+	BreakerThreshold: 3,
+	BreakerCooldown:  10 * time.Millisecond,
+}
+
+// fixture builds a cluster over n random catalog sources named src00..,
+// registers them, and returns the cluster plus each source's true world.
+func fixture(t *testing.T, cfg Config, n int) (*Cluster, map[string]tree.Tree) {
+	t.Helper()
+	c := New(cfg)
+	worlds := map[string]tree.Tree{}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("src%02d", i)
+		world := workload.RandomCatalog(4+i%5, int64(100+i))
+		src, err := webhouse.NewSource(name, workload.CatalogType(), world)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Register(src); err != nil {
+			t.Fatal(err)
+		}
+		worlds[name] = world
+	}
+	return c, worlds
+}
+
+// warm primes every source's knowledge with Query 1 so that Query 4 needs
+// a genuine Theorem 3.19 completion (the fully-answerable shortcut must
+// not fire).
+func warm(t *testing.T, c *Cluster) {
+	t.Helper()
+	ctx := context.Background()
+	for _, name := range c.Sources() {
+		if _, err := c.Explore(ctx, name, workload.Query1(200)); err != nil {
+			t.Fatalf("warm %s: %v", name, err)
+		}
+	}
+}
+
+func assertSubsetOf(t *testing.T, a, want tree.Tree, what string) {
+	t.Helper()
+	ids := want.IDs()
+	a.Walk(func(n *tree.Node) {
+		if !ids[n.ID] {
+			t.Errorf("%s: node %s not part of the true answer", what, n.ID)
+		}
+	})
+}
+
+func TestRingDeterministicAndCovering(t *testing.T) {
+	r1 := NewRing(4, 0)
+	r2 := NewRing(4, 0)
+	counts := make([]int, 4)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("source-%d", i)
+		s := r1.Owner(key)
+		if s < 0 || s >= 4 {
+			t.Fatalf("owner %d out of range", s)
+		}
+		if got := r2.Owner(key); got != s {
+			t.Fatalf("rings disagree on %q: %d vs %d", key, s, got)
+		}
+		if got := r1.Owner(key); got != s {
+			t.Fatalf("ring not stable on %q", key)
+		}
+		counts[s]++
+	}
+	// Consistent hashing trades perfect balance for stability; with 64
+	// vnodes per shard every shard must still see a solid share of 1000
+	// keys. The bound is deliberately loose — this guards against a broken
+	// ring (one shard owning everything), not against statistical skew.
+	for s, n := range counts {
+		if n < 50 {
+			t.Errorf("shard %d owns only %d/1000 keys", s, n)
+		}
+	}
+	if NewRing(1, 0).Owner("anything") != 0 {
+		t.Error("single-shard ring must own everything")
+	}
+}
+
+func TestRegisterRoutesByRing(t *testing.T) {
+	c, _ := fixture(t, Config{Shards: 4, Retry: fastRetry}, 10)
+	if c.Shards() != 4 {
+		t.Fatalf("Shards() = %d", c.Shards())
+	}
+	total := 0
+	for _, name := range c.Sources() {
+		g, err := c.Owner(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := c.Ring().Owner(name); g.ID() != want {
+			t.Errorf("%s registered on shard %d, ring says %d", name, g.ID(), want)
+		}
+		inj, err := c.Injector(name)
+		if err != nil || inj == nil {
+			t.Errorf("no injector for %s: %v", name, err)
+		}
+	}
+	for _, g := range c.Groups() {
+		total += len(g.Sources())
+	}
+	if total != 10 {
+		t.Errorf("groups hold %d sources in total, want 10", total)
+	}
+	// Duplicate registration must be refused.
+	src, err := webhouse.NewSource("src00", workload.CatalogType(), workload.PaperCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(src); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	// Unknown sources are reported as such.
+	if _, err := c.Owner("ghost"); !errors.Is(err, webhouse.ErrUnknownSource) {
+		t.Errorf("Owner(ghost) = %v", err)
+	}
+}
+
+func TestScatterCompleteExactAndOrdered(t *testing.T) {
+	c, worlds := fixture(t, Config{Shards: 3, Retry: fastRetry}, 8)
+	warm(t, c)
+	q := workload.Query4()
+	s, err := c.ScatterComplete(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Answers) != 8 {
+		t.Fatalf("%d answers for 8 sources", len(s.Answers))
+	}
+	for i, sa := range s.Answers {
+		if i > 0 && s.Answers[i-1].Source >= sa.Source {
+			t.Errorf("answers not sorted at %d: %s >= %s", i, s.Answers[i-1].Source, sa.Source)
+		}
+		if sa.Err != nil {
+			t.Fatalf("%s: %v", sa.Source, sa.Err)
+		}
+		if sa.Degraded() {
+			t.Errorf("%s degraded without any fault", sa.Source)
+		}
+		truth := q.Eval(worlds[sa.Source])
+		if !sa.Complete.Answer.Equal(truth) {
+			t.Errorf("%s: wrong exact answer", sa.Source)
+		}
+		if g, _ := c.Owner(sa.Source); g.ID() != sa.Shard {
+			t.Errorf("%s attributed to shard %d, owner is %d", sa.Source, sa.Shard, g.ID())
+		}
+	}
+	if s.Degraded() || len(s.DegradedShards) != 0 {
+		t.Errorf("healthy scatter classified degraded: %v", s.DegradedShards)
+	}
+	// Every shard holding sources is reported complete.
+	want := 0
+	for _, g := range c.Groups() {
+		if len(g.Sources()) > 0 {
+			want++
+		}
+	}
+	if len(s.CompleteShards) != want {
+		t.Errorf("CompleteShards = %v, want %d shards", s.CompleteShards, want)
+	}
+	if total, degraded := c.Scatters(); total != 1 || degraded != 0 {
+		t.Errorf("scatter counters = (%d, %d), want (1, 0)", total, degraded)
+	}
+	if s.ByName("src03") == nil || s.ByName("nope") != nil {
+		t.Error("ByName lookup broken")
+	}
+}
+
+// TestScatterDifferentialParallelVsSeq pins the parallel scatter
+// byte-identical to the sequential baseline: same answers (compared via
+// CanonicalWithIDs), same shard classification.
+func TestScatterDifferentialParallelVsSeq(t *testing.T) {
+	build := func() (*Cluster, map[string]tree.Tree) {
+		c, worlds := fixture(t, Config{Shards: 4, Retry: fastRetry}, 9)
+		warm(t, c)
+		return c, worlds
+	}
+	cp, _ := build()
+	cs, _ := build()
+	q := workload.Query4()
+	sp, err := cp.ScatterComplete(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := cs.ScatterCompleteSeq(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Answers) != len(ss.Answers) {
+		t.Fatalf("%d parallel answers vs %d sequential", len(sp.Answers), len(ss.Answers))
+	}
+	for i := range sp.Answers {
+		p, s := sp.Answers[i], ss.Answers[i]
+		if p.Source != s.Source || p.Shard != s.Shard {
+			t.Fatalf("answer %d misaligned: %s/%d vs %s/%d", i, p.Source, p.Shard, s.Source, s.Shard)
+		}
+		if p.Complete.Answer.CanonicalWithIDs() != s.Complete.Answer.CanonicalWithIDs() {
+			t.Errorf("%s: parallel and sequential scatter disagree", p.Source)
+		}
+	}
+	if fmt.Sprint(sp.CompleteShards) != fmt.Sprint(ss.CompleteShards) ||
+		fmt.Sprint(sp.DegradedShards) != fmt.Sprint(ss.DegradedShards) {
+		t.Errorf("shard classification differs: %v/%v vs %v/%v",
+			sp.CompleteShards, sp.DegradedShards, ss.CompleteShards, ss.DegradedShards)
+	}
+}
+
+// TestOneShardDownSoundness is the one-shard-outage soak: with one shard
+// hard down, repeated scatters must flag exactly that shard's sources as
+// degraded — each degraded answer sound per Theorem 3.14 (a subset of the
+// true answer whose possible set still contains it) — while every other
+// source keeps answering exactly. Lifting the outage restores exact
+// answers everywhere.
+func TestOneShardDownSoundness(t *testing.T) {
+	c, worlds := fixture(t, Config{Shards: 4, Retry: fastRetry}, 12)
+	warm(t, c)
+	var downG *Group
+	for _, g := range c.Groups() {
+		if len(g.Sources()) > 0 {
+			downG = g
+			break
+		}
+	}
+	if downG == nil {
+		t.Fatal("no shard holds sources")
+	}
+	downG.SetDown(true)
+	if !downG.Down() {
+		t.Fatal("Down() not reporting the outage")
+	}
+	q := workload.Query4()
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	for round := 0; round < rounds; round++ {
+		s, err := c.ScatterComplete(context.Background(), q)
+		if err != nil {
+			t.Fatalf("round %d: a down shard must degrade, not fail the scatter: %v", round, err)
+		}
+		for _, sa := range s.Answers {
+			truth := q.Eval(worlds[sa.Source])
+			if sa.Err != nil {
+				t.Fatalf("round %d: %s: hard error instead of degradation: %v", round, sa.Source, sa.Err)
+			}
+			if sa.Shard == downG.ID() {
+				if !sa.Complete.Degraded {
+					t.Errorf("round %d: %s on the down shard answered exactly", round, sa.Source)
+					continue
+				}
+				if !errors.Is(sa.Complete.Cause, faulty.ErrUnavailable) {
+					t.Errorf("round %d: %s: cause does not wrap ErrUnavailable: %v", round, sa.Source, sa.Complete.Cause)
+				}
+				// Theorem 3.14 soundness: the degraded answer is a lower
+				// approximation of the truth, and the possible-answer set
+				// has not excluded the truth.
+				assertSubsetOf(t, sa.Complete.Answer, truth, sa.Source)
+				if sa.Complete.Local == nil || !sa.Complete.Local.Possible.Member(truth) {
+					t.Errorf("round %d: %s: possible set excludes the true answer", round, sa.Source)
+				}
+			} else {
+				if sa.Degraded() {
+					t.Errorf("round %d: %s degraded on a healthy shard", round, sa.Source)
+				} else if !sa.Complete.Answer.Equal(truth) {
+					t.Errorf("round %d: %s: wrong exact answer on a healthy shard", round, sa.Source)
+				}
+			}
+		}
+		if len(s.DegradedShards) != 1 || s.DegradedShards[0] != downG.ID() {
+			t.Errorf("round %d: DegradedShards = %v, want [%d]", round, s.DegradedShards, downG.ID())
+		}
+	}
+	if _, degraded := c.Scatters(); degraded == 0 {
+		t.Error("degraded-scatter counter never moved")
+	}
+	if downG.Degraded() == 0 {
+		t.Error("per-shard degraded counter never moved")
+	}
+
+	// Recovery: outage lifted, breaker cooled down, answers exact again.
+	downG.SetDown(false)
+	time.Sleep(2 * fastRetry.BreakerCooldown)
+	s, err := c.ScatterComplete(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sa := range s.Answers {
+		if sa.Degraded() {
+			t.Errorf("%s still degraded after recovery", sa.Source)
+		}
+	}
+	if len(s.DegradedShards) != 0 {
+		t.Errorf("DegradedShards = %v after recovery", s.DegradedShards)
+	}
+}
+
+// TestScatterExpiredContext: a dead context refuses the scatter instead of
+// reporting a partial cluster.
+func TestScatterExpiredContext(t *testing.T) {
+	c, _ := fixture(t, Config{Shards: 2, Retry: fastRetry}, 4)
+	warm(t, c)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.ScatterComplete(ctx, workload.Query4()); !errors.Is(err, context.Canceled) {
+		t.Errorf("ScatterComplete under dead context: %v", err)
+	}
+	if _, err := c.ScatterLocal(ctx, workload.Query4()); !errors.Is(err, context.Canceled) {
+		t.Errorf("ScatterLocal under dead context: %v", err)
+	}
+}
+
+func TestScatterLocalNeverContactsSources(t *testing.T) {
+	c, _ := fixture(t, Config{Shards: 3, Retry: fastRetry}, 6)
+	warm(t, c)
+	before := map[string]uint64{}
+	for _, name := range c.Sources() {
+		inj, _ := c.Injector(name)
+		before[name] = inj.Calls()
+	}
+	s, err := c.ScatterLocal(context.Background(), workload.Query4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Answers) != 6 {
+		t.Fatalf("%d answers for 6 sources", len(s.Answers))
+	}
+	for _, sa := range s.Answers {
+		if sa.Err != nil || sa.Local == nil {
+			t.Errorf("%s: %v", sa.Source, sa.Err)
+		}
+	}
+	for _, name := range c.Sources() {
+		inj, _ := c.Injector(name)
+		if inj.Calls() != before[name] {
+			t.Errorf("ScatterLocal contacted source %s", name)
+		}
+	}
+}
+
+// TestE22ScatterSmoke is the E22 experiment in miniature: with injected
+// per-call source latency, the parallel scatter across 4 shards must beat
+// the sequential baseline wall-clock on the same cluster shape. Kept loose
+// (strictly faster, no factor) so CI load cannot flake it; the full curve
+// lives in cmd/benchrobust.
+func TestE22ScatterSmoke(t *testing.T) {
+	latency := 10 * time.Millisecond
+	if testing.Short() {
+		latency = 4 * time.Millisecond
+	}
+	cfg := Config{
+		Shards:   4,
+		Retry:    fastRetry,
+		Injector: faulty.InjectorConfig{Latency: latency},
+	}
+	build := func() *Cluster {
+		c, _ := fixture(t, cfg, 8)
+		warm(t, c)
+		return c
+	}
+	cSeq, cPar := build(), build()
+	// The timing claim needs the ring to have actually spread the sources;
+	// with everything on one shard parallel == sequential.
+	maxLoad := 0
+	for _, g := range cPar.Groups() {
+		if n := len(g.Sources()); n > maxLoad {
+			maxLoad = n
+		}
+	}
+	if maxLoad >= 8 {
+		t.Skip("ring put every source on one shard; no parallelism to measure")
+	}
+	q := workload.Query4()
+	t0 := time.Now()
+	ss, err := cSeq.ScatterCompleteSeq(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqD := time.Since(t0)
+	t0 = time.Now()
+	sp, err := cPar.ScatterComplete(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parD := time.Since(t0)
+	if ss.Degraded() || sp.Degraded() {
+		t.Fatal("latency-only injection must not degrade anything")
+	}
+	t.Logf("sequential %v, parallel %v (max shard load %d/8)", seqD, parD, maxLoad)
+	if parD >= seqD {
+		t.Errorf("parallel scatter (%v) not faster than sequential (%v)", parD, seqD)
+	}
+}

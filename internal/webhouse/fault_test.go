@@ -333,7 +333,10 @@ func TestCompletionPropertyUnderFaults(t *testing.T) {
 				seen[n.ID] = qi
 			})
 		}
-		merged := mediator.Merge(hidden, know.DataTree(), answers...)
+		merged, err := mediator.Merge(hidden, know.DataTree(), answers...)
+		if err != nil {
+			t.Fatalf("seed %d: merge: %v", seed, err)
+		}
 		if got := q4.Eval(merged); !got.Equal(want) {
 			t.Errorf("seed %d: merged completion answers wrong:\n%s\nwant:\n%s", seed, got, want)
 		}

@@ -78,6 +78,17 @@ func (wh *Webhouse) ExposeMetrics(reg *obs.Registry) {
 		"Source calls rejected outright by an open breaker (all sources).",
 		func() uint64 { return wh.sourceStats().Rejections })
 
+	wh.ExposeSourceMetrics(reg)
+}
+
+// ExposeSourceMetrics registers only the per-source labeled children
+// (cache generation, live breaker state) on reg. Because label values are
+// source names and webhouses in one process own disjoint source sets, a
+// sharded cluster can call this for each of its webhouses on one shared
+// registry — unlike ExposeMetrics, whose unlabeled func-backed totals are
+// per-webhouse and would silently shadow each other (first registration
+// wins in obs).
+func (wh *Webhouse) ExposeSourceMetrics(reg *obs.Registry) {
 	gen := reg.NewGaugeVec("incxml_webhouse_cache_generation",
 		"Answer-cache generation of a source's repository (bumps on every knowledge change).",
 		"source")

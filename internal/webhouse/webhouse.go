@@ -719,6 +719,26 @@ func (wh *Webhouse) degrade(ctx context.Context, know *itree.T, q query.Query, a
 	}, nil
 }
 
+// askWhole poses q itself to the source and folds the answer in — the
+// completion path used when nothing is known yet, or when a Theorem 3.19
+// completion came back unusable (the source's ids rotated under us).
+func (wh *Webhouse) askWhole(ctx context.Context, r *Repository, client faulty.SourceClient, know *itree.T, q query.Query) (*CompleteAnswer, error) {
+	endSource := obs.FromContext(ctx).Stage("source")
+	a, err := client.Ask(ctx, q)
+	endSource(0)
+	if err != nil {
+		return wh.degrade(ctx, know, q, 1, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	defer obs.FromContext(ctx).Stage("fold")(0)
+	if err := wh.observeLocked(ctx, r, q, a); err != nil {
+		return nil, err
+	}
+	r.invalidate()
+	return &CompleteAnswer{Answer: a, LocalQueries: 1}, nil
+}
+
 // AnswerComplete answers q exactly, contacting the source only as needed:
 // if q is fully answerable the local answer is returned; otherwise the
 // Theorem 3.19 completion is executed against the source through the
@@ -752,33 +772,27 @@ func (wh *Webhouse) AnswerComplete(ctx context.Context, source string, q query.Q
 	client := r.Client()
 	if know.DataTree().Root == nil {
 		// Nothing known: pose the query itself.
-		endSource := obs.FromContext(ctx).Stage("source")
-		a, err := client.Ask(ctx, q)
-		endSource(0)
-		if err != nil {
-			return wh.degrade(ctx, know, q, 1, err)
-		}
-		r.mu.Lock()
-		defer r.mu.Unlock()
-		defer obs.FromContext(ctx).Stage("fold")(0)
-		if err := wh.observeLocked(ctx, r, q, a); err != nil {
-			return nil, err
-		}
-		r.invalidate()
-		return &CompleteAnswer{Answer: a, LocalQueries: 1}, nil
+		return wh.askWhole(ctx, r, client, know, q)
 	}
 	ls, err := mediator.Complete(know, q)
 	if err != nil {
 		return nil, err
 	}
 	endSource := obs.FromContext(ctx).Stage("source")
-	answers, err := mediator.ExecuteAll(ctx, client, ls)
+	answers, err := mediator.ExecuteAllPool(ctx, wh.getPool(), client, ls)
 	endSource(0)
 	if err != nil {
 		return wh.degrade(ctx, know, q, len(ls), err)
 	}
 	// Merge the fetched prefixes into the known data and answer.
-	merged := mediator.Merge(r.Source.Doc(), know.DataTree(), answers...)
+	merged, err := mediator.Merge(r.Source.Doc(), know.DataTree(), answers...)
+	if err != nil {
+		// A node id the current document does not contain: the source's ids
+		// rotated between the knowledge snapshot and now, so the completion
+		// answers are unusable. Re-pose the query wholesale — always sound,
+		// merely less frugal — instead of merging a corrupt prefix.
+		return wh.askWhole(ctx, r, client, know, q)
+	}
 	result := q.Eval(merged)
 	// Fold the new information into the repository as a single observation:
 	// the completion answers are prefixes of the document; re-observe q with

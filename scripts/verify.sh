@@ -30,6 +30,12 @@ go test ./internal/serve/ -run TestE20MetricsOverhead -short -count=1
 # n=6 crossover. cmd/benchrobust produces the full crossover table.
 go test ./internal/conj/ -run TestE21CrossoverSmoke -short -count=1
 
+# E22 smoke (EXPERIMENTS.md): the parallel scatter must beat the sequential
+# fan-out over the same fleet under injected source latency — even on one
+# CPU, the per-shard waits have to overlap. cmd/benchrobust produces the
+# full 1/2/4-shard table and the one-shard-down tail.
+go test ./internal/shard/ -run TestE22ScatterSmoke -short -count=1
+
 # Fuzz smoke: a couple of seconds per serving-path parser. This is a
 # regression sweep over the corpora plus a short random exploration, not a
 # full campaign.
