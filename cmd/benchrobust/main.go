@@ -35,6 +35,13 @@
 //     latency, plus the one-shard-down p99 at 4 shards — the parallel
 //     fan-out must keep degrading per shard without stretching the tail
 //     across the healthy ones.
+//
+//  6. Completeness certificates under outage (EXPERIMENTS.md E23): a soak
+//     of random two-shard instances, each with one whole shard down,
+//     scattering random linear queries and recording the distribution of
+//     scatter-wide completeness ratios, the verdict split, and — the
+//     soundness tally — a re-check of every non-empty certificate against
+//     the true world documents (overclaims must stay zero).
 package main
 
 import (
@@ -54,6 +61,7 @@ import (
 	"time"
 
 	"incxml/internal/budget"
+	"incxml/internal/certify"
 	"incxml/internal/cond"
 	"incxml/internal/conj"
 	"incxml/internal/ctype"
@@ -64,6 +72,7 @@ import (
 	"incxml/internal/refine"
 	"incxml/internal/serve"
 	"incxml/internal/shard"
+	"incxml/internal/tree"
 	"incxml/internal/webhouse"
 	"incxml/internal/workload"
 )
@@ -174,6 +183,32 @@ type e22Report struct {
 	Outage    e22Outage `json:"outage"`
 }
 
+// e23Report is the EXPERIMENTS.md E23 block: the completeness-ratio
+// distribution of scatter-wide certificates over a one-shard-outage soak,
+// the verdict split, and the soundness tally from re-checking every
+// non-empty certificate against the true world documents.
+type e23Report struct {
+	Shards          int            `json:"shards"`
+	SourcesPerRound int            `json:"sourcesPerRound"`
+	Rounds          int            `json:"rounds"`
+	VerdictCounts   map[string]int `json:"verdictCounts"`
+	RatioMin        float64        `json:"ratioMin"`
+	RatioP50        float64        `json:"ratioP50"`
+	RatioP90        float64        `json:"ratioP90"`
+	RatioMax        float64        `json:"ratioMax"`
+	RatioMean       float64        `json:"ratioMean"`
+	// NonEmptyCertificates counts rounds whose scatter-wide certificate
+	// certified at least one query atom despite the outage.
+	NonEmptyCertificates int `json:"nonEmptyCertificates"`
+	// Overclaims counts certified sub-queries whose answer over a source's
+	// certain fragment differed from its answer over the world — the
+	// soundness contract says this must stay zero.
+	Overclaims int `json:"overclaims"`
+	// HealthyFullAnswers counts per-source certificates on reachable
+	// sources that certified the whole query (exact completions).
+	HealthyFullAnswers int `json:"healthyFullAnswers"`
+}
+
 type report struct {
 	GeneratedUnix   int64          `json:"generatedUnix"`
 	BlowupEmptiness []emptinessRow `json:"blowupEmptiness"`
@@ -181,6 +216,7 @@ type report struct {
 	MetricsOverhead overheadReport `json:"metricsOverhead"`
 	E21             e21Report      `json:"e21"`
 	E22             e22Report      `json:"e22"`
+	E23             e23Report      `json:"e23"`
 }
 
 func main() {
@@ -195,6 +231,7 @@ func main() {
 	e22Sources := flag.Int("e22-sources", 8, "fleet size for the E22 scatter-gather scan")
 	e22Rounds := flag.Int("e22-rounds", 7, "timed completion rounds per E22 configuration")
 	e22Latency := flag.Duration("e22-latency", 5*time.Millisecond, "injected per-call source latency for E22")
+	e23Rounds := flag.Int("e23-rounds", 80, "random outage instances for the E23 certificate soak")
 	flag.Parse()
 
 	rep := report{GeneratedUnix: time.Now().Unix()}
@@ -203,6 +240,7 @@ func main() {
 	rep.MetricsOverhead = benchOverhead(*overheadN)
 	rep.E21 = benchE21(*e21MaxN, *steps, *e21HardK)
 	rep.E22 = benchE22(*e22Sources, *e22Rounds, *e22Latency)
+	rep.E23 = benchE23(*e23Rounds)
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -635,6 +673,98 @@ func benchE22(sources, rounds int, latency time.Duration) e22Report {
 	return rep
 }
 
+// benchE23 is the EXPERIMENTS.md E23 soak: random two-shard instances, one
+// whole shard down each round, a random linear query scattered cluster-wide.
+// Each round contributes the scatter-wide certificate's completeness ratio
+// and verdict; every non-empty certificate is re-verified the hard way — the
+// certified sub-query evaluated over each reachable source's certain
+// fragment must equal its evaluation over that source's world document.
+func benchE23(rounds int) e23Report {
+	ctx := context.Background()
+	rep := e23Report{Shards: 2, SourcesPerRound: 3, Rounds: rounds, VerdictCounts: map[string]int{}}
+	ratios := make([]float64, 0, rounds)
+	var sum float64
+	for i := 0; i < rounds; i++ {
+		seed := int64(4000 + i)
+		c := shard.New(shard.Config{Shards: 2})
+		docs := map[string]tree.Tree{}
+		for s := 0; s < rep.SourcesPerRound; s++ {
+			name := fmt.Sprintf("s%d", s)
+			doc := workload.RandomCatalog(3+(i+s)%4, seed*10+int64(s))
+			src, err := webhouse.NewSource(name, workload.CatalogType(), doc)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "e23:", err)
+				os.Exit(1)
+			}
+			if _, err := c.Register(src); err != nil {
+				fmt.Fprintln(os.Stderr, "e23:", err)
+				os.Exit(1)
+			}
+			docs[name] = doc
+		}
+		for name := range docs {
+			if _, err := c.Explore(ctx, name, workload.Query1(int64(100+i%150))); err != nil {
+				fmt.Fprintln(os.Stderr, "e23:", err)
+				os.Exit(1)
+			}
+		}
+		q := workload.RandomLinearQuery(workload.CatalogType(), seed, 2+i%3, 300)
+		c.Group(i % 2).SetDown(true)
+
+		sc, err := c.ScatterComplete(ctx, q)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "e23:", err)
+			os.Exit(1)
+		}
+		cert := sc.Certificate
+		rep.VerdictCounts[string(cert.Verdict)]++
+		r := certify.CompletenessRatio(cert)
+		ratios = append(ratios, r)
+		sum += r
+		for i := range sc.Answers {
+			sa := &sc.Answers[i]
+			if sa.Err == nil && sa.Certificate() != nil && sa.Certificate().Verdict == certify.Full {
+				rep.HealthyFullAnswers++
+			}
+		}
+		if cert.AtomsCertified == 0 {
+			continue
+		}
+		rep.NonEmptyCertificates++
+		subq := certify.Subquery(q, cert.Paths)
+		for _, sa := range sc.Answers {
+			if sa.Err != nil {
+				continue
+			}
+			g, err := c.Owner(sa.Source)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "e23:", err)
+				os.Exit(1)
+			}
+			know, err := g.Webhouse().Knowledge(sa.Source)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "e23:", err)
+				os.Exit(1)
+			}
+			if !subq.Eval(know.DataTree()).Equal(subq.Eval(docs[sa.Source])) {
+				rep.Overclaims++
+			}
+		}
+	}
+	sort.Float64s(ratios)
+	rep.RatioMin = pctF(ratios, 0)
+	rep.RatioP50 = pctF(ratios, 50)
+	rep.RatioP90 = pctF(ratios, 90)
+	rep.RatioMax = pctF(ratios, 100)
+	if len(ratios) > 0 {
+		rep.RatioMean = sum / float64(len(ratios))
+	}
+	fmt.Printf("e23: %d rounds, ratio min/p50/p90/max %.2f/%.2f/%.2f/%.2f mean %.2f, verdicts %v, %d non-empty, %d overclaims\n",
+		rounds, rep.RatioMin, rep.RatioP50, rep.RatioP90, rep.RatioMax, rep.RatioMean,
+		rep.VerdictCounts, rep.NonEmptyCertificates, rep.Overclaims)
+	return rep
+}
+
 // hardEmptyConj mirrors the E18/E21 benchmark fixture: 2^k certificates,
 // none satisfiable, so emptiness must exhaust the space.
 func hardEmptyConj(k int) *conj.T {
@@ -670,6 +800,15 @@ func post(client *http.Client, url, body string) (int, error) {
 
 func msSince(start time.Time) float64 {
 	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+// pctF returns the p-th percentile of the sorted float sample.
+func pctF(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)-1)*p + 50
+	return sorted[i/100]
 }
 
 // pctMs returns the p-th percentile of the sorted sample in milliseconds.

@@ -33,6 +33,16 @@ func decode(t *testing.T, rec *httptest.ResponseRecorder) map[string]any {
 	return m
 }
 
+// section fetches a nested object of the v1 answer envelope.
+func section(t *testing.T, m map[string]any, key string) map[string]any {
+	t.Helper()
+	obj, ok := m[key].(map[string]any)
+	if !ok {
+		t.Fatalf("envelope section %q missing or not an object: %v", key, m[key])
+	}
+	return obj
+}
+
 // A healthy server: explore builds knowledge, /local answers from it,
 // /complete returns the exact (non-degraded) answer, /stats reports the
 // traffic.
@@ -47,7 +57,7 @@ func TestServeHealthySession(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/explore: %d %s", rec.Code, rec.Body)
 	}
-	if m := decode(t, rec); m["nodes"].(float64) == 0 {
+	if m := decode(t, rec); section(t, m, "answer")["nodes"].(float64) == 0 {
 		t.Error("/explore returned an empty answer on the paper catalog")
 	}
 
@@ -56,8 +66,11 @@ func TestServeHealthySession(t *testing.T) {
 		t.Fatalf("/local: %d %s", rec.Code, rec.Body)
 	}
 	m := decode(t, rec)
-	if m["fully"].(bool) {
+	if section(t, m, "local")["fully"].(bool) {
 		t.Error("query 4 should not be fully answerable after one exploration")
+	}
+	if section(t, m, "completeness")["verdict"] == "full" {
+		t.Error("unanswerable query certified complete")
 	}
 
 	rec = post(t, h, "/complete", query4Body)
@@ -68,8 +81,11 @@ func TestServeHealthySession(t *testing.T) {
 	if m["degraded"].(bool) {
 		t.Error("healthy source produced a degraded completion")
 	}
-	if m["localQueries"].(float64) == 0 {
+	if section(t, m, "completion")["localQueries"].(float64) == 0 {
 		t.Error("completion reported no local queries")
+	}
+	if section(t, m, "completeness")["verdict"] != "full" {
+		t.Errorf("exact completion certified %v, want full", section(t, m, "completeness")["verdict"])
 	}
 
 	req := httptest.NewRequest("GET", "/stats", nil)

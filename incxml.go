@@ -39,6 +39,7 @@ package incxml
 import (
 	"incxml/internal/answer"
 	"incxml/internal/budget"
+	"incxml/internal/certify"
 	"incxml/internal/cond"
 	"incxml/internal/conj"
 	"incxml/internal/dtd"
@@ -358,6 +359,56 @@ var (
 	// NewServer builds the HTTP serving layer (admission control, budgets,
 	// panic containment) over a webhouse with the standard sources.
 	NewServer = serve.New
+)
+
+// Completeness certificates (see "Completeness certificates" in
+// DESIGN.md). Every answer carries a Certificate naming the maximal
+// sub-query provably answered completely from the certain fragment of the
+// local knowledge (budgeted Corollary 3.15 checks); the serving layer
+// renders certificate and answer together in the versioned AnswerEnvelope.
+type (
+	// Certificate is a completeness certificate: the maximal certified
+	// sub-query, its completeness ratio, and the certain-region summary.
+	Certificate = certify.Certificate
+	// CertificateVerdict classifies a certificate: full, partial, unknown.
+	CertificateVerdict = certify.Verdict
+	// AnswerEnvelope is the serving layer's versioned answer document
+	// (schema version 1): answer payload, modal facets, completion and
+	// scatter summaries, and the completeness certificate.
+	AnswerEnvelope = serve.AnswerEnvelope
+	// AnswerRequest is the unified request body every answer route
+	// decodes: source, query, step budget and consistency mode.
+	AnswerRequest = serve.AnswerRequest
+)
+
+// Certificate verdicts.
+const (
+	// CertifiedFull marks a certificate covering the whole query.
+	CertifiedFull = certify.Full
+	// CertifiedPartial marks a proper, provably complete sub-query.
+	CertifiedPartial = certify.Partial
+	// CertifiedUnknown marks a certificate degraded by budget exhaustion
+	// or a dead source; it never overclaims.
+	CertifiedUnknown = certify.Unknown
+)
+
+var (
+	// ComputeCertificate certifies a query against one source's knowledge
+	// under an optional budget (nil: unlimited).
+	ComputeCertificate = certify.Compute
+	// ExactCertificate is the trivial full certificate for an exactly
+	// computed answer.
+	ExactCertificate = certify.Exact
+	// MergeCertificates intersects per-source certificates and re-verifies
+	// the intersection against every contributor's knowledge (full
+	// answerability is not antitone, so the intersection is only a
+	// candidate until re-proved).
+	MergeCertificates = certify.Merge
+	// CertifiedSubquery rebuilds the certified sub-query from a
+	// certificate's prefix-closed path set.
+	CertifiedSubquery = certify.Subquery
+	// CompletenessRatio returns a certificate's ratio, tolerating nil.
+	CompletenessRatio = certify.CompletenessRatio
 )
 
 // Observability (see "Observability" in DESIGN.md). Every layer records

@@ -1,0 +1,30 @@
+package budget
+
+import "context"
+
+// stepCapKey carries a per-request step-allowance cap through a context.
+type stepCapKey struct{}
+
+// WithStepCap returns a context carrying a request-scoped cap on the step
+// allowance of budgets built for it. The serving layer attaches the cap
+// from the unified AnswerRequest's Budget field; budget factories (the
+// webhouse's newBudget) consult it with StepCapFromContext and take the
+// minimum of the configured allowance and the cap — a client can tighten
+// its own request's budget, never widen the server's. steps <= 0 leaves the
+// context unchanged.
+func WithStepCap(ctx context.Context, steps int64) context.Context {
+	if steps <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, stepCapKey{}, steps)
+}
+
+// StepCapFromContext reports the request-scoped step cap attached by
+// WithStepCap, if any.
+func StepCapFromContext(ctx context.Context) (steps int64, ok bool) {
+	if ctx == nil {
+		return 0, false
+	}
+	v, ok := ctx.Value(stepCapKey{}).(int64)
+	return v, ok
+}

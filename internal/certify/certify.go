@@ -1,0 +1,395 @@
+// Package certify computes completeness certificates: given the webhouse's
+// incomplete knowledge about a source (an incomplete tree T whose data tree
+// is the Theorem 3.14 lower approximation — the certain fragment) and a
+// ps-query q, it determines the maximal sub-query of q whose answer over the
+// certain fragment provably equals the answer over every completion of T,
+// plus a summary of the certain region the certified answer covers.
+//
+// The machinery is the Corollary 3.15 full-answerability test (answer
+// .FullyAnswerableBudgeted), applied to prefix-closed subsets of q's pattern
+// nodes under budget.Tri never-wrong semantics:
+//
+//   - a pattern node is admitted into the certified sub-query only when the
+//     budgeted decider returns an exact Yes for the grown candidate;
+//   - No excludes the node (and, by prefix closure, its subtree) exactly;
+//   - Unknown — the budget ran out — excludes it conservatively and marks
+//     the certificate Exhausted.
+//
+// Certificates therefore never overclaim: whatever the budget, the reported
+// sub-query's answer over the certain fragment equals its answer over every
+// world in rep(T). Budget exhaustion can only make the certified sub-query
+// smaller than the true maximum, never larger (ROADMAP item 5; "Complete
+// Approximations of Incomplete Queries", Corman–Nutt–Savković).
+//
+// Because sibling pattern labels are pairwise distinct, sub-queries are
+// exactly the prefix-closed node subsets, and prefix-closed sets are closed
+// under intersection — which is what makes Merge's scatter-wide candidate
+// (the intersection of the per-source certified sets) well-defined. The
+// candidate still has to be re-verified per source, because full
+// answerability is not antitone: see Merge.
+package certify
+
+import (
+	"fmt"
+	"sort"
+
+	"incxml/internal/answer"
+	"incxml/internal/budget"
+	"incxml/internal/intern"
+	"incxml/internal/itree"
+	"incxml/internal/query"
+	"incxml/internal/tree"
+)
+
+// Verdict classifies how much of the query a certificate proved complete.
+type Verdict string
+
+const (
+	// Full: the whole query is provably complete over the certain fragment
+	// (ratio 1) — the local answer equals the answer on every completion.
+	Full Verdict = "full"
+	// Partial: only a proper sub-query is complete, and every excluded atom
+	// was excluded by an exact No — the certificate is the true maximum.
+	Partial Verdict = "partial"
+	// Unknown: the certify budget ran out before every atom was decided; the
+	// reported sub-query is still provably complete, but a larger one might
+	// have been certified with more budget.
+	Unknown Verdict = "unknown"
+)
+
+// Certificate states which part of a query's answer can be trusted as
+// complete, and summarizes the certain region it covers. Instances may be
+// shared across callers (they are cached with local answers); treat them as
+// read-only.
+type Certificate struct {
+	// AtomsTotal is the number of pattern nodes of the full query, and
+	// AtomsCertified how many of them the certified sub-query retains.
+	AtomsTotal     int
+	AtomsCertified int
+	// Paths are the query-node paths ("0", "0/1", "0/1/0", ... — root is "0",
+	// child i appends "/i") of the certified sub-query, sorted. The set is
+	// prefix-closed: a node is never certified without its parent.
+	Paths []string
+	// Subquery is the certified sub-query rendered in the textual syntax
+	// accepted by query.Parse ("" when not even the root was certified).
+	Subquery string
+	// Ratio is AtomsCertified/AtomsTotal — the completeness ratio in [0,1].
+	Ratio float64
+	// Verdict classifies the certificate (see Verdict).
+	Verdict Verdict
+	// Exhausted reports that the certify budget ran out while growing the
+	// sub-query; the certificate is then a sound under-approximation.
+	Exhausted bool
+	// CertainNodes is the size of the certified sub-query's answer over the
+	// certain fragment — the number of answer nodes the caller may trust as
+	// complete. Fingerprint is the interned content fingerprint of that
+	// answer (0 for an empty certificate), so two certificates over the same
+	// knowledge can be compared without shipping the trees.
+	CertainNodes int
+	Fingerprint  uint64
+	// CertainFacets and PossibleFacets count the (symbol, query-path) match
+	// facets of Theorem 3.14's Cert and Poss sets — how much of the query
+	// pattern the knowledge certainly (resp. possibly) supports. They are
+	// reported by Compute only; Exact and Merge leave them zero.
+	CertainFacets  int
+	PossibleFacets int
+	// PerSource maps source names to their completeness ratios on merged
+	// (scatter-wide) certificates; nil on single-source ones.
+	PerSource map[string]float64
+}
+
+// CompletenessRatio returns the certificate's completeness ratio, tolerating
+// nil (no certificate means nothing was certified: 0).
+func CompletenessRatio(c *Certificate) float64 {
+	if c == nil {
+		return 0
+	}
+	return c.Ratio
+}
+
+// qnode is one pattern node with its path and parent path ("" for the root).
+type qnode struct {
+	node   *query.Node
+	path   string
+	parent string
+}
+
+// preorder lists q's pattern nodes with their paths, in preorder.
+func preorder(q query.Query) []qnode {
+	var out []qnode
+	var rec func(n *query.Node, path, parent string)
+	rec = func(n *query.Node, path, parent string) {
+		out = append(out, qnode{n, path, parent})
+		for i, c := range n.Children {
+			rec(c, fmt.Sprintf("%s/%d", path, i), path)
+		}
+	}
+	if q.Root != nil {
+		rec(q.Root, "0", "")
+	}
+	return out
+}
+
+// Subquery rebuilds the sub-query of q induced by a prefix-closed set of
+// node paths (the Paths of a Certificate). Nodes whose path is absent are
+// dropped together with their subtrees; an empty or root-less set yields the
+// empty query.
+func Subquery(q query.Query, paths []string) query.Query {
+	keep := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		keep[p] = true
+	}
+	var rec func(n *query.Node, path string) *query.Node
+	rec = func(n *query.Node, path string) *query.Node {
+		if !keep[path] {
+			return nil
+		}
+		out := &query.Node{Label: n.Label, Extract: n.Extract, Cond: n.Cond}
+		for i, c := range n.Children {
+			if k := rec(c, fmt.Sprintf("%s/%d", path, i)); k != nil {
+				out.Children = append(out.Children, k)
+			}
+		}
+		return out
+	}
+	if q.Root == nil {
+		return query.Query{}
+	}
+	root := rec(q.Root, "0")
+	if root == nil {
+		return query.Query{}
+	}
+	return query.Query{Root: root}
+}
+
+// finish derives the ratio, verdict, rendering and certain-region summary
+// shared by Compute and Exact, records the metrics, and returns c.
+func finish(c *Certificate, q query.Query, keptAnswer tree.Tree) *Certificate {
+	if c.AtomsTotal > 0 {
+		c.Ratio = float64(c.AtomsCertified) / float64(c.AtomsTotal)
+	}
+	switch {
+	case c.AtomsTotal > 0 && c.AtomsCertified == c.AtomsTotal:
+		c.Verdict = Full
+	case c.Exhausted:
+		c.Verdict = Unknown
+	default:
+		c.Verdict = Partial
+	}
+	sort.Strings(c.Paths)
+	if c.AtomsCertified > 0 {
+		c.Subquery = Subquery(q, c.Paths).String()
+	}
+	c.CertainNodes = keptAnswer.Size()
+	if !keptAnswer.IsEmpty() {
+		c.Fingerprint = uint64(intern.Tree(keptAnswer))
+	}
+	record(c)
+	return c
+}
+
+// Compute builds the completeness certificate for q over the knowledge know,
+// spending at most the given budget on Corollary 3.15 checks (nil = no step
+// limit). It never returns an error: solver errors and budget exhaustion
+// shrink the certified sub-query — soundly — instead of failing the answer
+// the certificate rides on.
+//
+// The sub-query is grown greedily from the root in preorder: a node is added
+// only when the budgeted full-answerability check returns an exact Yes for
+// the candidate including it. Growing (rather than shrinking from the full
+// query) is required for soundness of the search itself: full answerability
+// is not antitone — a sub-query is less selective than the full query and
+// may be answerable when the full query is not, and vice versa — so each
+// candidate is checked on its own. Checks flow through the answer package's
+// shared decision cache, so the whole-query probe is typically a hit on the
+// verdict the webhouse just computed.
+func Compute(know *itree.T, q query.Query, bud *budget.B) *Certificate {
+	c := &Certificate{}
+	nodes := preorder(q)
+	c.AtomsTotal = len(nodes)
+	if know == nil || len(nodes) == 0 {
+		return finish(c, q, tree.Empty())
+	}
+
+	// Facet counts: how much of the pattern the knowledge certainly /
+	// possibly supports (Theorem 3.14's Cert and Poss sets). Polynomial.
+	poss, cert := answer.MatchSets(know.TrimUseless(), q)
+	c.PossibleFacets = len(poss)
+	c.CertainFacets = len(cert)
+
+	all := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		all[n.path] = true
+	}
+	kept, exhausted := growWithin(know, q, all, bud)
+	c.Exhausted = exhausted
+	c.Paths = pathsOf(kept)
+	c.AtomsCertified = len(c.Paths)
+	keptAnswer := tree.Empty()
+	if c.AtomsCertified > 0 {
+		keptAnswer = Subquery(q, c.Paths).Eval(know.DataTree())
+	}
+	return finish(c, q, keptAnswer)
+}
+
+func pathsOf(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// growWithin greedily certifies the largest provable sub-query of q whose
+// nodes lie inside the allowed (prefix-closed) path set, for one source's
+// knowledge. It is the certification core shared by Compute (allowed = all
+// of q) and Merge's re-verification pass. The whole-candidate probe runs
+// first: when the full allowed sub-query is fully answerable — typically a
+// decision-cache hit — the greedy loop is skipped entirely.
+func growWithin(know *itree.T, q query.Query, allowed map[string]bool, bud *budget.B) (kept map[string]bool, exhausted bool) {
+	kept = map[string]bool{}
+	if len(allowed) == 0 {
+		return kept, false
+	}
+	whole := Subquery(q, pathsOf(allowed))
+	if v, err := answer.FullyAnswerableBudgeted(know, whole, bud); err == nil && v == budget.Yes {
+		for p := range allowed {
+			kept[p] = true
+		}
+		return kept, false
+	} else if v == budget.Unknown && answer.IsExhausted(err) {
+		exhausted = true
+	}
+	for _, n := range preorder(q) {
+		if !allowed[n.path] {
+			continue
+		}
+		if n.parent != "" && !kept[n.parent] {
+			continue // prefix closure: a dropped parent drops the subtree
+		}
+		kept[n.path] = true
+		cand := Subquery(q, pathsOf(kept))
+		v, err := answer.FullyAnswerableBudgeted(know, cand, bud)
+		if err != nil && !answer.IsExhausted(err) {
+			// Genuine solver error: nothing provable about this candidate.
+			delete(kept, n.path)
+			continue
+		}
+		switch v {
+		case budget.Yes:
+			// keep
+		case budget.Unknown:
+			exhausted = true
+			delete(kept, n.path)
+		default:
+			delete(kept, n.path)
+		}
+	}
+	return kept, exhausted
+}
+
+// Exact is the certificate of an answer known to be exact — a completion
+// that reached the source, or a whole query certified by Corollary 3.15:
+// every atom is certified and the region summary describes the exact answer
+// itself. Facet counts are left zero (there is no uncertainty to count).
+func Exact(q query.Query, ans tree.Tree) *Certificate {
+	c := &Certificate{}
+	nodes := preorder(q)
+	c.AtomsTotal = len(nodes)
+	c.AtomsCertified = len(nodes)
+	for _, n := range nodes {
+		c.Paths = append(c.Paths, n.path)
+	}
+	return finish(c, q, ans)
+}
+
+// Merge folds per-source certificates for the same query into the
+// scatter-wide certificate. The candidate sub-query is the intersection of
+// the per-source certified path sets (prefix-closed sets are closed under
+// intersection, so the result is again a valid sub-query); a missing or nil
+// certificate, or a source without a knowledge snapshot in knows, counts as
+// a hard-failed source and contributes the empty set — a dead shard's
+// sources drop out of the complete sub-query entirely.
+//
+// The intersection alone would overclaim: full answerability is not
+// antitone, so a subset of a path set one source verified is NOT
+// automatically verified for that source (and an exact completion's
+// certificate says nothing about sub-queries over its knowledge at all).
+// Merge therefore re-verifies the candidate against every live source's
+// knowledge and shrinks it to a fixpoint: each pass re-certifies the
+// current candidate per source with the Corollary 3.15 machinery
+// (decision-cache hits make stable passes one lookup per source), and a
+// pass that shrinks nothing proves the final sub-query fully answerable
+// over every contributor. Budget exhaustion during re-verification drops
+// atoms — soundly — and marks the certificate Exhausted.
+//
+// The merged certificate is Exhausted if any contributor (or any
+// re-verification check) was, sums the contributors' certain-node counts,
+// and carries every source's own ratio in PerSource.
+func Merge(q query.Query, perSource map[string]*Certificate, knows map[string]*itree.T, bud *budget.B) *Certificate {
+	c := &Certificate{AtomsTotal: q.Size(), PerSource: make(map[string]float64, len(perSource))}
+	names := make([]string, 0, len(perSource))
+	dead := false
+	var common map[string]bool
+	first := true
+	for name, sc := range perSource {
+		c.PerSource[name] = CompletenessRatio(sc)
+		if sc == nil || knows[name] == nil {
+			dead = true
+			common = map[string]bool{}
+			first = false
+			continue
+		}
+		names = append(names, name)
+		c.Exhausted = c.Exhausted || sc.Exhausted
+		c.CertainNodes += sc.CertainNodes
+		if first {
+			common = make(map[string]bool, len(sc.Paths))
+			for _, p := range sc.Paths {
+				common[p] = true
+			}
+			first = false
+			continue
+		}
+		next := make(map[string]bool, len(common))
+		for _, p := range sc.Paths {
+			if common[p] {
+				next[p] = true
+			}
+		}
+		common = next
+	}
+	// Fixpoint re-verification (sorted for determinism). Termination: the
+	// candidate strictly shrinks on every repeated pass.
+	sort.Strings(names)
+	for changed := true; changed && len(common) > 0; {
+		changed = false
+		for _, name := range names {
+			kept, exhausted := growWithin(knows[name], q, common, bud)
+			c.Exhausted = c.Exhausted || exhausted
+			if len(kept) < len(common) {
+				common = kept
+				changed = true
+			}
+		}
+	}
+	c.Paths = pathsOf(common)
+	c.AtomsCertified = len(c.Paths)
+	if c.AtomsTotal > 0 {
+		c.Ratio = float64(c.AtomsCertified) / float64(c.AtomsTotal)
+	}
+	switch {
+	case len(perSource) > 0 && !dead && c.AtomsTotal > 0 && c.AtomsCertified == c.AtomsTotal:
+		c.Verdict = Full
+	case c.Exhausted || dead || len(perSource) == 0:
+		c.Verdict = Unknown
+	default:
+		c.Verdict = Partial
+	}
+	if c.AtomsCertified > 0 {
+		c.Subquery = Subquery(q, c.Paths).String()
+	}
+	record(c)
+	return c
+}

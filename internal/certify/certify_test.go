@@ -1,0 +1,218 @@
+package certify_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"incxml/internal/budget"
+	"incxml/internal/certify"
+	"incxml/internal/itree"
+	"incxml/internal/query"
+	"incxml/internal/tree"
+	"incxml/internal/webhouse"
+	"incxml/internal/workload"
+)
+
+// warmCatalog builds a webhouse over the paper catalog, explores it with
+// Query 1, and returns the resulting knowledge plus the world document.
+func warmCatalog(t *testing.T) (*itree.T, tree.Tree) {
+	t.Helper()
+	src, err := webhouse.NewSource("catalog", workload.CatalogType(), workload.PaperCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh := webhouse.New()
+	wh.Register(src)
+	if _, err := wh.Explore(context.Background(), "catalog", workload.Query1(200)); err != nil {
+		t.Fatal(err)
+	}
+	know, err := wh.Knowledge("catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return know, src.Doc()
+}
+
+// assertSound checks the no-overclaim invariant: the certified sub-query's
+// answer over the certain fragment must equal its answer over the world.
+func assertSound(t *testing.T, c *certify.Certificate, q query.Query, know *itree.T, world tree.Tree) {
+	t.Helper()
+	if c.AtomsCertified == 0 {
+		return
+	}
+	subq := certify.Subquery(q, c.Paths)
+	if err := subq.Validate(); err != nil {
+		t.Fatalf("certified sub-query invalid: %v", err)
+	}
+	got := subq.Eval(know.DataTree())
+	want := subq.Eval(world)
+	if !got.Equal(want) {
+		t.Errorf("certificate overclaims: sub-query answer on certain fragment != answer on world\nsubquery:\n%s", c.Subquery)
+	}
+	if got.Size() != c.CertainNodes {
+		t.Errorf("CertainNodes = %d, certified answer has %d nodes", c.CertainNodes, got.Size())
+	}
+	// Prefix closure: every non-root path's parent is certified too.
+	keep := map[string]bool{}
+	for _, p := range c.Paths {
+		keep[p] = true
+	}
+	for _, p := range c.Paths {
+		if p == "0" {
+			continue
+		}
+		parent := p[:strings.LastIndex(p, "/")]
+		if !keep[parent] {
+			t.Errorf("path %q certified without its parent %q", p, parent)
+		}
+	}
+}
+
+func TestComputeFullAfterMatchingExplore(t *testing.T) {
+	know, world := warmCatalog(t)
+	q := workload.Query1(200)
+	c := certify.Compute(know, q, nil)
+	if c.Verdict != certify.Full || c.Ratio != 1 {
+		t.Fatalf("explored query not certified full: verdict=%s ratio=%v", c.Verdict, c.Ratio)
+	}
+	if c.AtomsCertified != q.Size() || c.AtomsTotal != q.Size() {
+		t.Errorf("atoms = %d/%d, want %d/%d", c.AtomsCertified, c.AtomsTotal, q.Size(), q.Size())
+	}
+	if c.Subquery != q.String() {
+		t.Errorf("full certificate sub-query differs from the query:\n%s\nvs\n%s", c.Subquery, q)
+	}
+	if c.PossibleFacets == 0 || c.CertainFacets == 0 {
+		t.Errorf("facet counts empty on a warmed knowledge: poss=%d cert=%d", c.PossibleFacets, c.CertainFacets)
+	}
+	assertSound(t, c, q, know, world)
+}
+
+func TestComputePartialNeverOverclaims(t *testing.T) {
+	know, world := warmCatalog(t)
+	// Query 4 is not fully answerable after a Query-1 exploration
+	// (Example 3.4): the certificate must be a proper, sound sub-query.
+	q := workload.Query4()
+	c := certify.Compute(know, q, nil)
+	if c.Ratio >= 1 {
+		t.Fatalf("unanswerable query certified full: %+v", c)
+	}
+	if c.Verdict == certify.Full {
+		t.Fatalf("verdict full with ratio %v", c.Ratio)
+	}
+	if c.Ratio < 0 || c.Ratio > 1 {
+		t.Fatalf("ratio out of range: %v", c.Ratio)
+	}
+	assertSound(t, c, q, know, world)
+}
+
+func TestComputeExhaustedStaysSound(t *testing.T) {
+	know, world := warmCatalog(t)
+	q := workload.Query3(100)
+	// A one-step budget exhausts almost immediately; whatever survives via
+	// decision-cache hits must still be provably complete.
+	c := certify.Compute(know, q, budget.New(context.Background(), 1))
+	if c.Ratio < 1 && !c.Exhausted && c.Verdict == certify.Unknown {
+		t.Errorf("unknown verdict without exhaustion: %+v", c)
+	}
+	assertSound(t, c, q, know, world)
+	// An exhausted certificate never claims more than the unbudgeted one.
+	unbounded := certify.Compute(know, q, nil)
+	if c.AtomsCertified > unbounded.AtomsCertified {
+		t.Errorf("exhausted certificate claims %d atoms, unbudgeted proves only %d",
+			c.AtomsCertified, unbounded.AtomsCertified)
+	}
+}
+
+func TestSubqueryRoundTrip(t *testing.T) {
+	q := workload.Query3(100)
+	full := certify.Exact(q, tree.Empty())
+	if got := certify.Subquery(q, full.Paths).String(); got != q.String() {
+		t.Errorf("full path set does not rebuild the query:\n%s\nvs\n%s", got, q)
+	}
+	if sub := certify.Subquery(q, nil); sub.Root != nil {
+		t.Errorf("empty path set produced a non-empty query: %v", sub)
+	}
+	if sub := certify.Subquery(q, []string{"0"}); sub.Size() != 1 || sub.Root.Label != q.Root.Label {
+		t.Errorf("root-only sub-query wrong: %v", sub)
+	}
+}
+
+func TestExactCertificate(t *testing.T) {
+	q := workload.Query1(200)
+	ans := q.Eval(workload.PaperCatalog())
+	c := certify.Exact(q, ans)
+	if c.Verdict != certify.Full || c.Ratio != 1 || c.Exhausted {
+		t.Fatalf("exact certificate not full: %+v", c)
+	}
+	if c.CertainNodes != ans.Size() {
+		t.Errorf("CertainNodes = %d, answer has %d", c.CertainNodes, ans.Size())
+	}
+	if ans.Size() > 0 && c.Fingerprint == 0 {
+		t.Error("non-empty exact answer without a fingerprint")
+	}
+}
+
+func TestMergeIntersectsAndDropsDeadSources(t *testing.T) {
+	know, world := warmCatalog(t)
+	q := workload.Query1(200)
+	a := certify.Compute(know, q, nil) // warmed knowledge: full certificate
+	if a.Verdict != certify.Full {
+		t.Fatalf("warmed certificate not full: %+v", a)
+	}
+	empty := itree.New()
+	b := certify.Compute(empty, q, nil) // empty knowledge: tiny certificate
+	knows := map[string]*itree.T{"a": know, "b": empty}
+	m := certify.Merge(q, map[string]*certify.Certificate{"a": a, "b": b}, knows, nil)
+	// The merged sub-query can never exceed the weakest contributor, and
+	// must be re-verified against BOTH sources' knowledge.
+	if m.AtomsCertified > b.AtomsCertified {
+		t.Errorf("merge of full and %d-atom certificates kept %d atoms", b.AtomsCertified, m.AtomsCertified)
+	}
+	if m.PerSource["a"] != 1 || m.PerSource["b"] != b.Ratio {
+		t.Errorf("perSource ratios wrong: %v", m.PerSource)
+	}
+	assertSound(t, m, q, know, world)
+	if m.AtomsCertified > 0 {
+		subq := certify.Subquery(q, m.Paths)
+		if got, want := subq.Eval(empty.DataTree()), subq.Eval(tree.Empty()); !got.Equal(want) {
+			t.Error("merged sub-query not sound over the empty contributor")
+		}
+	}
+
+	// Merging two full certificates over the same knowledge stays full.
+	m = certify.Merge(q, map[string]*certify.Certificate{"a": a, "a2": a},
+		map[string]*itree.T{"a": know, "a2": know}, nil)
+	if m.Verdict != certify.Full || m.Ratio != 1 {
+		t.Errorf("merge of two full certificates: verdict=%s ratio=%v", m.Verdict, m.Ratio)
+	}
+
+	// A dead source (nil certificate) empties the intersection.
+	m = certify.Merge(q, map[string]*certify.Certificate{"a": a, "dead": nil}, knows, nil)
+	if m.AtomsCertified != 0 || m.Ratio != 0 {
+		t.Errorf("dead source did not drop out of the complete sub-query: %+v", m)
+	}
+	if m.Verdict != certify.Unknown {
+		t.Errorf("merge with a dead source has verdict %s, want unknown", m.Verdict)
+	}
+	if m.PerSource["dead"] != 0 {
+		t.Errorf("dead source ratio = %v, want 0", m.PerSource["dead"])
+	}
+
+	// A live certificate without a knowledge snapshot cannot be re-verified
+	// and is treated as dead: never overclaim.
+	m = certify.Merge(q, map[string]*certify.Certificate{"a": a, "b": b},
+		map[string]*itree.T{"a": know}, nil)
+	if m.AtomsCertified != 0 || m.Verdict != certify.Unknown {
+		t.Errorf("unverifiable source did not drop the certificate: %+v", m)
+	}
+}
+
+func TestCompletenessRatioNilTolerant(t *testing.T) {
+	if certify.CompletenessRatio(nil) != 0 {
+		t.Error("nil certificate should have ratio 0")
+	}
+	if got := certify.CompletenessRatio(&certify.Certificate{Ratio: 0.5}); got != 0.5 {
+		t.Errorf("ratio = %v", got)
+	}
+}

@@ -1,0 +1,39 @@
+package certify
+
+import "incxml/internal/obs"
+
+// The certificate metrics live on the process-wide default registry, like
+// the decider-verdict and budget-exhaustion families: every serving
+// registry Includes obs.Default(), so one scrape sees how complete the
+// fleet's answers are without extra wiring.
+var (
+	// ratioPercent is `incxml_completeness_ratio`: the completeness ratio of
+	// every certificate built, observed as a percentage (0–100) because the
+	// obs histograms bucket integers by log2.
+	ratioPercent = obs.Default().NewHistogram(
+		"incxml_completeness_ratio",
+		"Completeness ratio of computed certificates, in percent 0-100 (log2 buckets).")
+
+	fullTotal = obs.Default().NewCounter(
+		"incxml_certify_full_total",
+		"Certificates proving the whole query complete (ratio 1).")
+	partialTotal = obs.Default().NewCounter(
+		"incxml_certify_partial_total",
+		"Certificates proving a proper sub-query complete, with every excluded atom excluded exactly.")
+	unknownTotal = obs.Default().NewCounter(
+		"incxml_certify_unknown_total",
+		"Certificates truncated by budget exhaustion or missing per-source contributions.")
+)
+
+// record observes one finished certificate on the metric families.
+func record(c *Certificate) {
+	ratioPercent.Observe(int64(c.Ratio * 100))
+	switch c.Verdict {
+	case Full:
+		fullTotal.Inc()
+	case Partial:
+		partialTotal.Inc()
+	default:
+		unknownTotal.Inc()
+	}
+}

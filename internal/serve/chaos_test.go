@@ -34,6 +34,20 @@ func evalSize(t *testing.T, doc tree.Tree, body string) int {
 	return q.Eval(doc).Size()
 }
 
+// dig walks nested objects of a decoded JSON document; nil when any key on
+// the way is missing or not an object.
+func dig(m map[string]any, keys ...string) any {
+	var cur any = m
+	for _, k := range keys {
+		obj, ok := cur.(map[string]any)
+		if !ok {
+			return nil
+		}
+		cur = obj[k]
+	}
+	return cur
+}
+
 // TestChaosSoak drives a mixed concurrent workload — healthy catalog
 // traffic, Theorem 3.6 blow-up refinement chains, malformed requests,
 // unknown sources, injected source faults, and injected handler panics —
@@ -173,10 +187,17 @@ func TestChaosSoak(t *testing.T) {
 			if strings.Contains(r.path, "source=blowup") {
 				doc = blowDoc
 			}
+			// Every 200 is a v1 envelope carrying a completeness section.
+			if m["v"] != float64(1) {
+				t.Errorf("%s: answer without v:1 envelope: %s", r.path, r.resp)
+			}
+			if dig(m, "completeness", "verdict") == nil {
+				t.Errorf("%s: answer without a completeness certificate: %s", r.path, r.resp)
+			}
 			if strings.HasPrefix(r.path, "/local") {
-				if m["fullyV"] == "yes" {
+				if dig(m, "local", "fullyV") == "yes" {
 					fullYes++
-					if got, want := int(m["nodes"].(float64)), evalSize(t, doc, r.body); got != want {
+					if got, want := int(dig(m, "answer", "nodes").(float64)), evalSize(t, doc, r.body); got != want {
 						t.Errorf("%s %q: claims fully answerable with %d nodes, world has %d",
 							r.path, r.body, got, want)
 					}
@@ -185,7 +206,7 @@ func TestChaosSoak(t *testing.T) {
 			if strings.HasPrefix(r.path, "/complete") {
 				if m["degraded"] == false {
 					exactCompletes++
-					if got, want := int(m["nodes"].(float64)), evalSize(t, doc, r.body); got != want {
+					if got, want := int(dig(m, "answer", "nodes").(float64)), evalSize(t, doc, r.body); got != want {
 						t.Errorf("%s %q: non-degraded completion has %d nodes, world has %d",
 							r.path, r.body, got, want)
 					}

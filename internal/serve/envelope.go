@@ -1,0 +1,392 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"incxml/internal/certify"
+	"incxml/internal/query"
+	"incxml/internal/shard"
+	"incxml/internal/tree"
+	"incxml/internal/webhouse"
+	"incxml/internal/xmlio"
+)
+
+// EnvelopeVersion is the current answer-envelope schema version. Version 0
+// is the legacy per-route ad-hoc shape, kept for one release behind ?v=0 or
+// an Accept-Version header and announced deprecated via the Deprecation
+// response header.
+const EnvelopeVersion = 1
+
+// AnswerEnvelope is the single versioned response shape of every answer
+// route (/explore, /local, /complete, /scatter/local, /scatter/complete):
+// one envelope, one encoder, instead of four hand-rolled renderers. Exactly
+// one of the optional sections is populated per route beyond Answer and
+// Completeness, which every route carries — an answer without a
+// completeness certificate no longer exists.
+type AnswerEnvelope struct {
+	// V is the schema version (EnvelopeVersion).
+	V int `json:"v"`
+	// Route names the answer route that produced the envelope: "explore",
+	// "local", "complete", "scatter_local" or "scatter_complete".
+	Route string `json:"route"`
+	// Source is the source the answer is about; empty on scatter envelopes
+	// (the per-source breakdown lives in Scatter.Answers).
+	Source string `json:"source,omitempty"`
+	// Degraded reports anything less than an exact answer: a source outage
+	// softened to the Theorem 3.14 approximation, or any degraded shard in a
+	// scatter. Cause carries the reason when one is known.
+	Degraded bool   `json:"degraded"`
+	Cause    string `json:"cause,omitempty"`
+	// Answer is the gathered answer document; nil on scatter envelopes
+	// (per-source answers live in Scatter.Answers).
+	Answer *AnswerPayload `json:"answer,omitempty"`
+	// Local carries the Theorem 3.14 facets of a local answer (and of a
+	// degraded completion's backing local answer).
+	Local *LocalFacets `json:"local,omitempty"`
+	// Completion carries the Theorem 3.19 completion accounting.
+	Completion *CompletionInfo `json:"completion,omitempty"`
+	// Completeness is the completeness certificate (scatter-wide, on
+	// scatter envelopes).
+	Completeness *Completeness `json:"completeness,omitempty"`
+	// Scatter is the per-source breakdown of a scatter answer.
+	Scatter *ScatterInfo `json:"scatter,omitempty"`
+}
+
+// AnswerPayload is an answer document: its node count and XML rendering.
+type AnswerPayload struct {
+	Nodes int    `json:"nodes"`
+	XML   string `json:"xml"`
+}
+
+// LocalFacets are the Theorem 3.14 / Corollary 3.18 facets of a local
+// answer; the three *V fields are the three-valued verdicts behind the
+// sound booleans ("yes"/"no"/"unknown").
+type LocalFacets struct {
+	Fully              bool   `json:"fully"`
+	FullyV             string `json:"fullyV"`
+	CertainlyNonEmpty  bool   `json:"certainlyNonEmpty"`
+	CertainlyNonEmptyV string `json:"certainlyNonEmptyV"`
+	PossiblyNonEmpty   bool   `json:"possiblyNonEmpty"`
+	PossiblyNonEmptyV  string `json:"possiblyNonEmptyV"`
+	Lossy              bool   `json:"lossy"`
+	BudgetExhausted    bool   `json:"budgetExhausted"`
+}
+
+// CompletionInfo is the Theorem 3.19 completion accounting.
+type CompletionInfo struct {
+	// LocalQueries is the number of local queries the completion executed
+	// (attempted, when the answer degraded).
+	LocalQueries int `json:"localQueries"`
+}
+
+// Completeness is the wire form of a certify.Certificate: what part of the
+// answer the caller can provably trust as complete.
+type Completeness struct {
+	// Ratio is certifiedAtoms/atoms in [0,1]; Verdict is "full", "partial"
+	// or "unknown" (see certify.Verdict).
+	Ratio   float64 `json:"ratio"`
+	Verdict string  `json:"verdict"`
+	// Subquery is the certified sub-query in the textual query syntax, and
+	// Paths its pattern-node paths; both empty when nothing was certified.
+	Subquery string   `json:"subquery,omitempty"`
+	Paths    []string `json:"paths,omitempty"`
+	// Atoms counts the full query's pattern nodes, CertifiedAtoms those of
+	// the certified sub-query.
+	Atoms          int `json:"atoms"`
+	CertifiedAtoms int `json:"certifiedAtoms"`
+	// CertainNodes is the size of the certified sub-query's answer over the
+	// certain fragment; Fingerprint its content fingerprint in hex.
+	CertainNodes int    `json:"certainNodes"`
+	Fingerprint  string `json:"fingerprint,omitempty"`
+	// CertainFacets / PossibleFacets count the Theorem 3.14 Cert/Poss match
+	// facets the knowledge supports.
+	CertainFacets  int `json:"certainFacets,omitempty"`
+	PossibleFacets int `json:"possibleFacets,omitempty"`
+	// Exhausted reports a certify-budget truncation (the certificate is
+	// then a sound under-approximation).
+	Exhausted bool `json:"exhausted,omitempty"`
+	// PerSource maps source names to their own completeness ratios on
+	// scatter-wide certificates.
+	PerSource map[string]float64 `json:"perSource,omitempty"`
+}
+
+// ScatterInfo is the per-source breakdown of a scatter answer.
+type ScatterInfo struct {
+	// Shards is the cluster's shard count; CompleteShards/DegradedShards
+	// the per-shard health classification of this scatter.
+	Shards         int   `json:"shards"`
+	CompleteShards []int `json:"completeShards"`
+	DegradedShards []int `json:"degradedShards"`
+	// Answers is one entry per registered source, sorted by source name.
+	Answers []SourceEnvelope `json:"answers"`
+}
+
+// SourceEnvelope is one source's contribution to a scatter: a miniature
+// answer envelope plus the shard that answered for it.
+type SourceEnvelope struct {
+	Source   string `json:"source"`
+	Shard    int    `json:"shard"`
+	Degraded bool   `json:"degraded"`
+	// Error is a hard per-source failure; the sections below are then nil.
+	Error        string          `json:"error,omitempty"`
+	Cause        string          `json:"cause,omitempty"`
+	Answer       *AnswerPayload  `json:"answer,omitempty"`
+	Local        *LocalFacets    `json:"local,omitempty"`
+	Completion   *CompletionInfo `json:"completion,omitempty"`
+	Completeness *Completeness   `json:"completeness,omitempty"`
+}
+
+// completenessOf projects a certificate into its wire form (nil-tolerant;
+// a nil certificate certifies nothing).
+func completenessOf(c *certify.Certificate) *Completeness {
+	if c == nil {
+		return &Completeness{Verdict: string(certify.Unknown)}
+	}
+	out := &Completeness{
+		Ratio:          c.Ratio,
+		Verdict:        string(c.Verdict),
+		Subquery:       c.Subquery,
+		Paths:          c.Paths,
+		Atoms:          c.AtomsTotal,
+		CertifiedAtoms: c.AtomsCertified,
+		CertainNodes:   c.CertainNodes,
+		CertainFacets:  c.CertainFacets,
+		PossibleFacets: c.PossibleFacets,
+		Exhausted:      c.Exhausted,
+		PerSource:      c.PerSource,
+	}
+	if c.Fingerprint != 0 {
+		out.Fingerprint = fmt.Sprintf("%016x", c.Fingerprint)
+	}
+	return out
+}
+
+// payloadOf renders an answer document into the envelope payload.
+func payloadOf(a tree.Tree, xml string) *AnswerPayload {
+	return &AnswerPayload{Nodes: a.Size(), XML: xml}
+}
+
+// facetsOf projects a local answer's facets.
+func facetsOf(la *webhouse.LocalAnswer) *LocalFacets {
+	return &LocalFacets{
+		Fully:              la.Fully,
+		FullyV:             la.FullyV.String(),
+		CertainlyNonEmpty:  la.CertainlyNonEmpty,
+		CertainlyNonEmptyV: la.CertainlyNonEmptyV.String(),
+		PossiblyNonEmpty:   la.PossiblyNonEmpty,
+		PossiblyNonEmptyV:  la.PossiblyNonEmptyV.String(),
+		Lossy:              la.Lossy,
+		BudgetExhausted:    la.BudgetExhausted,
+	}
+}
+
+// envelopeLocal builds the /local envelope.
+func envelopeLocal(source string, la *webhouse.LocalAnswer) (*AnswerEnvelope, error) {
+	xml, err := xmlio.Marshal(la.Exact)
+	if err != nil {
+		return nil, err
+	}
+	return &AnswerEnvelope{
+		V:            EnvelopeVersion,
+		Route:        "local",
+		Source:       source,
+		Degraded:     la.BudgetExhausted,
+		Answer:       payloadOf(la.Exact, xml),
+		Local:        facetsOf(la),
+		Completeness: completenessOf(la.Certificate),
+	}, nil
+}
+
+// envelopeComplete builds the /complete envelope.
+func envelopeComplete(source string, ca *webhouse.CompleteAnswer) (*AnswerEnvelope, error) {
+	xml, err := xmlio.Marshal(ca.Answer)
+	if err != nil {
+		return nil, err
+	}
+	env := &AnswerEnvelope{
+		V:            EnvelopeVersion,
+		Route:        "complete",
+		Source:       source,
+		Degraded:     ca.Degraded,
+		Answer:       payloadOf(ca.Answer, xml),
+		Completion:   &CompletionInfo{LocalQueries: ca.LocalQueries},
+		Completeness: completenessOf(ca.Certificate),
+	}
+	if ca.Degraded && ca.Cause != nil {
+		env.Cause = ca.Cause.Error()
+	}
+	if ca.Degraded && ca.Local != nil {
+		env.Local = facetsOf(ca.Local)
+	}
+	return env, nil
+}
+
+// envelopeExplore builds the /explore envelope; an exploration that
+// succeeded returns the source's exact answer, so its certificate is full.
+func envelopeExplore(source string, q query.Query, a tree.Tree) (*AnswerEnvelope, error) {
+	xml, err := xmlio.Marshal(a)
+	if err != nil {
+		return nil, err
+	}
+	return &AnswerEnvelope{
+		V:            EnvelopeVersion,
+		Route:        "explore",
+		Source:       source,
+		Answer:       payloadOf(a, xml),
+		Completeness: completenessOf(certify.Exact(q, a)),
+	}, nil
+}
+
+// envelopeScatter builds the scatter envelopes (route "scatter_local" or
+// "scatter_complete").
+func envelopeScatter(route string, shards int, sc *shard.Scatter) (*AnswerEnvelope, error) {
+	info := &ScatterInfo{
+		Shards:         shards,
+		CompleteShards: sc.CompleteShards,
+		DegradedShards: sc.DegradedShards,
+		Answers:        make([]SourceEnvelope, 0, len(sc.Answers)),
+	}
+	for _, sa := range sc.Answers {
+		se := SourceEnvelope{
+			Source:       sa.Source,
+			Shard:        sa.Shard,
+			Degraded:     sa.Degraded(),
+			Completeness: completenessOf(sa.Certificate()),
+		}
+		switch {
+		case sa.Err != nil:
+			se.Error = sa.Err.Error()
+			se.Completeness = completenessOf(nil)
+		case sa.Complete != nil:
+			xml, err := xmlio.Marshal(sa.Complete.Answer)
+			if err != nil {
+				return nil, err
+			}
+			se.Answer = payloadOf(sa.Complete.Answer, xml)
+			se.Completion = &CompletionInfo{LocalQueries: sa.Complete.LocalQueries}
+			if sa.Complete.Degraded && sa.Complete.Cause != nil {
+				se.Cause = sa.Complete.Cause.Error()
+			}
+			if sa.Complete.Degraded && sa.Complete.Local != nil {
+				se.Local = facetsOf(sa.Complete.Local)
+			}
+		case sa.Local != nil:
+			xml, err := xmlio.Marshal(sa.Local.Exact)
+			if err != nil {
+				return nil, err
+			}
+			se.Answer = payloadOf(sa.Local.Exact, xml)
+			se.Local = facetsOf(sa.Local)
+		}
+		info.Answers = append(info.Answers, se)
+	}
+	return &AnswerEnvelope{
+		V:            EnvelopeVersion,
+		Route:        route,
+		Degraded:     sc.Degraded(),
+		Completeness: completenessOf(sc.Certificate),
+		Scatter:      info,
+	}, nil
+}
+
+// apiVersion negotiates the answer-envelope version of a request: ?v= wins,
+// then the Accept-Version header ("0"/"1", optionally "v"-prefixed); absent
+// both, the current version. Unknown versions are an error the caller maps
+// to a 400.
+func apiVersion(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("v")
+	if raw == "" {
+		raw = strings.TrimPrefix(strings.TrimSpace(r.Header.Get("Accept-Version")), "v")
+	}
+	switch raw {
+	case "":
+		return EnvelopeVersion, nil
+	case "0":
+		return 0, nil
+	case "1":
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("unknown API version %q (supported: 0, 1)", raw)
+	}
+}
+
+// writeAnswer is the single answer encoder: version 1 writes the envelope
+// itself; version 0 writes the legacy per-route shape with a Deprecation
+// response header announcing its retirement.
+func writeAnswer(w http.ResponseWriter, version int, env *AnswerEnvelope) {
+	if version == 0 {
+		w.Header().Set("Deprecation", `version="v0"`)
+		writeJSON(w, legacyBody(env))
+		return
+	}
+	writeJSON(w, env)
+}
+
+// legacyBody projects an envelope onto the pre-v1 per-route response shape
+// (the four hand-rolled renderers this package used to have, now derived
+// from the one envelope).
+func legacyBody(env *AnswerEnvelope) any {
+	switch env.Route {
+	case "explore":
+		return map[string]any{"nodes": env.Answer.Nodes, "answer": env.Answer.XML}
+	case "local":
+		return map[string]any{
+			"fully":             env.Local.Fully,
+			"fullyV":            env.Local.FullyV,
+			"certainlyNonEmpty": env.Local.CertainlyNonEmpty,
+			"possiblyNonEmpty":  env.Local.PossiblyNonEmpty,
+			"lossy":             env.Local.Lossy,
+			"budgetExhausted":   env.Local.BudgetExhausted,
+			"nodes":             env.Answer.Nodes,
+			"answer":            env.Answer.XML,
+		}
+	case "complete":
+		out := map[string]any{
+			"degraded":     env.Degraded,
+			"localQueries": env.Completion.LocalQueries,
+			"nodes":        env.Answer.Nodes,
+			"answer":       env.Answer.XML,
+		}
+		if env.Degraded && env.Cause != "" {
+			out["cause"] = env.Cause
+		}
+		return out
+	default: // scatter_local, scatter_complete
+		answers := make([]map[string]any, 0, len(env.Scatter.Answers))
+		for _, se := range env.Scatter.Answers {
+			entry := map[string]any{
+				"source":   se.Source,
+				"shard":    se.Shard,
+				"degraded": se.Degraded,
+			}
+			switch {
+			case se.Error != "":
+				entry["error"] = se.Error
+			case se.Completion != nil:
+				entry["nodes"] = se.Answer.Nodes
+				entry["answer"] = se.Answer.XML
+				entry["localQueries"] = se.Completion.LocalQueries
+				if se.Cause != "" {
+					entry["cause"] = se.Cause
+				}
+			case se.Local != nil:
+				entry["nodes"] = se.Answer.Nodes
+				entry["answer"] = se.Answer.XML
+				entry["fully"] = se.Local.Fully
+				entry["certainlyNonEmpty"] = se.Local.CertainlyNonEmpty
+				entry["possiblyNonEmpty"] = se.Local.PossiblyNonEmpty
+				entry["budgetExhausted"] = se.Local.BudgetExhausted
+			}
+			answers = append(answers, entry)
+		}
+		return map[string]any{
+			"shards":         env.Scatter.Shards,
+			"degraded":       env.Degraded,
+			"completeShards": env.Scatter.CompleteShards,
+			"degradedShards": env.Scatter.DegradedShards,
+			"answers":        answers,
+		}
+	}
+}

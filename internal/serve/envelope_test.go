@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newHealthyServer builds a no-fault server and warms the catalog source.
+func newHealthyServer(t *testing.T) (*Server, http.Handler) {
+	t.Helper()
+	s, err := New(Config{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	if rec := post(t, h, "/explore", catalogBody); rec.Code != http.StatusOK {
+		t.Fatalf("warm-up explore: %d (%s)", rec.Code, rec.Body)
+	}
+	return s, h
+}
+
+// TestEnvelopeV1RoundTrip pins the v1 schema: every answer route's response
+// must decode into AnswerEnvelope with no unknown fields (a field the
+// server emits but the type does not declare is a schema break) and
+// re-encode to the identical JSON document. The /local fixture is persisted
+// for the CI artifact when V1_FIXTURE_OUT is set.
+func TestEnvelopeV1RoundTrip(t *testing.T) {
+	_, h := newHealthyServer(t)
+	for _, tc := range []struct{ path, body string }{
+		{"/explore", catalogBody},
+		{"/local", query4Body},
+		{"/complete", query4Body},
+		{"/scatter/local", query4Body},
+		{"/scatter/complete", query4Body},
+	} {
+		rec := post(t, h, tc.path, tc.body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: %d (%s)", tc.path, rec.Code, rec.Body)
+		}
+		raw := rec.Body.Bytes()
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var env AnswerEnvelope
+		if err := dec.Decode(&env); err != nil {
+			t.Fatalf("%s: response does not fit the v1 schema: %v\n%s", tc.path, err, raw)
+		}
+		if env.V != EnvelopeVersion {
+			t.Errorf("%s: v = %d, want %d", tc.path, env.V, EnvelopeVersion)
+		}
+		if env.Completeness == nil || env.Completeness.Verdict == "" {
+			t.Errorf("%s: envelope without a completeness certificate", tc.path)
+		}
+		reenc, err := json.Marshal(&env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got, want map[string]any
+		if err := json.Unmarshal(reenc, &got); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(raw, &want); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: envelope does not round-trip:\ndecoded+re-encoded: %s\nserved:             %s",
+				tc.path, reenc, raw)
+		}
+		if tc.path == "/local" {
+			if out := os.Getenv("V1_FIXTURE_OUT"); out != "" {
+				if err := os.WriteFile(out, raw, 0o644); err != nil {
+					t.Errorf("writing V1_FIXTURE_OUT: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// TestV0AndV1Agree drives the same queries through both envelope versions
+// and checks the legacy fields are projections of the v1 envelope — the two
+// versions must describe the same underlying answer — and that v0 responses
+// carry the Deprecation header while v1 responses do not.
+func TestV0AndV1Agree(t *testing.T) {
+	_, h := newHealthyServer(t)
+
+	recV1 := post(t, h, "/local", query4Body)
+	recV0 := post(t, h, "/local?v=0", query4Body)
+	if recV1.Code != http.StatusOK || recV0.Code != http.StatusOK {
+		t.Fatalf("local: v1=%d v0=%d", recV1.Code, recV0.Code)
+	}
+	if recV0.Header().Get("Deprecation") == "" {
+		t.Error("v0 response without a Deprecation header")
+	}
+	if recV1.Header().Get("Deprecation") != "" {
+		t.Error("v1 response carries a Deprecation header")
+	}
+	var env AnswerEnvelope
+	if err := json.Unmarshal(recV1.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	var legacy map[string]any
+	if err := json.Unmarshal(recV0.Body.Bytes(), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy["fully"] != env.Local.Fully || legacy["fullyV"] != env.Local.FullyV {
+		t.Errorf("v0 fully=%v/%v, v1 %v/%v", legacy["fully"], legacy["fullyV"], env.Local.Fully, env.Local.FullyV)
+	}
+	if int(legacy["nodes"].(float64)) != env.Answer.Nodes || legacy["answer"] != env.Answer.XML {
+		t.Errorf("v0 and v1 disagree on the answer: %v nodes vs %d", legacy["nodes"], env.Answer.Nodes)
+	}
+	if _, hasV := legacy["v"]; hasV {
+		t.Error("legacy body leaks the v1 version field")
+	}
+
+	// The Accept-Version header negotiates the same legacy shape. A
+	// throwaway completion first: the initial /complete folds the fetched
+	// results into the knowledge, so without it the two compared requests
+	// would legitimately differ in localQueries (completion vs. fast path).
+	if rec := post(t, h, "/complete", query4Body); rec.Code != http.StatusOK {
+		t.Fatalf("warm-up complete: %d (%s)", rec.Code, rec.Body)
+	}
+	req := httptest.NewRequest("POST", "/complete", strings.NewReader(query4Body))
+	req.Header.Set("Accept-Version", "v0")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("Accept-Version complete: %d (%s)", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Deprecation") == "" {
+		t.Error("Accept-Version: v0 response without a Deprecation header")
+	}
+	legacy = map[string]any{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	recV1 = post(t, h, "/complete", query4Body)
+	env = AnswerEnvelope{}
+	if err := json.Unmarshal(recV1.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if legacy["degraded"] != env.Degraded ||
+		int(legacy["localQueries"].(float64)) != env.Completion.LocalQueries ||
+		int(legacy["nodes"].(float64)) != env.Answer.Nodes {
+		t.Errorf("v0 and v1 completions disagree:\nv0: %v\nv1: %+v", legacy, env)
+	}
+}
+
+// TestUnknownVersionRejected: an unsupported version is a 400 carrying the
+// shared JSON error envelope.
+func TestUnknownVersionRejected(t *testing.T) {
+	_, h := newHealthyServer(t)
+	rec := post(t, h, "/local?v=2", query4Body)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("?v=2: %d, want 400 (%s)", rec.Code, rec.Body)
+	}
+	var e errorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("400 body is not the error envelope: %v (%s)", err, rec.Body)
+	}
+	if e.V != EnvelopeVersion || e.Status != http.StatusBadRequest || e.Error == "" {
+		t.Errorf("error envelope = %+v", e)
+	}
+}
+
+// TestUnifiedAnswerRequest exercises the JSON AnswerRequest decoder: a JSON
+// body must produce the same answer as the legacy raw-query body, and the
+// strict-decoding rejections (unknown fields, crossed consistency, sourced
+// scatters, negative budgets) must all be 400s with the error envelope.
+func TestUnifiedAnswerRequest(t *testing.T) {
+	_, h := newHealthyServer(t)
+
+	body, err := json.Marshal(AnswerRequest{Source: "catalog", Query: query4Body, Consistency: "local"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recJSON := post(t, h, "/local", string(body))
+	recRaw := post(t, h, "/local", query4Body)
+	if recJSON.Code != http.StatusOK {
+		t.Fatalf("JSON AnswerRequest: %d (%s)", recJSON.Code, recJSON.Body)
+	}
+	var a, b AnswerEnvelope
+	if err := json.Unmarshal(recJSON.Body.Bytes(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(recRaw.Body.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Answer.Nodes != b.Answer.Nodes || a.Local.Fully != b.Local.Fully {
+		t.Errorf("JSON and raw bodies answered differently: %+v vs %+v", a.Answer, b.Answer)
+	}
+
+	for _, tc := range []struct{ name, path, body string }{
+		{"unknown field", "/local", `{"query": "catalog\n", "shiny": true}`},
+		{"crossed consistency", "/complete", `{"query": "catalog\n", "consistency": "local"}`},
+		{"sourced scatter", "/scatter/local", `{"query": "catalog\n", "source": "catalog"}`},
+		{"negative budget", "/local", `{"query": "catalog\n", "budget": -1}`},
+		{"trailing data", "/local", `{"query": "catalog\n"} {"again": true}`},
+	} {
+		rec := post(t, h, tc.path, tc.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: %d, want 400 (%s)", tc.name, rec.Code, rec.Body)
+			continue
+		}
+		var e errorEnvelope
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Errorf("%s: 400 without the error envelope: %s", tc.name, rec.Body)
+		}
+	}
+
+	// A JSON request naming the budget field runs under that step cap and
+	// still succeeds (the cap tightens the solver budget, never errors).
+	body, _ = json.Marshal(AnswerRequest{Query: query4Body, Budget: 1})
+	rec := post(t, h, "/local", string(body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("budgeted request: %d (%s)", rec.Code, rec.Body)
+	}
+}

@@ -12,19 +12,33 @@ import (
 // genuine Theorem 3.19 completion against the sources.
 const query4Body = "catalog\n  product\n    name\n    cat {= 1}\n      subcat {= 2}\n"
 
+// scatterCert pins the completeness section of the v1 envelope.
+type scatterCert struct {
+	Ratio     float64            `json:"ratio"`
+	Verdict   string             `json:"verdict"`
+	PerSource map[string]float64 `json:"perSource"`
+}
+
 type scatterResponse struct {
-	Shards         int   `json:"shards"`
-	Degraded       bool  `json:"degraded"`
-	CompleteShards []int `json:"completeShards"`
-	DegradedShards []int `json:"degradedShards"`
-	Answers        []struct {
-		Source   string `json:"source"`
-		Shard    int    `json:"shard"`
-		Degraded bool   `json:"degraded"`
-		Error    string `json:"error"`
-		Cause    string `json:"cause"`
-		Nodes    int    `json:"nodes"`
-	} `json:"answers"`
+	V            int          `json:"v"`
+	Degraded     bool         `json:"degraded"`
+	Completeness *scatterCert `json:"completeness"`
+	Scatter      struct {
+		Shards         int   `json:"shards"`
+		CompleteShards []int `json:"completeShards"`
+		DegradedShards []int `json:"degradedShards"`
+		Answers        []struct {
+			Source   string `json:"source"`
+			Shard    int    `json:"shard"`
+			Degraded bool   `json:"degraded"`
+			Error    string `json:"error"`
+			Cause    string `json:"cause"`
+			Answer   *struct {
+				Nodes int `json:"nodes"`
+			} `json:"answer"`
+			Completeness *scatterCert `json:"completeness"`
+		} `json:"answers"`
+	} `json:"scatter"`
 }
 
 // newShardedServer builds a 4-shard server with enough extra catalog
@@ -91,18 +105,21 @@ func TestScatterCompleteOneShardDown(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	if resp.Shards != 4 {
-		t.Errorf("shards = %d, want 4", resp.Shards)
+	if resp.Scatter.Shards != 4 {
+		t.Errorf("shards = %d, want 4", resp.Scatter.Shards)
 	}
-	if !resp.Degraded || len(resp.DegradedShards) != 1 || resp.DegradedShards[0] != down {
-		t.Errorf("degradedShards = %v (degraded=%v), want [%d]", resp.DegradedShards, resp.Degraded, down)
+	if !resp.Degraded || len(resp.Scatter.DegradedShards) != 1 || resp.Scatter.DegradedShards[0] != down {
+		t.Errorf("degradedShards = %v (degraded=%v), want [%d]", resp.Scatter.DegradedShards, resp.Degraded, down)
 	}
-	if len(resp.Answers) != len(s.Cluster().Sources()) {
-		t.Errorf("%d answers for %d sources", len(resp.Answers), len(s.Cluster().Sources()))
+	if len(resp.Scatter.Answers) != len(s.Cluster().Sources()) {
+		t.Errorf("%d answers for %d sources", len(resp.Scatter.Answers), len(s.Cluster().Sources()))
 	}
-	for _, a := range resp.Answers {
+	for _, a := range resp.Scatter.Answers {
 		if a.Error != "" {
 			t.Errorf("%s: hard error in a degradable scatter: %s", a.Source, a.Error)
+		}
+		if a.Completeness == nil {
+			t.Errorf("%s: scatter answer without a completeness certificate", a.Source)
 		}
 		if a.Shard == down && a.Source != "blowup" {
 			if !a.Degraded {
@@ -113,6 +130,25 @@ func TestScatterCompleteOneShardDown(t *testing.T) {
 			}
 		} else if a.Shard != down && a.Degraded {
 			t.Errorf("%s degraded on a healthy shard", a.Source)
+		}
+	}
+	// The scatter-wide certificate intersects the per-source ones: the down
+	// shard's sources answered from knowledge alone and cannot certify the
+	// whole of query 4, so the merged ratio must fall below 1, every source
+	// must appear in the per-source breakdown, and the healthy sources'
+	// exact completions must still be certified full.
+	if resp.Completeness == nil {
+		t.Fatal("scatter answer without a scatter-wide certificate")
+	}
+	if resp.Completeness.Ratio >= 1 {
+		t.Errorf("one shard down but scatter-wide completeness ratio = %v", resp.Completeness.Ratio)
+	}
+	if len(resp.Completeness.PerSource) != len(s.Cluster().Sources()) {
+		t.Errorf("perSource covers %d of %d sources", len(resp.Completeness.PerSource), len(s.Cluster().Sources()))
+	}
+	for _, a := range resp.Scatter.Answers {
+		if a.Shard != down && a.Completeness != nil && a.Completeness.Verdict != "full" {
+			t.Errorf("%s: healthy exact completion certified %q, want full", a.Source, a.Completeness.Verdict)
 		}
 	}
 
@@ -163,13 +199,16 @@ func TestScatterLocalRoute(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	if len(resp.Answers) != len(s.Cluster().Sources()) {
-		t.Errorf("%d answers for %d sources", len(resp.Answers), len(s.Cluster().Sources()))
+	if len(resp.Scatter.Answers) != len(s.Cluster().Sources()) {
+		t.Errorf("%d answers for %d sources", len(resp.Scatter.Answers), len(s.Cluster().Sources()))
 	}
-	for i, a := range resp.Answers {
-		if i > 0 && resp.Answers[i-1].Source >= a.Source {
+	for i, a := range resp.Scatter.Answers {
+		if i > 0 && resp.Scatter.Answers[i-1].Source >= a.Source {
 			t.Errorf("answers not sorted by source at %d", i)
 		}
+	}
+	if resp.Completeness == nil || resp.Completeness.Verdict == "" {
+		t.Error("scatter-local answer without a scatter-wide certificate")
 	}
 	// Scatter traffic shows up in the per-shard metric families.
 	snap := s.MetricsSnapshot()

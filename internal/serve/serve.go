@@ -40,7 +40,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -50,11 +49,9 @@ import (
 	_ "incxml/internal/conj" // register the conjunctive-emptiness decider's metric families
 	"incxml/internal/faulty"
 	"incxml/internal/obs"
-	"incxml/internal/query"
 	"incxml/internal/shard"
 	"incxml/internal/webhouse"
 	"incxml/internal/workload"
-	"incxml/internal/xmlio"
 )
 
 // Defaults for Config fields left zero.
@@ -296,13 +293,15 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// Handler returns the HTTP handler: POST /explore, /local, /complete (body
-// = ps-query, optional ?source= selecting "catalog" or "blowup"), GET
-// /stats (JSON counters) and GET /metrics (Prometheus text format). The
-// three query endpoints run behind the full middleware stack; /stats and
-// /metrics bypass admission so they stay observable under overload. When
-// Config.Pprof is set the net/http/pprof handlers are mounted under
-// /debug/pprof/ on this mux.
+// Handler returns the HTTP handler: POST /explore, /local, /complete,
+// /scatter/local and /scatter/complete (body = a JSON AnswerRequest, or the
+// legacy raw ps-query text with an optional ?source=), GET /stats (JSON
+// counters) and GET /metrics (Prometheus text format). Every answer route
+// responds with the versioned AnswerEnvelope; ?v=0 (or Accept-Version: v0)
+// selects the deprecated legacy shapes. The answer endpoints run behind the
+// full middleware stack; /stats and /metrics bypass admission so they stay
+// observable under overload. When Config.Pprof is set the net/http/pprof
+// handlers are mounted under /debug/pprof/ on this mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /explore", s.wrap("explore", s.handleExplore))
@@ -393,7 +392,7 @@ func (s *Server) wrap(route string, h func(ctx context.Context, w http.ResponseW
 			}
 		}()
 		var ok bool
-		release, ok = s.admit(ctx, rec)
+		release, ok = s.admit(ctx, rec, r)
 		if hook := testHookPostAdmit; ok && hook != nil {
 			hook()
 		}
@@ -415,7 +414,7 @@ func (s *Server) wrap(route string, h func(ctx context.Context, w http.ResponseW
 // admit acquires an execution slot, waiting within the request deadline if
 // the queue has room. On rejection it writes the shed response and returns
 // ok=false; on success the caller must invoke release.
-func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func(), ok bool) {
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
 	select {
 	case s.sem <- struct{}{}:
 		return func() { <-s.sem }, true
@@ -424,7 +423,7 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func
 	if s.waiting.Add(1) > int64(s.cfg.Queue) {
 		s.waiting.Add(-1)
 		s.shed.With("queue_full").Inc()
-		s.shedResponse(w, http.StatusTooManyRequests, "overloaded: wait queue full")
+		s.shedResponse(w, r, http.StatusTooManyRequests, "overloaded: wait queue full")
 		return nil, false
 	}
 	defer s.waiting.Add(-1)
@@ -433,7 +432,7 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func
 		return func() { <-s.sem }, true
 	case <-ctx.Done():
 		s.shed.With("wait_timeout").Inc()
-		s.shedResponse(w, http.StatusServiceUnavailable, "overloaded: deadline expired waiting for a slot")
+		s.shedResponse(w, r, http.StatusServiceUnavailable, "overloaded: deadline expired waiting for a slot")
 		return nil, false
 	}
 }
@@ -443,56 +442,39 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func
 // duration is rounded UP to whole seconds: truncation would tell a client
 // of a 1.5s-timeout server to retry after 1s, while the requests that got
 // it shed may hold their slots for up to 1.5s more — inviting a second
-// shed instead of a successful retry.
-func (s *Server) shedResponse(w http.ResponseWriter, code int, msg string) {
+// shed instead of a successful retry. The body uses the negotiated error
+// envelope (JSON on v1, plain text on v0), mirroring the header hint.
+func (s *Server) shedResponse(w http.ResponseWriter, r *http.Request, code int, msg string) {
 	retry := int((s.cfg.Timeout + time.Second - 1) / time.Second)
 	if retry < 1 {
 		retry = 1
 	}
 	w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
-	http.Error(w, msg, code)
-}
-
-// source picks the target source from the ?source= parameter.
-func (s *Server) source(r *http.Request) string {
-	if src := r.URL.Query().Get("source"); src != "" {
-		return src
-	}
-	return "catalog"
-}
-
-// readQuery parses the ps-query in the request body.
-func readQuery(w http.ResponseWriter, r *http.Request) (query.Query, bool) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	version, err := apiVersion(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return query.Query{}, false
+		version = EnvelopeVersion
 	}
-	q, err := query.Parse(string(body))
-	if err != nil {
-		http.Error(w, fmt.Sprintf("bad query: %v", err), http.StatusBadRequest)
-		return query.Query{}, false
-	}
-	return q, true
+	writeError(w, version, code, msg, retry)
 }
 
 // fail maps serving errors to HTTP statuses: deadline and budget-deadline
 // exhaustion become 504, source unavailability 503, unknown sources 404,
-// everything else 500.
-func fail(w http.ResponseWriter, err error) {
+// everything else 500. The body is the shared error envelope in the
+// negotiated version.
+func fail(w http.ResponseWriter, version int, err error) {
 	var be *budget.Error
+	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		status = http.StatusGatewayTimeout
 	case errors.As(err, &be) && be.Cause == budget.CauseDeadline:
-		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		status = http.StatusGatewayTimeout
 	case errors.Is(err, faulty.ErrUnavailable):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, webhouse.ErrUnknownSource):
-		http.Error(w, err.Error(), http.StatusNotFound)
-	default:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		status = http.StatusNotFound
 	}
+	writeError(w, version, status, err.Error(), 0)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -503,165 +485,106 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func (s *Server) handleExplore(ctx context.Context, w http.ResponseWriter, r *http.Request) {
-	q, ok := readQuery(w, r)
+	req, q, version, ok := s.decodeAnswer(w, r, "explore")
 	if !ok {
 		return
 	}
-	a, err := s.cluster.Explore(ctx, s.source(r), q)
+	ctx = budget.WithStepCap(ctx, req.Budget)
+	a, err := s.cluster.Explore(ctx, req.Source, q)
 	if err != nil {
-		fail(w, err)
+		fail(w, version, err)
 		return
 	}
-	xml, err := xmlio.Marshal(a)
+	env, err := envelopeExplore(req.Source, q, a)
 	if err != nil {
-		fail(w, err)
+		fail(w, version, err)
 		return
 	}
-	writeJSON(w, map[string]any{"nodes": a.Size(), "answer": xml})
+	writeAnswer(w, version, env)
 }
 
 func (s *Server) handleLocal(ctx context.Context, w http.ResponseWriter, r *http.Request) {
-	q, ok := readQuery(w, r)
+	req, q, version, ok := s.decodeAnswer(w, r, "local")
 	if !ok {
 		return
 	}
-	la, err := s.cluster.AnswerLocally(ctx, s.source(r), q)
+	ctx = budget.WithStepCap(ctx, req.Budget)
+	la, err := s.cluster.AnswerLocally(ctx, req.Source, q)
 	if err != nil {
-		fail(w, err)
+		fail(w, version, err)
 		return
 	}
-	xml, err := xmlio.Marshal(la.Exact)
+	env, err := envelopeLocal(req.Source, la)
 	if err != nil {
-		fail(w, err)
+		fail(w, version, err)
 		return
 	}
-	writeJSON(w, map[string]any{
-		"fully":             la.Fully,
-		"fullyV":            la.FullyV,
-		"certainlyNonEmpty": la.CertainlyNonEmpty,
-		"possiblyNonEmpty":  la.PossiblyNonEmpty,
-		"lossy":             la.Lossy,
-		"budgetExhausted":   la.BudgetExhausted,
-		"nodes":             la.Exact.Size(),
-		"answer":            xml,
-	})
+	writeAnswer(w, version, env)
 }
 
 func (s *Server) handleComplete(ctx context.Context, w http.ResponseWriter, r *http.Request) {
-	q, ok := readQuery(w, r)
+	req, q, version, ok := s.decodeAnswer(w, r, "complete")
 	if !ok {
 		return
 	}
-	ca, err := s.cluster.AnswerComplete(ctx, s.source(r), q)
+	ctx = budget.WithStepCap(ctx, req.Budget)
+	ca, err := s.cluster.AnswerComplete(ctx, req.Source, q)
 	if err != nil {
-		fail(w, err)
+		fail(w, version, err)
 		return
 	}
-	xml, err := xmlio.Marshal(ca.Answer)
+	env, err := envelopeComplete(req.Source, ca)
 	if err != nil {
-		fail(w, err)
+		fail(w, version, err)
 		return
 	}
-	resp := map[string]any{
-		"degraded":     ca.Degraded,
-		"localQueries": ca.LocalQueries,
-		"nodes":        ca.Answer.Size(),
-		"answer":       xml,
-	}
-	if ca.Degraded && ca.Cause != nil {
-		resp["cause"] = ca.Cause.Error()
-	}
-	writeJSON(w, resp)
-}
-
-// scatterAnswers renders a gathered scatter into the response envelope
-// shared by both scatter routes.
-func scatterAnswers(w http.ResponseWriter, sc *shard.Scatter) ([]map[string]any, bool) {
-	out := make([]map[string]any, 0, len(sc.Answers))
-	for _, sa := range sc.Answers {
-		entry := map[string]any{
-			"source":   sa.Source,
-			"shard":    sa.Shard,
-			"degraded": sa.Degraded(),
-		}
-		switch {
-		case sa.Err != nil:
-			entry["error"] = sa.Err.Error()
-		case sa.Complete != nil:
-			xml, err := xmlio.Marshal(sa.Complete.Answer)
-			if err != nil {
-				fail(w, err)
-				return nil, false
-			}
-			entry["nodes"] = sa.Complete.Answer.Size()
-			entry["answer"] = xml
-			entry["localQueries"] = sa.Complete.LocalQueries
-			if sa.Complete.Degraded && sa.Complete.Cause != nil {
-				entry["cause"] = sa.Complete.Cause.Error()
-			}
-		case sa.Local != nil:
-			xml, err := xmlio.Marshal(sa.Local.Exact)
-			if err != nil {
-				fail(w, err)
-				return nil, false
-			}
-			entry["nodes"] = sa.Local.Exact.Size()
-			entry["answer"] = xml
-			entry["fully"] = sa.Local.Fully
-			entry["certainlyNonEmpty"] = sa.Local.CertainlyNonEmpty
-			entry["possiblyNonEmpty"] = sa.Local.PossiblyNonEmpty
-			entry["budgetExhausted"] = sa.Local.BudgetExhausted
-		}
-		out = append(out, entry)
-	}
-	return out, true
-}
-
-func (s *Server) writeScatter(w http.ResponseWriter, sc *shard.Scatter) {
-	answers, ok := scatterAnswers(w, sc)
-	if !ok {
-		return
-	}
-	writeJSON(w, map[string]any{
-		"shards":         s.cluster.Shards(),
-		"degraded":       sc.Degraded(),
-		"completeShards": sc.CompleteShards,
-		"degradedShards": sc.DegradedShards,
-		"answers":        answers,
-	})
+	writeAnswer(w, version, env)
 }
 
 // handleScatterComplete answers the posted query completely on every
 // registered source, fanned out one sub-request per shard. A down shard
 // degrades its own sources (flagged per answer and in degradedShards) —
 // the response is still 200; only a dead deadline or a solver error fails
-// the whole scatter.
+// the whole scatter. The scatter-wide certificate intersects the per-source
+// ones, so sources behind a dead shard drop out of the complete sub-query.
 func (s *Server) handleScatterComplete(ctx context.Context, w http.ResponseWriter, r *http.Request) {
-	q, ok := readQuery(w, r)
+	req, q, version, ok := s.decodeAnswer(w, r, "scatter_complete")
 	if !ok {
 		return
 	}
+	ctx = budget.WithStepCap(ctx, req.Budget)
 	sc, err := s.cluster.ScatterComplete(ctx, q)
 	if err != nil {
-		fail(w, err)
+		fail(w, version, err)
 		return
 	}
-	s.writeScatter(w, sc)
+	env, err := envelopeScatter("scatter_complete", s.cluster.Shards(), sc)
+	if err != nil {
+		fail(w, version, err)
+		return
+	}
+	writeAnswer(w, version, env)
 }
 
 // handleScatterLocal answers from local knowledge on every source; no
 // source is contacted.
 func (s *Server) handleScatterLocal(ctx context.Context, w http.ResponseWriter, r *http.Request) {
-	q, ok := readQuery(w, r)
+	req, q, version, ok := s.decodeAnswer(w, r, "scatter_local")
 	if !ok {
 		return
 	}
+	ctx = budget.WithStepCap(ctx, req.Budget)
 	sc, err := s.cluster.ScatterLocal(ctx, q)
 	if err != nil {
-		fail(w, err)
+		fail(w, version, err)
 		return
 	}
-	s.writeScatter(w, sc)
+	env, err := envelopeScatter("scatter_local", s.cluster.Shards(), sc)
+	if err != nil {
+		fail(w, version, err)
+		return
+	}
+	writeAnswer(w, version, env)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,96 @@
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"incxml/internal/certify"
+	"incxml/internal/shard"
+	"incxml/internal/tree"
+	"incxml/internal/webhouse"
+	"incxml/internal/workload"
+)
+
+// TestCertificateSoundnessSoak is the E23 no-overclaim soak: many random
+// two-shard instances, each with one whole shard down, scatter a random
+// query and check the scatter-wide certificate's promise the hard way — the
+// certified sub-query's answer over every source's certain fragment must
+// equal its answer over that source's true world document. Run under -race
+// by scripts/verify.sh; -short trims the rounds.
+func TestCertificateSoundnessSoak(t *testing.T) {
+	rounds := 200
+	if testing.Short() {
+		rounds = 20
+	}
+	ctx := context.Background()
+	var certified, skipped int
+	for i := 0; i < rounds; i++ {
+		seed := int64(1000 + i)
+		c := shard.New(shard.Config{Shards: 2})
+		docs := map[string]tree.Tree{}
+		for s := 0; s < 3; s++ {
+			name := fmt.Sprintf("s%d", s)
+			doc := workload.RandomCatalog(3+(i+s)%4, seed*10+int64(s))
+			src, err := webhouse.NewSource(name, workload.CatalogType(), doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Register(src); err != nil {
+				t.Fatal(err)
+			}
+			docs[name] = doc
+		}
+		for name := range docs {
+			if _, err := c.Explore(ctx, name, workload.Query1(int64(100+i%150))); err != nil {
+				t.Fatalf("round %d: explore %s: %v", i, name, err)
+			}
+		}
+		q := workload.RandomLinearQuery(workload.CatalogType(), seed, 2+i%3, 300)
+		c.Group(i % 2).SetDown(true)
+
+		sc, err := c.ScatterComplete(ctx, q)
+		if err != nil {
+			t.Fatalf("round %d: scatter: %v", i, err)
+		}
+		cert := sc.Certificate
+		if cert == nil {
+			t.Fatalf("round %d: scatter without a certificate", i)
+		}
+		if cert.Verdict == certify.Full && sc.Degraded() && cert.Exhausted {
+			t.Errorf("round %d: full verdict on an exhausted degraded scatter", i)
+		}
+		if cert.AtomsCertified == 0 {
+			skipped++
+			continue
+		}
+		certified++
+		subq := certify.Subquery(q, cert.Paths)
+		if err := subq.Validate(); err != nil {
+			t.Fatalf("round %d: certified sub-query invalid: %v", i, err)
+		}
+		for _, sa := range sc.Answers {
+			if sa.Err != nil {
+				continue
+			}
+			g, err := c.Owner(sa.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			know, err := g.Webhouse().Knowledge(sa.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := subq.Eval(know.DataTree())
+			want := subq.Eval(docs[sa.Source])
+			if !got.Equal(want) {
+				t.Errorf("round %d: certificate overclaims on %s (shard %d, down=%d):\nsub-query:\n%s",
+					i, sa.Source, sa.Shard, i%2, cert.Subquery)
+			}
+		}
+	}
+	if certified == 0 {
+		t.Errorf("soak never produced a non-empty certificate (%d rounds, %d skipped)", rounds, skipped)
+	}
+	t.Logf("soak: %d rounds, %d with non-empty certificates, %d empty", rounds, certified, skipped)
+}

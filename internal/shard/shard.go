@@ -15,6 +15,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"incxml/internal/budget"
+	"incxml/internal/certify"
 	"incxml/internal/engine"
 	"incxml/internal/faulty"
 	"incxml/internal/itree"
@@ -197,6 +199,11 @@ func (g *Group) Degraded() uint64 { return g.degraded.Load() }
 // Cluster is the scatter-gather front door: a ring of shard groups and the
 // routing and fan-out logic over them. All methods are safe for concurrent
 // use.
+// mergeFallbackSteps bounds the certificate-merge re-verification when the
+// cluster has no configured per-request step budget: large enough for any
+// realistic query, small enough that the gather path can never run hot.
+const mergeFallbackSteps = 1 << 20
+
 type Cluster struct {
 	cfg  Config
 	ring *Ring
@@ -423,6 +430,21 @@ type SourceAnswer struct {
 	Err error
 }
 
+// Certificate returns the answer's completeness certificate: the complete
+// answer's (which is the degraded local answer's when the source was down),
+// the local answer's, or nil for a hard-failed source — a nil certificate
+// certifies nothing, which is exactly what Merge assumes for it.
+func (sa SourceAnswer) Certificate() *certify.Certificate {
+	switch {
+	case sa.Complete != nil:
+		return sa.Complete.Certificate
+	case sa.Local != nil:
+		return sa.Local.Certificate
+	default:
+		return nil
+	}
+}
+
 // Degraded reports whether this answer is anything less than exact: a hard
 // failure, a flagged Theorem 3.14 approximation, or a budget-truncated
 // local answer.
@@ -449,6 +471,12 @@ type Scatter struct {
 	// Shards with no sources appear in neither. Both are sorted.
 	CompleteShards []int
 	DegradedShards []int
+	// Certificate is the scatter-wide completeness certificate: the
+	// intersection of the per-source certified sub-queries (certify.Merge),
+	// with each source's own ratio in PerSource. A hard-failed source — a
+	// dead shard the degradation could not soften — contributes nothing, so
+	// its atoms drop out of the complete sub-query.
+	Certificate *certify.Certificate
 }
 
 // Degraded reports whether any shard degraded.
@@ -550,6 +578,26 @@ func (c *Cluster) scatter(ctx context.Context, q query.Query, local, parallel bo
 		}
 	}
 	sort.Slice(s.Answers, func(i, j int) bool { return s.Answers[i].Source < s.Answers[j].Source })
+	// Merge the per-source certificates into the scatter-wide one. The merge
+	// re-verifies the intersected sub-query against each source's knowledge
+	// snapshot under its own bounded budget (the configured per-request
+	// steps, or a generous fallback), so a dead deadline or a stingy budget
+	// shrinks the certificate instead of overclaiming.
+	perSource := make(map[string]*certify.Certificate, len(s.Answers))
+	knows := make(map[string]*itree.T, len(s.Answers))
+	for _, sa := range s.Answers {
+		perSource[sa.Source] = sa.Certificate()
+		if g, err := c.Owner(sa.Source); err == nil {
+			if know, err := g.Webhouse().Knowledge(sa.Source); err == nil {
+				knows[sa.Source] = know
+			}
+		}
+	}
+	steps := c.cfg.Budget
+	if steps <= 0 {
+		steps = mergeFallbackSteps
+	}
+	s.Certificate = certify.Merge(q, perSource, knows, budget.New(ctx, steps))
 	c.scatters.Add(1)
 	if s.Degraded() {
 		c.scatterDegraded.Add(1)

@@ -1,0 +1,49 @@
+package webhouse_test
+
+import (
+	"context"
+	"testing"
+
+	"incxml/internal/budget"
+	"incxml/internal/webhouse"
+	"incxml/internal/workload"
+)
+
+// TestStepCapTightensBudget: a request-scoped budget.WithStepCap must
+// tighten the webhouse's solver budget — a one-step cap exhausts on a
+// blow-up instance the uncapped house decides exactly. The capped calls run
+// first: exhausted answers are never cached, so the later uncapped run
+// proves the cap (not the server allowance, which is unlimited here) was
+// the limit.
+func TestStepCapTightensBudget(t *testing.T) {
+	ctx := context.Background()
+	src, err := webhouse.NewSource("blowup", workload.BlowupType(), workload.BlowupWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh := webhouse.New()
+	wh.Register(src)
+	for i := int64(1); i <= 4; i++ {
+		if _, err := wh.Explore(ctx, "blowup", workload.BlowupQuery(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := workload.BlowupQuery(5)
+
+	capped, err := wh.AnswerLocally(budget.WithStepCap(ctx, 1), "blowup", q)
+	if err != nil {
+		t.Fatalf("capped answer errored instead of degrading: %v", err)
+	}
+	if !capped.BudgetExhausted {
+		t.Error("one-step cap did not exhaust the budget")
+	}
+
+	// Uncapped, the same query decides without exhaustion.
+	free, err := wh.AnswerLocally(ctx, "blowup", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.BudgetExhausted {
+		t.Error("uncapped answer exhausted an unlimited budget")
+	}
+}

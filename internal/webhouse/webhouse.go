@@ -39,6 +39,7 @@ import (
 
 	"incxml/internal/answer"
 	"incxml/internal/budget"
+	"incxml/internal/certify"
 	"incxml/internal/dtd"
 	"incxml/internal/engine"
 	"incxml/internal/faulty"
@@ -237,13 +238,26 @@ func (wh *Webhouse) shrinkCap() int {
 
 // newBudget builds the cooperative budget for one request. It returns nil
 // (unlimited) when no step allowance is configured and the context carries
-// no deadline, so unconfigured webhouses behave exactly as before.
+// no deadline, so unconfigured webhouses behave exactly as before. A
+// request-scoped budget.WithStepCap on the context can only tighten the
+// configured allowance, never widen it.
 func (wh *Webhouse) newBudget(ctx context.Context) *budget.B {
-	steps := wh.budgetSteps.Load()
+	steps := wh.effectiveSteps(ctx)
 	if steps <= 0 && ctx.Done() == nil {
 		return nil
 	}
 	return budget.New(ctx, steps)
+}
+
+// effectiveSteps folds the request-scoped step cap into the configured
+// allowance: the smaller of the two wins (a cap on an unlimited server
+// simply applies).
+func (wh *Webhouse) effectiveSteps(ctx context.Context) int64 {
+	steps := wh.budgetSteps.Load()
+	if cap, ok := budget.StepCapFromContext(ctx); ok && cap > 0 && (steps <= 0 || cap < steps) {
+		steps = cap
+	}
+	return steps
 }
 
 // Register adds a source, initializing its knowledge to the source's tree
@@ -498,6 +512,11 @@ type LocalAnswer struct {
 	// BudgetExhausted reports that the request budget ran out while
 	// computing this answer (the answer is then never cached).
 	BudgetExhausted bool
+	// Certificate is the completeness certificate: the maximal sub-query
+	// (under the certify budget) for which Exact is provably complete, plus
+	// the certain-region summary. Never nil on answers built by the
+	// webhouse; read-only.
+	Certificate *certify.Certificate
 }
 
 // lookupLocal consults a repository answer cache; see storeLocal for the
@@ -594,7 +613,27 @@ func (wh *Webhouse) computeLocal(ctx context.Context, know *itree.T, q query.Que
 	out.CertainlyNonEmpty = out.CertainlyNonEmptyV == budget.Yes
 	// Unknown must not rule the source out: only an established No does.
 	out.PossiblyNonEmpty = out.PossiblyNonEmptyV != budget.No
+	// Completeness certificate, under its own bounded budget: exhausting the
+	// request budget above must not erase the certificate (a degraded answer
+	// is exactly when the caller needs to know what it can still trust), and
+	// certification itself must never pin a goroutine — the greedy growth is
+	// a handful of Corollary 3.15 checks, each step-bounded. When the main
+	// budget already certified the whole query, Compute's first probe is a
+	// decision-cache hit and the certificate is immediate.
+	endCert := obs.FromContext(ctx).Stage("certify")
+	out.Certificate = certify.Compute(know, q, budget.New(ctx, certifySteps(wh.effectiveSteps(ctx))))
+	endCert(0)
 	return out, nil
+}
+
+// certifySteps bounds one certificate computation: the configured request
+// allowance when set, else the same generous-but-finite cap as the lossy
+// fallback.
+func certifySteps(configured int64) int64 {
+	if configured > 0 {
+		return configured
+	}
+	return fallbackSteps
 }
 
 // fallbackLocal resolves Unknown facets through the lossy-shrinking escape
@@ -698,6 +737,12 @@ type CompleteAnswer struct {
 	// Cause is the source-access error behind a degraded result (it wraps
 	// faulty.ErrUnavailable).
 	Cause error
+	// Certificate is the completeness certificate of Answer: full on the
+	// exact paths (the completion reached the source, or Corollary 3.15
+	// certified the whole query), and the degraded local answer's
+	// certificate otherwise. Never nil on answers built by the webhouse;
+	// read-only.
+	Certificate *certify.Certificate
 }
 
 // degrade falls back to the best locally-computable approximation after a
@@ -716,6 +761,7 @@ func (wh *Webhouse) degrade(ctx context.Context, know *itree.T, q query.Query, a
 		Degraded:     true,
 		Local:        la,
 		Cause:        cause,
+		Certificate:  la.Certificate,
 	}, nil
 }
 
@@ -736,7 +782,7 @@ func (wh *Webhouse) askWhole(ctx context.Context, r *Repository, client faulty.S
 		return nil, err
 	}
 	r.invalidate()
-	return &CompleteAnswer{Answer: a, LocalQueries: 1}, nil
+	return &CompleteAnswer{Answer: a, LocalQueries: 1, Certificate: certify.Exact(q, a)}, nil
 }
 
 // AnswerComplete answers q exactly, contacting the source only as needed:
@@ -767,7 +813,8 @@ func (wh *Webhouse) AnswerComplete(ctx context.Context, source string, q query.Q
 		return nil, err
 	}
 	if fullyV == budget.Yes {
-		return &CompleteAnswer{Answer: q.Eval(know.DataTree())}, nil
+		ans := q.Eval(know.DataTree())
+		return &CompleteAnswer{Answer: ans, Certificate: certify.Exact(q, ans)}, nil
 	}
 	client := r.Client()
 	if know.DataTree().Root == nil {
@@ -805,7 +852,7 @@ func (wh *Webhouse) AnswerComplete(ctx context.Context, source string, q query.Q
 		return nil, err
 	}
 	r.invalidate()
-	return &CompleteAnswer{Answer: result, LocalQueries: len(ls)}, nil
+	return &CompleteAnswer{Answer: result, LocalQueries: len(ls), Certificate: certify.Exact(q, result)}, nil
 }
 
 // Refiner exposes the repository's refinement chain (for advanced use and

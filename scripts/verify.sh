@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 go vet ./...
 # Godoc gate: the public facade and the operator-facing packages must
 # document every exported symbol (see scripts/doclint).
-go run ./scripts/doclint incxml.go ./internal/obs ./internal/budget ./internal/serve
+go run ./scripts/doclint incxml.go ./internal/obs ./internal/budget ./internal/serve ./internal/certify
 # staticcheck is optional tooling: run it when installed, skip silently
 # in minimal environments.
 if command -v staticcheck >/dev/null 2>&1; then
@@ -35,6 +35,14 @@ go test ./internal/conj/ -run TestE21CrossoverSmoke -short -count=1
 # CPU, the per-shard waits have to overlap. cmd/benchrobust produces the
 # full 1/2/4-shard table and the one-shard-down tail.
 go test ./internal/shard/ -run TestE22ScatterSmoke -short -count=1
+
+# E23 smoke (EXPERIMENTS.md): completeness certificates must never
+# overclaim — random outage instances, the certified sub-query's answer over
+# every certain fragment must equal its answer over the world. The full
+# 200-round pass runs in the plain suite; -short trims it here since the
+# race run above already covered it. cmd/benchrobust produces the ratio
+# distribution.
+go test ./internal/shard/ -run TestCertificateSoundnessSoak -short -count=1
 
 # Fuzz smoke: a couple of seconds per serving-path parser. This is a
 # regression sweep over the corpora plus a short random exploration, not a
