@@ -1,0 +1,210 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"incxml/internal/store"
+	"incxml/internal/webhouse"
+	"incxml/internal/workload"
+)
+
+// benchE24 is the EXPERIMENTS.md E24 durability benchmark, three questions:
+//
+//  1. What does journaling cost on the hot path? The same serial explore
+//     workload with and without an attached store (WAL appends, no
+//     per-record fsync) — p50/p99 per-request latency side by side.
+//  2. How does snapshot size scale with repository size? One snapshot per
+//     catalog size after a fixed exploration warm-up.
+//  3. How does cold recovery time scale with WAL length? Replay-only
+//     recovery (snapshots disabled) over increasing event counts.
+
+type e24SnapRow struct {
+	Products      int   `json:"products"`
+	DocNodes      int   `json:"docNodes"`
+	SnapshotBytes int64 `json:"snapshotBytes"`
+}
+
+type e24RecoveryRow struct {
+	Events     int     `json:"events"`
+	WALBytes   int64   `json:"walBytes"`
+	Replayed   int     `json:"replayedEvents"`
+	RecoveryMs float64 `json:"recoveryMs"`
+}
+
+type e24Report struct {
+	Requests int `json:"requests"`
+	// MemoryOnly / WithWAL are the serial explore latency distributions
+	// without and with durability; P99Ratio = WithWAL.P99 / MemoryOnly.P99.
+	MemoryOnly latencySummary   `json:"memoryOnly"`
+	WithWAL    latencySummary   `json:"withWal"`
+	P99Ratio   float64          `json:"p99Ratio"`
+	Snapshots  []e24SnapRow     `json:"snapshots"`
+	Recovery   []e24RecoveryRow `json:"recovery"`
+}
+
+func quietLogf(string, ...any) {}
+
+// e24House builds a one-source webhouse over a random catalog.
+func e24House(products int, seed int64) *webhouse.Webhouse {
+	src, err := webhouse.NewSource("catalog", workload.CatalogType(), workload.RandomCatalog(products, seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "e24 source:", err)
+		os.Exit(1)
+	}
+	wh := webhouse.New()
+	wh.Register(src)
+	return wh
+}
+
+// e24Drive explores n random linear queries, invalidating every 25 events
+// to keep fold cost flat, and returns the per-explore latencies.
+func e24Drive(wh *webhouse.Webhouse, n int) []time.Duration {
+	ctx := context.Background()
+	lat := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		if i%25 == 24 {
+			if err := wh.Invalidate("catalog"); err != nil {
+				fmt.Fprintln(os.Stderr, "e24 invalidate:", err)
+				os.Exit(1)
+			}
+		}
+		q := workload.RandomLinearQuery(workload.CatalogType(), int64(i), 2+i%2, 60)
+		start := time.Now()
+		if _, err := wh.Explore(ctx, "catalog", q); err != nil {
+			fmt.Fprintln(os.Stderr, "e24 explore:", err)
+			os.Exit(1)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat
+}
+
+func e24Summary(lat []time.Duration) latencySummary {
+	return latencySummary{
+		P50Ms: pctMs(lat, 50),
+		P95Ms: pctMs(lat, 95),
+		P99Ms: pctMs(lat, 99),
+		MaxMs: pctMs(lat, 100),
+	}
+}
+
+func benchE24(requests int) e24Report {
+	rep := e24Report{Requests: requests}
+
+	// 1. Append overhead: identical workloads, memory-only vs journaled.
+	wh := e24House(4, 1)
+	e24Drive(wh, 50) // warm-up
+	rep.MemoryOnly = e24Summary(e24Drive(wh, requests))
+
+	whWAL := e24House(4, 1)
+	dir, err := os.MkdirTemp("", "e24-wal-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "e24 tempdir:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	s, _, err := store.OpenOrRecover(store.Options{Dir: dir, SnapEvery: -1, Logf: quietLogf}, whWAL)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "e24 store:", err)
+		os.Exit(1)
+	}
+	e24Drive(whWAL, 50)
+	rep.WithWAL = e24Summary(e24Drive(whWAL, requests))
+	if rep.MemoryOnly.P99Ms > 0 {
+		rep.P99Ratio = rep.WithWAL.P99Ms / rep.MemoryOnly.P99Ms
+	}
+	if err := s.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "e24 close:", err)
+		os.Exit(1)
+	}
+
+	// 2. Snapshot size vs repository size.
+	ctx := context.Background()
+	for _, products := range []int{2, 4, 8, 16, 32} {
+		wh := e24House(products, int64(100+products))
+		sdir, err := os.MkdirTemp("", "e24-snap-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "e24 tempdir:", err)
+			os.Exit(1)
+		}
+		st, _, err := store.OpenOrRecover(store.Options{Dir: sdir, SnapEvery: -1, Logf: quietLogf}, wh)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "e24 store:", err)
+			os.Exit(1)
+		}
+		if _, err := wh.Explore(ctx, "catalog", workload.Query1(200)); err != nil {
+			fmt.Fprintln(os.Stderr, "e24 explore:", err)
+			os.Exit(1)
+		}
+		if _, err := wh.Explore(ctx, "catalog", workload.Query2()); err != nil {
+			fmt.Fprintln(os.Stderr, "e24 explore:", err)
+			os.Exit(1)
+		}
+		if err := st.SnapshotAll(); err != nil {
+			fmt.Fprintln(os.Stderr, "e24 snapshot:", err)
+			os.Exit(1)
+		}
+		info, err := os.Stat(filepath.Join(sdir, "snap", "catalog.snap"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "e24 stat:", err)
+			os.Exit(1)
+		}
+		doc, _, _, _, err := wh.Export("catalog")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "e24 export:", err)
+			os.Exit(1)
+		}
+		rep.Snapshots = append(rep.Snapshots, e24SnapRow{
+			Products: products, DocNodes: doc.Size(), SnapshotBytes: info.Size(),
+		})
+		st.Close()
+		os.RemoveAll(sdir)
+	}
+
+	// 3. Cold recovery time vs WAL length (replay-only: snapshots disabled).
+	for _, events := range []int{10, 50, 100, 250} {
+		wh := e24House(4, 7)
+		rdir, err := os.MkdirTemp("", "e24-rec-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "e24 tempdir:", err)
+			os.Exit(1)
+		}
+		st, _, err := store.OpenOrRecover(store.Options{Dir: rdir, SnapEvery: -1, Logf: quietLogf}, wh)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "e24 store:", err)
+			os.Exit(1)
+		}
+		e24Drive(wh, events)
+		walBytes := st.WALSize()
+		if err := st.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "e24 close:", err)
+			os.Exit(1)
+		}
+
+		cold := e24House(4, 7)
+		start := time.Now()
+		st2, rec, err := store.OpenOrRecover(store.Options{Dir: rdir, SnapEvery: -1, Logf: quietLogf}, cold)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "e24 recover:", err)
+			os.Exit(1)
+		}
+		rep.Recovery = append(rep.Recovery, e24RecoveryRow{
+			Events: events, WALBytes: walBytes,
+			Replayed: rec.ReplayedEvents, RecoveryMs: float64(elapsed.Microseconds()) / 1000,
+		})
+		st2.Close()
+		os.RemoveAll(rdir)
+	}
+
+	fmt.Printf("e24 durability: explore p99 wal=%.3fms mem=%.3fms ratio=%.3f; cold recovery %d events=%.1fms\n",
+		rep.WithWAL.P99Ms, rep.MemoryOnly.P99Ms, rep.P99Ratio,
+		rep.Recovery[len(rep.Recovery)-1].Events, rep.Recovery[len(rep.Recovery)-1].RecoveryMs)
+	return rep
+}

@@ -1,7 +1,7 @@
 // Benchrobust measures the robustness layer and writes the results as
 // JSON (BENCH_robustness.json by default).
 //
-// Two experiments:
+// The experiment blocks:
 //
 //  1. Budgeted vs. exact conjunctive emptiness on the Example 3.2 blowup
 //     family: for each prefix of the workload root(a=i, b=i) the program
@@ -42,6 +42,11 @@
 //     scatter-wide completeness ratios, the verdict split, and — the
 //     soundness tally — a re-check of every non-empty certificate against
 //     the true world documents (overclaims must stay zero).
+//
+//  7. Durability cost (EXPERIMENTS.md E24): the WAL-append overhead on a
+//     serial explore workload with and without an attached store, snapshot
+//     size as a function of repository size, and cold recovery time as a
+//     function of WAL length.
 package main
 
 import (
@@ -217,6 +222,7 @@ type report struct {
 	E21             e21Report      `json:"e21"`
 	E22             e22Report      `json:"e22"`
 	E23             e23Report      `json:"e23"`
+	E24             e24Report      `json:"e24"`
 }
 
 func main() {
@@ -232,6 +238,7 @@ func main() {
 	e22Rounds := flag.Int("e22-rounds", 7, "timed completion rounds per E22 configuration")
 	e22Latency := flag.Duration("e22-latency", 5*time.Millisecond, "injected per-call source latency for E22")
 	e23Rounds := flag.Int("e23-rounds", 80, "random outage instances for the E23 certificate soak")
+	e24Requests := flag.Int("e24-requests", 400, "serial explores per E24 durability-overhead run")
 	flag.Parse()
 
 	rep := report{GeneratedUnix: time.Now().Unix()}
@@ -241,6 +248,7 @@ func main() {
 	rep.E21 = benchE21(*e21MaxN, *steps, *e21HardK)
 	rep.E22 = benchE22(*e22Sources, *e22Rounds, *e22Latency)
 	rep.E23 = benchE23(*e23Rounds)
+	rep.E24 = benchE24(*e24Requests)
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

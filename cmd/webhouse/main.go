@@ -22,8 +22,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"incxml/internal/faulty"
@@ -134,7 +137,20 @@ func newServer(timeout time.Duration, failRate float64, latency time.Duration, s
 
 func (s *server) handler() http.Handler { return s.Handler() }
 
+// runServe serves until a shutdown signal (SIGTERM/SIGINT) arrives, then
+// drains gracefully: new answer requests shed with 503, inflight requests
+// finish, a durable server flushes its final snapshots, and the process
+// exits 0.
 func runServe(args []string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serveUntil(ctx, args, os.Stdout)
+}
+
+// serveUntil is runServe with the lifetime and output injectable: serving
+// ends when ctx is cancelled (the signal path in production, the test
+// harness otherwise), and every banner goes to out.
+func serveUntil(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	timeout := fs.Duration("timeout", 2*time.Second, "per-request deadline (includes queue wait)")
@@ -148,6 +164,8 @@ func runServe(args []string) error {
 	traceOn := fs.Bool("trace", false, "attach a per-request span trace, echoed in the X-Trace response header")
 	shards := fs.Int("shards", 1, "shard groups the source fleet is spread over (scatter routes fan out per shard)")
 	extraSources := fs.Int("extra-sources", 0, "additional random catalog sources (cat00...) beyond catalog+blowup")
+	dataDir := fs.String("data-dir", "", "persist snapshots + WAL per shard under this directory and warm-start from it (empty = in-memory)")
+	snapEvery := fs.Int("snap-every", 0, "snapshot cadence in WAL appends (0 = store default, negative = only on drain)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -156,11 +174,41 @@ func runServe(args []string) error {
 		FailRate: *failRate, Latency: *latency, Seed: *seed,
 		Pprof: *pprofOn, Trace: *traceOn,
 		Shards: *shards, ExtraSources: *extraSources,
+		DataDir: *dataDir, SnapEvery: *snapEvery,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("webhouse: serving %d sources over %d shard(s) on %s (timeout %v, inflight %d, queue %d, budget %d, fail-rate %g, latency %v, pprof %v, trace %v)\n",
-		len(s.Cluster().Sources()), s.Cluster().Shards(), *addr, *timeout, *maxInflight, *queue, *budgetSteps, *failRate, *latency, *pprofOn, *traceOn)
-	return http.ListenAndServe(*addr, s.Handler())
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "webhouse: serving %d sources over %d shard(s) on %s (timeout %v, inflight %d, queue %d, budget %d, fail-rate %g, latency %v, pprof %v, trace %v)\n",
+		len(s.Cluster().Sources()), s.Cluster().Shards(), ln.Addr(), *timeout, *maxInflight, *queue, *budgetSteps, *failRate, *latency, *pprofOn, *traceOn)
+	if rec := s.Recovery(); rec != nil {
+		fmt.Fprintf(out, "webhouse: warm start from %s: %d snapshots loaded, %d events replayed, %d corrupt records dropped, %d snapshot fallbacks\n",
+			*dataDir, rec.SnapshotsLoaded, rec.ReplayedEvents, rec.CorruptRecordsDropped, rec.SnapshotFallbacks)
+		if len(rec.Quarantined) > 0 {
+			fmt.Fprintf(out, "webhouse: QUARANTINED sources (serving degraded from pristine knowledge; files set aside): %v\n", rec.Quarantined)
+		}
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "webhouse: shutdown signal received; draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *timeout+10*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		fmt.Fprintln(out, "webhouse: drain:", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "webhouse: drained cleanly")
+	return nil
 }

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe output sink for serveUntil.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var addrRe = regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
+
+// startServe runs serveUntil on an ephemeral port and waits for the listen
+// banner; the returned stop function triggers the graceful drain and waits
+// for exit.
+func startServe(t *testing.T, args []string) (base string, out *syncBuffer, stop func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out = &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- serveUntil(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("server never announced its address:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return base, out, func() error {
+		cancel()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(15 * time.Second):
+			return context.DeadlineExceeded
+		}
+	}
+}
+
+func httpPost(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestServeCommandRestartRoundTrip: the real command, started with
+// -data-dir, drains cleanly on shutdown (exit nil = exit code 0) and a
+// second invocation warm-starts from the same directory, announces the
+// recovery in its banner, and serves the same certified local answer
+// byte for byte.
+func TestServeCommandRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-data-dir", dir, "-timeout", "5s"}
+
+	base, _, stop := startServe(t, args)
+	if code, body := httpPost(t, base+"/explore", query4Body); code != http.StatusOK {
+		t.Fatalf("/explore: %d %s", code, body)
+	}
+	code, want := httpPost(t, base+"/local", query4Body)
+	if code != http.StatusOK {
+		t.Fatalf("/local: %d %s", code, want)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("graceful shutdown failed: %v", err)
+	}
+
+	base2, out2, stop2 := startServe(t, args)
+	if !strings.Contains(out2.String(), "warm start from") {
+		t.Fatalf("second start has no warm-start banner:\n%s", out2.String())
+	}
+	code, got := httpPost(t, base2+"/local", query4Body)
+	if code != http.StatusOK {
+		t.Fatalf("restart /local: %d %s", code, got)
+	}
+	if got != want {
+		t.Fatalf("local answer changed across restart:\n got: %s\nwant: %s", got, want)
+	}
+	if err := stop2(); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+	if !strings.Contains(out2.String(), "drained cleanly") {
+		t.Fatalf("no clean-drain banner:\n%s", out2.String())
+	}
+}

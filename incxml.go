@@ -55,6 +55,7 @@ import (
 	"incxml/internal/rat"
 	"incxml/internal/refine"
 	"incxml/internal/serve"
+	"incxml/internal/store"
 	"incxml/internal/tree"
 	"incxml/internal/webhouse"
 	"incxml/internal/xmlio"
@@ -438,6 +439,58 @@ var (
 	WithTrace = obs.WithTrace
 	// TraceFromContext retrieves the context's Trace (nil-safe).
 	TraceFromContext = obs.FromContext
+)
+
+// Durable persistence (see "Durability & crash recovery" in DESIGN.md). A
+// Store journals every acquisition mutation to a checksummed WAL and
+// periodically snapshots each repository in a canonical binary codec;
+// OpenStoreOrRecover replays whatever survives a crash back into a freshly
+// registered webhouse — exactly the pre-crash state, or a quarantined
+// (served-but-degraded) repository when the files are beyond repair.
+type (
+	// Store is the per-webhouse durability layer: snapshot files plus a
+	// checksummed write-ahead log of acquisition events.
+	Store = store.Store
+	// StoreOptions parameterizes a Store: data directory, snapshot
+	// cadence, logger.
+	StoreOptions = store.Options
+	// StoreRecovery reports what a recovery did: snapshots loaded, events
+	// replayed, corrupt records dropped, repositories quarantined.
+	StoreRecovery = store.Recovery
+	// RepositorySnapshot is one repository's durable state in the
+	// canonical binary form — the snapshot file payload and the
+	// rebalancing transfer unit.
+	RepositorySnapshot = store.SnapshotPayload
+	// AcquisitionJournal receives every applied acquisition mutation
+	// (Store implements it; Webhouse.SetJournal installs it).
+	AcquisitionJournal = webhouse.Journal
+	// AcquisitionEvent is one journaled mutation: an observation fold, an
+	// invalidation, a document update, or a wholesale state restore.
+	AcquisitionEvent = webhouse.JournalEvent
+)
+
+var (
+	// OpenStoreOrRecover opens a store, recovers its contents into the
+	// webhouse, and attaches the journal for subsequent mutations.
+	OpenStoreOrRecover = store.OpenOrRecover
+	// EncodeRepositorySnapshot and DecodeRepositorySnapshot are the
+	// canonical binary codec of a repository's durable state.
+	EncodeRepositorySnapshot = store.EncodeSnapshotPayload
+	// DecodeRepositorySnapshot decodes EncodeRepositorySnapshot's bytes.
+	DecodeRepositorySnapshot = store.DecodeSnapshotPayload
+	// EncodeTreeBinary and DecodeTreeBinary are the canonical binary codec
+	// of data trees (intern-aware string sections, deterministic bytes).
+	EncodeTreeBinary = store.EncodeTree
+	// DecodeTreeBinary decodes EncodeTreeBinary's bytes.
+	DecodeTreeBinary = store.DecodeTree
+	// EncodeIncompleteBinary and DecodeIncompleteBinary are the canonical
+	// binary codec of incomplete trees.
+	EncodeIncompleteBinary = store.EncodeIncomplete
+	// DecodeIncompleteBinary decodes EncodeIncompleteBinary's bytes.
+	DecodeIncompleteBinary = store.DecodeIncomplete
+	// ErrCorruptStore matches any decode failure of persisted bytes
+	// (errors.Is); corrupt data degrades, it never panics.
+	ErrCorruptStore = store.ErrCorrupt
 )
 
 // XML serialization.

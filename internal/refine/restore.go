@@ -1,0 +1,25 @@
+package refine
+
+import (
+	"incxml/internal/dtd"
+	"incxml/internal/itree"
+	"incxml/internal/tree"
+)
+
+// RestoreRefiner rebuilds a refinement chain from persisted state: the
+// current incomplete tree, the number of observations already folded, and
+// whether any of them went through the lossy fallback. It is the
+// durability layer's counterpart to NewRefiner — recovery installs a
+// decoded snapshot (or a WAL State record) exactly where the pre-crash
+// chain stood, then continues folding replayed observations on top.
+//
+// A nil cur restores the pristine NewRefiner state (Universal over sigma).
+func RestoreRefiner(sigma []tree.Label, source *dtd.Type, cur *itree.T, steps int, lossy bool) *Refiner {
+	r := NewRefiner(sigma, source)
+	if cur != nil {
+		r.cur = cur
+	}
+	r.steps = steps
+	r.lossy = lossy
+	return r
+}

@@ -43,6 +43,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"incxml/internal/budget"
@@ -50,6 +51,7 @@ import (
 	"incxml/internal/faulty"
 	"incxml/internal/obs"
 	"incxml/internal/shard"
+	"incxml/internal/store"
 	"incxml/internal/webhouse"
 	"incxml/internal/workload"
 )
@@ -91,6 +93,15 @@ type Config struct {
 	// (cat00, cat01, ...) beyond the two demonstration sources, so a
 	// multi-shard server has a fleet worth scattering over.
 	ExtraSources int
+	// DataDir, when set, makes the server durable: each shard group
+	// persists snapshots and a checksummed WAL under DataDir/shard-<i>, and
+	// New recovers whatever state those directories hold before serving
+	// (see internal/store). Empty = in-memory only, the prior behavior.
+	DataDir string
+	// SnapEvery is the store's snapshot cadence in WAL appends (0 = the
+	// store default, negative = snapshot only on drain). Ignored without
+	// DataDir.
+	SnapEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +139,13 @@ type Server struct {
 	latency  *obs.HistogramVec
 	shed     *obs.CounterVec
 	panics   *obs.Counter
+
+	// draining flips once Drain starts: answer routes shed with 503 while
+	// /stats and /metrics stay up, so an orchestrator watching the drain
+	// still sees the process. recovery is the startup recovery report when
+	// Config.DataDir made the server durable (nil otherwise).
+	draining atomic.Bool
+	recovery *store.Recovery
 }
 
 // testHookHandler, when set, runs at handler entry (inside all middleware)
@@ -212,7 +230,46 @@ func New(cfg Config) (*Server, error) {
 	// Expose the cluster after the fleet is registered so the per-source
 	// gauge children (cache generation, breaker state) exist.
 	cluster.ExposeMetrics(reg)
+	// Durability last: recovery replays into the registered fleet, and the
+	// journal must only see post-recovery mutations.
+	if cfg.DataDir != "" {
+		rec, err := cluster.OpenStores(cfg.DataDir, store.Options{SnapEvery: cfg.SnapEvery})
+		if err != nil {
+			return nil, fmt.Errorf("serve: open data dir %s: %w", cfg.DataDir, err)
+		}
+		s.recovery = rec
+	}
 	return s, nil
+}
+
+// Recovery reports what startup recovery did when the server is durable
+// (Config.DataDir set); nil on an in-memory server.
+func (s *Server) Recovery() *store.Recovery { return s.recovery }
+
+// Drain gracefully shuts the serving layer down: new answer requests are
+// shed with 503 + Retry-After (observability endpoints stay up), inflight
+// and queued requests are allowed to finish within ctx, and on a durable
+// server the final state is flushed as snapshots and the stores closed —
+// after Drain returns nil, a warm restart from the same data directory
+// reproduces the exact serving state. Safe to call once; the server does
+// not come back from draining.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	for len(s.sem) > 0 || s.waiting.Value() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain: %w", ctx.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if s.recovery == nil {
+		return nil
+	}
+	snapErr := s.cluster.SnapshotStores()
+	if err := s.cluster.CloseStores(); err != nil && snapErr == nil {
+		snapErr = err
+	}
+	return snapErr
 }
 
 // Registry returns the server's metrics registry (the /metrics source),
@@ -375,6 +432,11 @@ func (s *Server) wrap(route string, h func(ctx context.Context, w http.ResponseW
 			s.requests.With(route, strconv.Itoa(rec.Status())).Inc()
 			s.latency.With(route).Observe(time.Since(start).Microseconds())
 		}()
+		if s.draining.Load() {
+			s.shed.With("draining").Inc()
+			s.shedResponse(rec, r, http.StatusServiceUnavailable, "draining: server is shutting down")
+			return
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 		defer cancel()
 		ctx = obs.WithTrace(ctx, rec.trace)

@@ -21,6 +21,7 @@ import (
 	"incxml/internal/faulty"
 	"incxml/internal/itree"
 	"incxml/internal/query"
+	"incxml/internal/store"
 	"incxml/internal/tree"
 	"incxml/internal/webhouse"
 )
@@ -220,6 +221,9 @@ type Cluster struct {
 	mu     sync.RWMutex
 	owners map[string]*Group
 	seq    int64
+	// stores are the per-shard durability stores, in group order, when
+	// OpenStores wired persistence up (see store.go in this package).
+	stores []*store.Store
 
 	scatters        atomic.Uint64
 	scatterDegraded atomic.Uint64

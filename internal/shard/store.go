@@ -1,0 +1,139 @@
+package shard
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"incxml/internal/store"
+)
+
+// Durability wiring: each shard group persists to its own data directory
+// (dir/shard-<i>), so a shard is an independent durability domain exactly
+// as it is an independent failure domain — one corrupt shard store
+// quarantines only its own sources. The per-source snapshot payload is
+// also the rebalancing transfer unit: ExportSource/ImportSource move a
+// repository's document and accumulated knowledge between clusters (the
+// groundwork for ring-aware rebalancing, ROADMAP item 1).
+
+// StoreDir returns the data directory of shard i under a cluster root.
+func StoreDir(root string, i int) string {
+	return filepath.Join(root, fmt.Sprintf("shard-%d", i))
+}
+
+// OpenStores opens (or recovers) one store per shard group under
+// root/shard-<i>. Call after every source is registered and before serving
+// traffic. The returned Recovery aggregates all groups. On error the
+// already-opened stores are closed; the cluster keeps serving from memory.
+func (c *Cluster) OpenStores(root string, opts store.Options) (*store.Recovery, error) {
+	agg := &store.Recovery{}
+	stores := make([]*store.Store, 0, len(c.groups))
+	for _, g := range c.groups {
+		o := opts
+		o.Dir = StoreDir(root, g.id)
+		s, rec, err := store.OpenOrRecover(o, g.wh)
+		if err != nil {
+			for _, prev := range stores {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("shard %d: %w", g.id, err)
+		}
+		stores = append(stores, s)
+		agg.SnapshotsLoaded += rec.SnapshotsLoaded
+		agg.ReplayedEvents += rec.ReplayedEvents
+		agg.CorruptRecordsDropped += rec.CorruptRecordsDropped
+		agg.SnapshotFallbacks += rec.SnapshotFallbacks
+		agg.Quarantined = append(agg.Quarantined, rec.Quarantined...)
+	}
+	c.mu.Lock()
+	c.stores = stores
+	c.mu.Unlock()
+	return agg, nil
+}
+
+// Stores returns the per-shard stores in shard order (nil when OpenStores
+// was not called). The slice is a copy.
+func (c *Cluster) Stores() []*store.Store {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*store.Store(nil), c.stores...)
+}
+
+// SnapshotStores flushes a full snapshot pass on every shard store — the
+// drain-time flush. Errors are joined per shard; every shard is attempted.
+func (c *Cluster) SnapshotStores() error {
+	var firstErr error
+	for i, s := range c.Stores() {
+		if s == nil {
+			continue
+		}
+		if err := s.SnapshotAll(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return firstErr
+}
+
+// CloseStores detaches journaling and closes every shard store.
+func (c *Cluster) CloseStores() error {
+	stores := c.Stores()
+	c.mu.Lock()
+	c.stores = nil
+	c.mu.Unlock()
+	var firstErr error
+	for i, g := range c.groups {
+		g.wh.SetJournal(nil)
+		if i < len(stores) && stores[i] != nil {
+			if err := stores[i].Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+	}
+	return firstErr
+}
+
+// ExportSource serializes one repository's durable state (document +
+// accumulated knowledge) in the snapshot payload format — the transfer
+// unit for shipping a repository to another cluster or shard.
+func (c *Cluster) ExportSource(source string) ([]byte, error) {
+	g, err := c.Owner(source)
+	if err != nil {
+		return nil, err
+	}
+	doc, know, steps, lossy, err := g.wh.Export(source)
+	if err != nil {
+		return nil, err
+	}
+	return store.EncodeSnapshotPayload(&store.SnapshotPayload{
+		Source:    source,
+		Doc:       doc,
+		HasDoc:    doc.Root != nil,
+		Knowledge: know,
+		Steps:     steps,
+		Lossy:     lossy,
+	}), nil
+}
+
+// ImportSource installs an exported repository state into the ring owner
+// of its source (which must already be registered here). The local
+// sequence numbering is untouched: the import lands as a regular Update +
+// state restore, journaled like any live mutation, so a subsequent crash
+// recovers the imported state too. Returns the source name.
+func (c *Cluster) ImportSource(data []byte) (string, error) {
+	p, err := store.DecodeSnapshotPayload(data)
+	if err != nil {
+		return "", err
+	}
+	g, err := c.Owner(p.Source)
+	if err != nil {
+		return "", err
+	}
+	if p.HasDoc {
+		if err := g.wh.Update(p.Source, p.Doc); err != nil {
+			return "", fmt.Errorf("shard: import %q: %w", p.Source, err)
+		}
+	}
+	if err := g.wh.RestoreKnowledge(p.Source, p.Knowledge, p.Steps, p.Lossy); err != nil {
+		return "", err
+	}
+	return p.Source, nil
+}

@@ -1,0 +1,232 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"incxml/internal/store"
+	"incxml/internal/workload"
+)
+
+func quietStoreLogf(t *testing.T) func(string, ...any) {
+	return func(format string, args ...any) { t.Logf(format, args...) }
+}
+
+// sourceState renders one repository's durable state canonically.
+func sourceState(t *testing.T, c *Cluster, name string) string {
+	t.Helper()
+	g, err := c.Owner(name)
+	if err != nil {
+		t.Fatalf("owner %s: %v", name, err)
+	}
+	doc, know, steps, lossy, err := g.wh.Export(name)
+	if err != nil {
+		t.Fatalf("export %s: %v", name, err)
+	}
+	return fmt.Sprintf("%s\n---\n%s\n---\nsteps=%d lossy=%v", doc.CanonicalWithIDs(), know.String(), steps, lossy)
+}
+
+func clusterStates(t *testing.T, c *Cluster) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, name := range c.Sources() {
+		out[name] = sourceState(t, c, name)
+	}
+	return out
+}
+
+// TestShardStoresRecoverPerGroup: every shard group persists to its own
+// directory, and a warm restart of the whole cluster recovers every
+// repository to the exact pre-shutdown state.
+func TestShardStoresRecoverPerGroup(t *testing.T) {
+	root := t.TempDir()
+	cfg := Config{Shards: 3, Retry: fastRetry}
+	opts := store.Options{Logf: quietStoreLogf(t)}
+
+	c, _ := fixture(t, cfg, 5)
+	if _, err := c.OpenStores(root, opts); err != nil {
+		t.Fatalf("open stores: %v", err)
+	}
+	warm(t, c)
+	ctx := context.Background()
+	if _, err := c.Explore(ctx, "src02", workload.Query2()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Update("src04", workload.RandomCatalog(6, 77)); err != nil {
+		t.Fatal(err)
+	}
+	want := clusterStates(t, c)
+	if err := c.CloseStores(); err != nil {
+		t.Fatalf("close stores: %v", err)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		if _, err := os.Stat(filepath.Join(StoreDir(root, i), "wal.log")); err != nil {
+			t.Fatalf("shard %d has no WAL: %v", i, err)
+		}
+	}
+
+	c2, _ := fixture(t, cfg, 5)
+	rec, err := c2.OpenStores(root, opts)
+	if err != nil {
+		t.Fatalf("recover stores: %v", err)
+	}
+	if len(rec.Quarantined) != 0 {
+		t.Fatalf("unexpected quarantine: %v", rec.Quarantined)
+	}
+	if rec.ReplayedEvents == 0 {
+		t.Fatal("warm restart replayed nothing")
+	}
+	got := clusterStates(t, c2)
+	for name, w := range want {
+		if got[name] != w {
+			t.Fatalf("source %s diverged after warm restart:\n got:\n%s\nwant:\n%s", name, got[name], w)
+		}
+	}
+	if len(c2.Stores()) != cfg.Shards {
+		t.Fatalf("Stores() = %d, want %d", len(c2.Stores()), cfg.Shards)
+	}
+	if err := c2.CloseStores(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExportImportRoundTrip: the snapshot payload doubles as the
+// rebalancing transfer unit — exporting a repository from one cluster and
+// importing it into another reproduces document and knowledge exactly, and
+// the import is journaled so it survives a restart of the destination.
+func TestExportImportRoundTrip(t *testing.T) {
+	cfg := Config{Shards: 2, Retry: fastRetry}
+	a, _ := fixture(t, cfg, 3)
+	warm(t, a)
+	ctx := context.Background()
+	if _, err := a.Explore(ctx, "src01", workload.Query2()); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := a.ExportSource("src01")
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+
+	root := t.TempDir()
+	opts := store.Options{Logf: quietStoreLogf(t)}
+	b, _ := fixture(t, cfg, 3) // same registrations, pristine knowledge
+	if _, err := b.OpenStores(root, opts); err != nil {
+		t.Fatal(err)
+	}
+	name, err := b.ImportSource(blob)
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if name != "src01" {
+		t.Fatalf("imported %q, want src01", name)
+	}
+	want := sourceState(t, a, "src01")
+	if got := sourceState(t, b, "src01"); got != want {
+		t.Fatalf("import did not reproduce the exported state:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if err := b.CloseStores(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The import was journaled: a restarted destination still has it.
+	b2, _ := fixture(t, cfg, 3)
+	if _, err := b2.OpenStores(root, opts); err != nil {
+		t.Fatal(err)
+	}
+	defer b2.CloseStores()
+	if got := sourceState(t, b2, "src01"); got != want {
+		t.Fatalf("imported state lost across restart:\n got:\n%s\nwant:\n%s", got, want)
+	}
+
+	if _, err := b2.ImportSource(blob[:len(blob)/2]); err == nil {
+		t.Fatal("truncated import blob must not be accepted")
+	}
+}
+
+// TestShardQuarantineIsolation: an unrecoverable repository in one shard
+// quarantines only itself — the rest of its shard and all other shards
+// recover normally, and startup does not fail.
+func TestShardQuarantineIsolation(t *testing.T) {
+	root := t.TempDir()
+	cfg := Config{Shards: 3, Retry: fastRetry}
+	opts := store.Options{Logf: quietStoreLogf(t)}
+
+	c, _ := fixture(t, cfg, 6)
+	if _, err := c.OpenStores(root, opts); err != nil {
+		t.Fatal(err)
+	}
+	warm(t, c)
+	// Rotate every WAL into its snapshots so a corrupt snapshot is
+	// unrecoverable (the pre-rotation events are gone from the log).
+	if err := c.SnapshotStores(); err != nil {
+		t.Fatal(err)
+	}
+	want := clusterStates(t, c)
+	victim := c.Sources()[0]
+	g, err := c.Owner(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimShard := g.id
+	if err := c.CloseStores(); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, err := filepath.Glob(filepath.Join(StoreDir(root, victimShard), "snap", "*.snap"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no snapshots in victim shard: %v", err)
+	}
+	var snapPath string
+	for _, p := range snaps {
+		if filepath.Base(p) == victim+".snap" {
+			snapPath = p
+		}
+	}
+	if snapPath == "" {
+		t.Fatalf("no snapshot for %s among %v", victim, snaps)
+	}
+	buf, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x40
+	if err := os.WriteFile(snapPath, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, _ := fixture(t, cfg, 6)
+	rec, err := c2.OpenStores(root, opts)
+	if err != nil {
+		t.Fatalf("startup must survive a corrupt shard: %v", err)
+	}
+	defer c2.CloseStores()
+	if len(rec.Quarantined) != 1 || rec.Quarantined[0] != victim {
+		t.Fatalf("quarantined %v, want exactly [%s]", rec.Quarantined, victim)
+	}
+	for name, w := range want {
+		if name == victim {
+			continue
+		}
+		if got := sourceState(t, c2, name); got != w {
+			t.Fatalf("innocent source %s diverged:\n got:\n%s\nwant:\n%s", name, got, w)
+		}
+	}
+	// The victim serves, flagged and degraded to pristine knowledge.
+	vg, err := c2.Owner(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := vg.wh.Repo(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Quarantined() {
+		t.Fatal("victim repository not flagged as quarantined")
+	}
+	if _, err := c2.Explore(context.Background(), victim, workload.Query1(200)); err != nil {
+		t.Fatalf("quarantined source must still serve: %v", err)
+	}
+}

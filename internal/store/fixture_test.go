@@ -1,0 +1,66 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStoreFixtureExport exercises a realistic store lifetime — a driven
+// acquisition script, a mid-script per-source snapshot, further WAL
+// appends — and re-verifies the files recover. When STORE_FIXTURE_OUT
+// names a directory (the CI artifact path), the resulting snapshot + WAL
+// pair is copied there so every commit ships a browsable on-disk fixture
+// of the persistence format.
+func TestStoreFixtureExport(t *testing.T) {
+	dir := t.TempDir()
+	wh := newCatalogHouse(t)
+	s, _, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveCatalog(t, wh)
+	// A per-source snapshot (no WAL rotation): the fixture keeps both a
+	// populated snapshot and the full event log.
+	if err := s.Snapshot("catalog"); err != nil {
+		t.Fatal(err)
+	}
+	driveCatalog(t, wh)
+	want := houseState(t, wh, "catalog")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fixture must recover.
+	wh2 := newCatalogHouse(t)
+	s2, rec, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(rec.Quarantined) != 0 {
+		t.Fatalf("fixture quarantined: %v", rec.Quarantined)
+	}
+	if got := houseState(t, wh2, "catalog"); got != want {
+		t.Fatalf("fixture does not recover to the live state:\n got:\n%s\nwant:\n%s", got, want)
+	}
+
+	out := os.Getenv("STORE_FIXTURE_OUT")
+	if out == "" {
+		return
+	}
+	if err := os.MkdirAll(filepath.Join(out, "snap"), 0o755); err != nil {
+		t.Fatalf("STORE_FIXTURE_OUT: %v", err)
+	}
+	copyFile := func(rel string) {
+		buf, err := os.ReadFile(filepath.Join(dir, rel))
+		if err != nil {
+			t.Fatalf("fixture read %s: %v", rel, err)
+		}
+		if err := os.WriteFile(filepath.Join(out, rel), buf, 0o644); err != nil {
+			t.Fatalf("fixture write %s: %v", rel, err)
+		}
+	}
+	copyFile("wal.log")
+	copyFile(filepath.Join("snap", "catalog.snap"))
+}

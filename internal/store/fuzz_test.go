@@ -1,0 +1,102 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"incxml/internal/refine"
+	"incxml/internal/workload"
+)
+
+// fuzz seeds: real encodings of every record kind and a realistic snapshot.
+func seedPayloads(t interface{ Helper() }) [][]byte {
+	t.Helper()
+	know := refine.Universal(workload.CatalogSigma)
+	snap := EncodeSnapshotPayload(&SnapshotPayload{
+		Source:    "catalog",
+		LastSeq:   12,
+		Doc:       workload.PaperCatalog(),
+		HasDoc:    true,
+		Knowledge: know,
+		Steps:     3,
+	})
+	recs := [][]byte{
+		encodeRecord(&record{kind: recObserve, seq: 1, source: "catalog",
+			query: workload.Query1(150), answer: workload.Query1(150).Eval(workload.PaperCatalog())}),
+		encodeRecord(&record{kind: recState, seq: 2, source: "catalog",
+			knowledge: know, steps: 1, lossy: true}),
+		encodeRecord(&record{kind: recInvalidate, seq: 3, source: "catalog"}),
+		encodeRecord(&record{kind: recUpdate, seq: 4, source: "catalog",
+			doc: workload.RandomCatalog(3, 9)}),
+	}
+	return append([][]byte{snap}, recs...)
+}
+
+// FuzzSnapshotRoundTrip: arbitrary bytes never panic the snapshot decoder,
+// and anything it accepts re-encodes canonically — encode∘decode is a
+// projection onto the canonical form (idempotent after one pass).
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	for _, seed := range seedPayloads(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeSnapshotPayload(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		once := EncodeSnapshotPayload(p)
+		p2, err := DecodeSnapshotPayload(once)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		twice := EncodeSnapshotPayload(p2)
+		if !bytes.Equal(once, twice) {
+			t.Fatalf("encoding not canonical: %x vs %x", once, twice)
+		}
+		if p.Source != p2.Source || p.LastSeq != p2.LastSeq || p.Steps != p2.Steps || p.Lossy != p2.Lossy {
+			t.Fatal("scalar fields drifted through the round trip")
+		}
+		if p.HasDoc && p.Doc.CanonicalWithIDs() != p2.Doc.CanonicalWithIDs() {
+			t.Fatal("document drifted through the round trip")
+		}
+		if (p.Knowledge == nil) != (p2.Knowledge == nil) {
+			t.Fatal("knowledge presence drifted")
+		}
+		if p.Knowledge != nil && p.Knowledge.String() != p2.Knowledge.String() {
+			t.Fatal("knowledge drifted through the round trip")
+		}
+	})
+}
+
+// FuzzWALDecode: arbitrary bytes never panic the record decoder, and
+// accepted records re-encode canonically.
+func FuzzWALDecode(f *testing.F) {
+	for _, seed := range seedPayloads(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, _, err := DecodeWALRecord(data); err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		rec, err := decodeRecord(data)
+		if err != nil {
+			t.Fatalf("DecodeWALRecord accepted what decodeRecord rejects: %v", err)
+		}
+		once := encodeRecord(rec)
+		rec2, err := decodeRecord(once)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		twice := encodeRecord(rec2)
+		if !bytes.Equal(once, twice) {
+			t.Fatalf("encoding not canonical: %x vs %x", once, twice)
+		}
+	})
+}

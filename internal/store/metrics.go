@@ -1,0 +1,39 @@
+package store
+
+import "incxml/internal/obs"
+
+// Metrics exposition for the durability layer, on the default registry so
+// GET /metrics picks them up wherever a store is wired in. Counters are
+// process-global across stores (one process typically runs one store per
+// shard group); the recovery counters only move during startup and so
+// double as a "this process warm-started" signal.
+var (
+	mWALAppends       *obs.Counter
+	mWALBytes         *obs.Counter
+	mSnapshots        *obs.Counter
+	mSnapshotMicros   *obs.Histogram
+	mRecoveryReplayed *obs.Counter
+	mCorruptSkipped   *obs.Counter
+	mSnapFallbacks    *obs.Counter
+	mQuarantined      *obs.Counter
+)
+
+func init() {
+	d := obs.Default()
+	mWALAppends = d.NewCounter("incxml_store_wal_appends_total",
+		"Acquisition events appended to a write-ahead log.")
+	mWALBytes = d.NewCounter("incxml_store_wal_bytes_total",
+		"Bytes written to write-ahead logs (framing included).")
+	mSnapshots = d.NewCounter("incxml_store_snapshots_total",
+		"Per-repository snapshot files written.")
+	mSnapshotMicros = d.NewHistogram("incxml_store_snapshot_duration_micros",
+		"Wall time of one snapshot write (encode + temp file + rename), in microseconds.")
+	mRecoveryReplayed = d.NewCounter("incxml_store_recovery_replayed_total",
+		"WAL records replayed into a webhouse during recovery.")
+	mCorruptSkipped = d.NewCounter("incxml_store_corrupt_records_skipped_total",
+		"WAL records dropped at recovery because their length or checksum did not verify (torn or corrupt tail).")
+	mSnapFallbacks = d.NewCounter("incxml_store_snapshot_fallbacks_total",
+		"Corrupt snapshot files set aside at recovery, falling back to full-WAL replay.")
+	mQuarantined = d.NewCounter("incxml_store_quarantined_total",
+		"Repositories quarantined at recovery because neither snapshot nor WAL could restore them.")
+}

@@ -1,0 +1,199 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"incxml/internal/itree"
+	"incxml/internal/tree"
+)
+
+// Snapshot file layout:
+//
+//	magic "IXS1" | uvarint payloadLen | payload | crc32c(payload) LE
+//
+// One file per repository, written atomically (temp file + rename) so a
+// crash mid-snapshot leaves the previous snapshot intact. The payload is a
+// SnapshotPayload: the full durable state of one repository as of lastSeq.
+
+var snapMagic = [4]byte{'I', 'X', 'S', '1'}
+
+// SnapshotPayload is the durable state of one repository: the source
+// document, the refiner's accumulated knowledge tree, and where in the
+// event sequence this state was captured. It is also the unit shipped
+// between shards for rebalancing (Cluster.ExportSource/ImportSource).
+type SnapshotPayload struct {
+	Source  string
+	LastSeq uint64
+	// Doc is the source document as of LastSeq; HasDoc distinguishes a
+	// genuinely empty document from "not captured".
+	Doc    tree.Tree
+	HasDoc bool
+	// Knowledge is the refiner's accumulated tree (nil never occurs on
+	// payloads built by the store; decode tolerates absent as nil).
+	Knowledge *itree.T
+	Steps     int
+	Lossy     bool
+}
+
+// EncodeSnapshotPayload renders a repository state in the canonical form
+// used inside snapshot files (no framing or checksum — callers shipping it
+// over the wire get integrity from their transport).
+func EncodeSnapshotPayload(p *SnapshotPayload) []byte {
+	e := newEnc()
+	e.str(p.Source)
+	e.uvarint(p.LastSeq)
+	e.bool(p.HasDoc)
+	if p.HasDoc {
+		e.tree(p.Doc)
+	}
+	if p.Knowledge != nil {
+		e.bool(true)
+		e.itree(p.Knowledge)
+	} else {
+		e.bool(false)
+	}
+	e.uvarint(uint64(p.Steps))
+	e.bool(p.Lossy)
+	return e.buf
+}
+
+// DecodeSnapshotPayload parses a repository state; arbitrary bytes error
+// (ErrCorrupt), never panic. Trailing bytes are rejected.
+func DecodeSnapshotPayload(buf []byte) (*SnapshotPayload, error) {
+	d := newDec(buf)
+	p := &SnapshotPayload{}
+	var err error
+	if p.Source, err = d.str(); err != nil {
+		return nil, err
+	}
+	if p.LastSeq, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if p.HasDoc, err = d.bool(); err != nil {
+		return nil, err
+	}
+	if p.HasDoc {
+		if p.Doc, err = d.tree(); err != nil {
+			return nil, err
+		}
+	}
+	hasKnow, err := d.bool()
+	if err != nil {
+		return nil, err
+	}
+	if hasKnow {
+		if p.Knowledge, err = d.itree(); err != nil {
+			return nil, err
+		}
+	}
+	steps, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	p.Steps = int(steps)
+	if p.Lossy, err = d.bool(); err != nil {
+		return nil, err
+	}
+	if d.remaining() != 0 {
+		return nil, corruptf("%d trailing bytes after snapshot payload", d.remaining())
+	}
+	return p, nil
+}
+
+// frameSnapshot wraps a payload in the on-disk snapshot format.
+func frameSnapshot(payload []byte) []byte {
+	buf := append([]byte(nil), snapMagic[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+}
+
+// unframeSnapshot validates magic, length and checksum, returning the
+// payload bytes.
+func unframeSnapshot(buf []byte) ([]byte, error) {
+	if len(buf) < len(snapMagic) || [4]byte(buf[:4]) != snapMagic {
+		return nil, corruptf("bad snapshot magic")
+	}
+	pos := len(snapMagic)
+	plen, n := binary.Uvarint(buf[pos:])
+	if n <= 0 || plen > maxRecordLen {
+		return nil, corruptf("bad snapshot length")
+	}
+	pos += n
+	if uint64(len(buf)-pos) != plen+4 {
+		return nil, corruptf("snapshot length %d does not match file (have %d payload bytes)", plen, len(buf)-pos-4)
+	}
+	payload := buf[pos : pos+int(plen)]
+	want := binary.LittleEndian.Uint32(buf[pos+int(plen):])
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, corruptf("snapshot checksum mismatch")
+	}
+	return payload, nil
+}
+
+// writeSnapshotFile atomically writes a framed snapshot: temp file in the
+// same directory, then rename over the target.
+func writeSnapshotFile(path string, framed []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return fmt.Errorf("store: snapshot temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(framed); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: snapshot write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// readSnapshotFile loads and validates a snapshot. A missing file returns
+// (nil, os.ErrNotExist-wrapping error); a damaged one returns ErrCorrupt.
+func readSnapshotFile(path string) (*SnapshotPayload, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := unframeSnapshot(buf)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSnapshotPayload(payload)
+}
+
+// sanitizeName maps a source name to a safe filename, escaping every byte
+// outside [A-Za-z0-9._-] as %XX. The mapping is injective, so distinct
+// sources never collide on disk.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	if b.Len() == 0 {
+		// Bare "%" is unreachable from any non-empty name (escapes are three
+		// bytes, safe bytes map to themselves), so it is a safe marker.
+		return "%"
+	}
+	return b.String()
+}

@@ -1,0 +1,481 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"incxml/internal/itree"
+	"incxml/internal/tree"
+	"incxml/internal/webhouse"
+)
+
+// DefaultSnapEvery is the automatic full-snapshot cadence: after this many
+// WAL appends the store snapshots every repository and rotates the log.
+const DefaultSnapEvery = 64
+
+// Options configures a store.
+type Options struct {
+	// Dir is the data directory (created if absent). One store owns one
+	// directory; it holds wal.log and snap/<source>.snap files.
+	Dir string
+	// SnapEvery is the automatic snapshot-and-rotate cadence in WAL
+	// appends; 0 means DefaultSnapEvery, negative disables automatic
+	// snapshots (explicit SnapshotAll only).
+	SnapEvery int
+	// Logf receives recovery warnings (corrupt tails, snapshot fallbacks,
+	// quarantines). nil means the standard library logger.
+	Logf func(format string, args ...any)
+}
+
+// Recovery summarizes what OpenOrRecover reconstructed, for the warm-start
+// banner and tests.
+type Recovery struct {
+	// SnapshotsLoaded counts repositories restored from a valid snapshot.
+	SnapshotsLoaded int
+	// ReplayedEvents counts WAL records folded into the webhouse.
+	ReplayedEvents int
+	// CorruptRecordsDropped counts WAL records cut from the tail (torn or
+	// corrupt); the log was truncated after the last valid record.
+	CorruptRecordsDropped int
+	// SnapshotFallbacks counts corrupt snapshots set aside in favor of
+	// full-WAL replay.
+	SnapshotFallbacks int
+	// Quarantined lists sources that could not be restored at all: their
+	// files were renamed aside and they serve from pristine knowledge,
+	// flagged (webhouse.Repository.Quarantined).
+	Quarantined []string
+}
+
+// shadowState is the store's view of one repository's latest durable
+// state, maintained from journal events (and recovery) so snapshots never
+// have to reach back into the webhouse — journal hooks run under the
+// repository lock, which forbids re-entry. Trees are immutable once
+// captured.
+type shadowState struct {
+	lastSeq   uint64
+	doc       tree.Tree
+	hasDoc    bool
+	knowledge *itree.T
+	steps     int
+	lossy     bool
+}
+
+// Store persists one webhouse's acquisition history: a WAL of events plus
+// per-repository snapshots, under one data directory. It implements
+// webhouse.Journal. All methods are safe for concurrent use.
+type Store struct {
+	dir       string
+	snapEvery int
+	logf      func(string, ...any)
+
+	mu               sync.Mutex
+	w                *wal
+	nextSeq          uint64
+	shadow           map[string]*shadowState
+	pending          []*record // decoded WAL records awaiting Recover
+	dropped          int       // corrupt records cut at open
+	appendsSinceSnap int
+	closed           bool
+}
+
+// Open opens (creating if needed) the data directory and scans the WAL,
+// truncating any torn tail. Call Recover to fold the persisted state into
+// a webhouse, then Attach to start journaling; OpenOrRecover does all
+// three.
+func Open(opts Options) (*Store, error) {
+	logf := opts.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	snapEvery := opts.SnapEvery
+	if snapEvery == 0 {
+		snapEvery = DefaultSnapEvery
+	}
+	if opts.Dir == "" {
+		return nil, errors.New("store: empty data directory")
+	}
+	if err := os.MkdirAll(filepath.Join(opts.Dir, "snap"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: create data dir: %w", err)
+	}
+	w, records, dropped, err := openWAL(filepath.Join(opts.Dir, "wal.log"), 1, logf)
+	if err != nil {
+		return nil, err
+	}
+	next := w.baseSeq
+	if next == 0 {
+		next = 1
+	}
+	for _, rec := range records {
+		if rec.seq >= next {
+			next = rec.seq + 1
+		}
+	}
+	return &Store{
+		dir:       opts.Dir,
+		snapEvery: snapEvery,
+		logf:      logf,
+		w:         w,
+		nextSeq:   next,
+		shadow:    map[string]*shadowState{},
+		pending:   records,
+		dropped:   dropped,
+	}, nil
+}
+
+// OpenOrRecover is the standard startup path: open the directory, recover
+// the persisted state into wh (whose sources must already be registered),
+// and attach the store as wh's journal.
+func OpenOrRecover(opts Options, wh *webhouse.Webhouse) (*Store, *Recovery, error) {
+	s, err := Open(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec, err := s.Recover(wh)
+	if err != nil {
+		s.Close()
+		return nil, nil, err
+	}
+	s.Attach(wh)
+	return s, rec, nil
+}
+
+func (s *Store) snapPath(source string) string {
+	return filepath.Join(s.dir, "snap", sanitizeName(source)+".snap")
+}
+
+// Recover folds the persisted state into wh. For each registered source:
+// a valid snapshot is installed and the WAL records past its LastSeq are
+// replayed; a missing snapshot means full-WAL replay from pristine
+// knowledge; a corrupt snapshot is renamed aside and degrades to full-WAL
+// replay when the log still reaches back to the beginning of history
+// (baseSeq 1), else the source is quarantined. Any replay failure also
+// quarantines the source rather than failing startup. WAL records for
+// sources not registered in wh are skipped with a warning.
+//
+// Recover must run before Attach (no live events interleaving) and at most
+// once per Store.
+func (s *Store) Recover(wh *webhouse.Webhouse) (*Recovery, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &Recovery{CorruptRecordsDropped: s.dropped}
+	registered := map[string]bool{}
+	for _, name := range wh.Sources() {
+		registered[name] = true
+	}
+	// Phase 1: install snapshots (or decide fallback/quarantine per source).
+	quarantined := map[string]bool{}
+	snapSeq := map[string]uint64{}
+	for _, name := range wh.Sources() {
+		payload, err := readSnapshotFile(s.snapPath(name))
+		switch {
+		case err == nil:
+			if payload.Source != name {
+				// A snapshot for a different source under this name: corrupt
+				// by construction (sanitizeName is injective).
+				err = corruptf("snapshot names source %q", payload.Source)
+			} else if err = s.applySnapshot(wh, payload); err == nil {
+				snapSeq[name] = payload.LastSeq
+				out.SnapshotsLoaded++
+				continue
+			}
+			// Loaded but unappliable (e.g. the persisted document no longer
+			// validates against the registered type): treat as corrupt.
+			fallthrough
+		case errors.Is(err, ErrCorrupt):
+			mSnapFallbacks.Inc()
+			out.SnapshotFallbacks++
+			s.setAside(s.snapPath(name), ".corrupt")
+			if s.w.baseSeq > 1 {
+				// The WAL no longer reaches back to seq 1: the source's
+				// history is gone. Quarantine instead of serving a state the
+				// webhouse never passed through.
+				s.logf("store: source %q: corrupt snapshot and rotated wal (base seq %d): quarantining", name, s.w.baseSeq)
+				quarantined[name] = true
+				continue
+			}
+			s.logf("store: source %q: corrupt snapshot (%v): falling back to full-WAL replay", name, err)
+			snapSeq[name] = 0
+		case os.IsNotExist(err):
+			// Never snapshotted: every event it ever saw is in the WAL (a
+			// source registered after a rotation has all its events past
+			// baseSeq), so pristine + full replay is exact.
+			snapSeq[name] = 0
+		default:
+			return nil, fmt.Errorf("store: read snapshot for %q: %w", name, err)
+		}
+	}
+	// Phase 2: replay the WAL in sequence order.
+	warnedUnknown := map[string]bool{}
+	for _, rec := range s.pending {
+		if !registered[rec.source] {
+			if !warnedUnknown[rec.source] {
+				warnedUnknown[rec.source] = true
+				s.logf("store: wal names unregistered source %q: skipping its records", rec.source)
+			}
+			continue
+		}
+		if quarantined[rec.source] {
+			continue
+		}
+		if rec.seq <= snapSeq[rec.source] {
+			continue // already inside the snapshot
+		}
+		if err := s.applyRecord(wh, rec); err != nil {
+			s.logf("store: source %q: replay of record seq %d failed (%v): quarantining", rec.source, rec.seq, err)
+			quarantined[rec.source] = true
+			continue
+		}
+		mRecoveryReplayed.Inc()
+		out.ReplayedEvents++
+		s.bumpShadow(wh, rec)
+	}
+	// Phase 3: quarantine what could not be restored.
+	for name := range quarantined {
+		if err := wh.Quarantine(name); err != nil {
+			return nil, err
+		}
+		mQuarantined.Inc()
+		s.setAside(s.snapPath(name), ".quarantined")
+		delete(s.shadow, name) // re-captured pristine at Attach
+		out.Quarantined = append(out.Quarantined, name)
+	}
+	sort.Strings(out.Quarantined)
+	s.pending = nil
+	return out, nil
+}
+
+// applySnapshot installs one decoded snapshot into the webhouse and seeds
+// the shadow state.
+func (s *Store) applySnapshot(wh *webhouse.Webhouse, p *SnapshotPayload) error {
+	if p.HasDoc {
+		if err := wh.ReplayUpdate(p.Source, p.Doc); err != nil {
+			return err
+		}
+	}
+	if err := wh.RestoreKnowledge(p.Source, p.Knowledge, p.Steps, p.Lossy); err != nil {
+		return err
+	}
+	s.shadow[p.Source] = &shadowState{
+		lastSeq:   p.LastSeq,
+		doc:       p.Doc,
+		hasDoc:    p.HasDoc,
+		knowledge: p.Knowledge,
+		steps:     p.Steps,
+		lossy:     p.Lossy,
+	}
+	return nil
+}
+
+// applyRecord folds one WAL record into the webhouse.
+func (s *Store) applyRecord(wh *webhouse.Webhouse, rec *record) error {
+	switch rec.kind {
+	case recObserve:
+		return wh.ReplayObserve(rec.source, rec.query, rec.answer)
+	case recState:
+		return wh.RestoreKnowledge(rec.source, rec.knowledge, rec.steps, rec.lossy)
+	case recInvalidate:
+		return wh.ReplayInvalidate(rec.source)
+	case recUpdate:
+		return wh.ReplayUpdate(rec.source, rec.doc)
+	}
+	return corruptf("bad record kind 0x%02x", rec.kind)
+}
+
+// bumpShadow refreshes the shadow state after replaying rec.
+func (s *Store) bumpShadow(wh *webhouse.Webhouse, rec *record) {
+	sh := s.shadow[rec.source]
+	if sh == nil {
+		sh = &shadowState{}
+		s.shadow[rec.source] = sh
+	}
+	sh.lastSeq = rec.seq
+	switch rec.kind {
+	case recUpdate:
+		sh.doc, sh.hasDoc = rec.doc, true
+	}
+	// Knowledge/steps/lossy: read back the post-replay state (cheap: the
+	// refiner hands out its current pointers).
+	if _, know, steps, lossy, err := wh.Export(rec.source); err == nil {
+		sh.knowledge, sh.steps, sh.lossy = know, steps, lossy
+	}
+}
+
+// Attach captures a baseline for every source the recovery did not already
+// shadow and installs the store as wh's journal. Call after Recover and
+// before serving traffic.
+func (s *Store) Attach(wh *webhouse.Webhouse) {
+	s.mu.Lock()
+	for _, name := range wh.Sources() {
+		if _, ok := s.shadow[name]; ok {
+			continue
+		}
+		doc, know, steps, lossy, err := wh.Export(name)
+		if err != nil {
+			continue
+		}
+		s.shadow[name] = &shadowState{
+			doc:       doc,
+			hasDoc:    doc.Root != nil,
+			knowledge: know,
+			steps:     steps,
+			lossy:     lossy,
+		}
+	}
+	s.mu.Unlock()
+	wh.SetJournal(s)
+}
+
+// Record implements webhouse.Journal: it appends the event to the WAL,
+// refreshes the shadow state, and — on the configured cadence — snapshots
+// every repository and rotates the log. It is called with the repository
+// write lock held and never calls back into the webhouse.
+func (s *Store) Record(ev webhouse.JournalEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	rec := &record{seq: seq, source: ev.Source}
+	switch ev.Kind {
+	case webhouse.EventObserve:
+		if ev.Lossy {
+			// A lossy chain's state depends on budget timing replay cannot
+			// reproduce: journal the full post-fold state instead of the
+			// observation.
+			rec.kind = recState
+			rec.knowledge, rec.steps, rec.lossy = ev.Knowledge, ev.Steps, ev.Lossy
+		} else {
+			rec.kind = recObserve
+			rec.query, rec.answer = ev.Query, ev.Answer
+		}
+	case webhouse.EventRestore:
+		rec.kind = recState
+		rec.knowledge, rec.steps, rec.lossy = ev.Knowledge, ev.Steps, ev.Lossy
+	case webhouse.EventInvalidate:
+		rec.kind = recInvalidate
+	case webhouse.EventUpdate:
+		rec.kind = recUpdate
+		rec.doc = ev.Doc
+	default:
+		s.logf("store: dropping journal event of unknown kind %d", ev.Kind)
+		return
+	}
+	n, err := s.w.append(encodeRecord(rec))
+	if err != nil {
+		s.logf("store: wal append failed (%v): event seq %d not persisted", err, seq)
+		return
+	}
+	mWALAppends.Inc()
+	mWALBytes.Add(uint64(n))
+	sh := s.shadow[ev.Source]
+	if sh == nil {
+		sh = &shadowState{}
+		s.shadow[ev.Source] = sh
+	}
+	sh.lastSeq = seq
+	if ev.Kind == webhouse.EventUpdate {
+		sh.doc, sh.hasDoc = ev.Doc, true
+	}
+	sh.knowledge, sh.steps, sh.lossy = ev.Knowledge, ev.Steps, ev.Lossy
+	s.appendsSinceSnap++
+	if s.snapEvery > 0 && s.appendsSinceSnap >= s.snapEvery {
+		if err := s.snapshotAllLocked(); err != nil {
+			s.logf("store: automatic snapshot failed: %v", err)
+		}
+	}
+}
+
+// Snapshot writes the snapshot file for one source from the shadow state.
+func (s *Store) Snapshot(source string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh, ok := s.shadow[source]
+	if !ok {
+		return fmt.Errorf("store: no state for source %q", source)
+	}
+	return s.writeSnapshotLocked(source, sh)
+}
+
+func (s *Store) writeSnapshotLocked(source string, sh *shadowState) error {
+	start := time.Now()
+	framed := frameSnapshot(EncodeSnapshotPayload(&SnapshotPayload{
+		Source:    source,
+		LastSeq:   sh.lastSeq,
+		Doc:       sh.doc,
+		HasDoc:    sh.hasDoc,
+		Knowledge: sh.knowledge,
+		Steps:     sh.steps,
+		Lossy:     sh.lossy,
+	}))
+	if err := writeSnapshotFile(s.snapPath(source), framed); err != nil {
+		return err
+	}
+	mSnapshots.Inc()
+	mSnapshotMicros.Observe(time.Since(start).Microseconds())
+	return nil
+}
+
+// SnapshotAll snapshots every repository and, on success, rotates the WAL:
+// all history is now inside the snapshots, so the log restarts at a bare
+// header. This is the SIGTERM-drain flush and the automatic-cadence body.
+func (s *Store) SnapshotAll() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotAllLocked()
+}
+
+func (s *Store) snapshotAllLocked() error {
+	for source, sh := range s.shadow {
+		if err := s.writeSnapshotLocked(source, sh); err != nil {
+			return err
+		}
+	}
+	if err := s.w.rotate(s.nextSeq); err != nil {
+		return fmt.Errorf("store: rotate wal: %w", err)
+	}
+	s.appendsSinceSnap = 0
+	return nil
+}
+
+// WALSize reports the current byte size of the log (header included).
+func (s *Store) WALSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.size
+}
+
+// Dir reports the store's data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close closes the WAL file. The store drops further events; detach it
+// from the webhouse (SetJournal(nil)) or stop traffic first if every last
+// event must be captured.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.w.close()
+}
+
+// setAside renames a file out of the recovery path, keeping it for
+// forensics. Missing files and rename failures are non-fatal (the caller
+// is already on a degraded path).
+func (s *Store) setAside(path, suffix string) {
+	if _, err := os.Stat(path); err != nil {
+		return
+	}
+	if err := os.Rename(path, path+suffix); err != nil {
+		s.logf("store: could not set aside %s: %v", path, err)
+	}
+}

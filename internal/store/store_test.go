@@ -1,0 +1,383 @@
+package store
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"incxml/internal/webhouse"
+	"incxml/internal/workload"
+)
+
+// quietLogf routes store warnings to the test log.
+func quietLogf(t *testing.T) func(string, ...any) {
+	return func(format string, args ...any) { t.Logf(format, args...) }
+}
+
+// newCatalogHouse builds a webhouse with the paper's catalog registered.
+func newCatalogHouse(t *testing.T) *webhouse.Webhouse {
+	t.Helper()
+	wh := webhouse.New()
+	src, err := webhouse.NewSource("catalog", workload.CatalogType(), workload.PaperCatalog())
+	if err != nil {
+		t.Fatalf("source: %v", err)
+	}
+	wh.Register(src)
+	return wh
+}
+
+// houseState renders the durable state of one source as a comparable string.
+func houseState(t *testing.T, wh *webhouse.Webhouse, source string) string {
+	t.Helper()
+	doc, know, steps, lossy, err := wh.Export(source)
+	if err != nil {
+		t.Fatalf("export %s: %v", source, err)
+	}
+	return strings.Join([]string{
+		doc.CanonicalWithIDs(),
+		know.String(),
+		string(rune('0' + steps)),
+		map[bool]string{false: "exact", true: "lossy"}[lossy],
+	}, "\n---\n")
+}
+
+// driveCatalog applies a deterministic acquisition sequence: three
+// explores, an update, and two more explores on the new document.
+func driveCatalog(t *testing.T, wh *webhouse.Webhouse) {
+	t.Helper()
+	ctx := context.Background()
+	for _, bound := range []int64{150, 200, 300} {
+		if _, err := wh.Explore(ctx, "catalog", workload.Query1(bound)); err != nil {
+			t.Fatalf("explore: %v", err)
+		}
+	}
+	if err := wh.Update("catalog", workload.RandomCatalog(5, 42)); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	for _, bound := range []int64{120, 260} {
+		if _, err := wh.Explore(ctx, "catalog", workload.Query1(bound)); err != nil {
+			t.Fatalf("explore after update: %v", err)
+		}
+	}
+}
+
+func TestWALReplayRestoresExactState(t *testing.T) {
+	dir := t.TempDir()
+	wh := newCatalogHouse(t)
+	s, rec, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if rec.ReplayedEvents != 0 || rec.SnapshotsLoaded != 0 {
+		t.Fatalf("fresh store reported recovery %+v", rec)
+	}
+	driveCatalog(t, wh)
+	want := houseState(t, wh, "catalog")
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	wh2 := newCatalogHouse(t)
+	s2, rec2, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh2)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if rec2.ReplayedEvents != 6 { // 5 explores + 1 update
+		t.Fatalf("replayed %d events, want 6 (%+v)", rec2.ReplayedEvents, rec2)
+	}
+	if got := houseState(t, wh2, "catalog"); got != want {
+		t.Fatalf("replayed state differs from pre-crash state:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSnapshotAndRotationCoverHistory(t *testing.T) {
+	dir := t.TempDir()
+	wh := newCatalogHouse(t)
+	s, _, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	driveCatalog(t, wh)
+	if err := s.SnapshotAll(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if size := s.WALSize(); size > 16 {
+		t.Fatalf("wal not rotated after SnapshotAll: %d bytes", size)
+	}
+	// Two more events after the rotation land in the fresh log.
+	if _, err := wh.Explore(context.Background(), "catalog", workload.Query1(99)); err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	want := houseState(t, wh, "catalog")
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	wh2 := newCatalogHouse(t)
+	s2, rec2, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh2)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if rec2.SnapshotsLoaded != 1 || rec2.ReplayedEvents != 1 {
+		t.Fatalf("recovery = %+v, want 1 snapshot + 1 replayed event", rec2)
+	}
+	if got := houseState(t, wh2, "catalog"); got != want {
+		t.Fatalf("snapshot+tail recovery differs:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestAutomaticSnapshotCadence(t *testing.T) {
+	dir := t.TempDir()
+	wh := newCatalogHouse(t)
+	s, _, err := OpenOrRecover(Options{Dir: dir, SnapEvery: 3, Logf: quietLogf(t)}, wh)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	driveCatalog(t, wh) // 6 events: two automatic snapshot passes
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snap", "catalog.snap")); err != nil {
+		t.Fatalf("automatic snapshot missing: %v", err)
+	}
+	wh2 := newCatalogHouse(t)
+	s2, rec2, err := OpenOrRecover(Options{Dir: dir, SnapEvery: 3, Logf: quietLogf(t)}, wh2)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if rec2.SnapshotsLoaded != 1 {
+		t.Fatalf("recovery = %+v, want snapshot load", rec2)
+	}
+	if got, want := houseState(t, wh2, "catalog"), houseState(t, wh, "catalog"); got != want {
+		t.Fatalf("cadence recovery differs:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTornTailTruncatedAtLastValidRecord(t *testing.T) {
+	dir := t.TempDir()
+	wh := newCatalogHouse(t)
+	s, _, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	ctx := context.Background()
+	if _, err := wh.Explore(ctx, "catalog", workload.Query1(150)); err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	want := houseState(t, wh, "catalog")
+	durable := s.WALSize()
+	if _, err := wh.Explore(ctx, "catalog", workload.Query1(200)); err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Tear the last record: cut the file mid-way through it.
+	walPath := filepath.Join(dir, "wal.log")
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, full[:durable+3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	wh2 := newCatalogHouse(t)
+	s2, rec2, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh2)
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer s2.Close()
+	if rec2.CorruptRecordsDropped == 0 {
+		t.Fatalf("torn tail not counted: %+v", rec2)
+	}
+	if rec2.ReplayedEvents != 1 {
+		t.Fatalf("replayed %d events, want 1 (the intact prefix)", rec2.ReplayedEvents)
+	}
+	if got := houseState(t, wh2, "catalog"); got != want {
+		t.Fatalf("recovered state is not the durable prefix:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	// The log was physically truncated: reopening again is clean.
+	if info, err := os.Stat(walPath); err != nil || info.Size() != durable {
+		t.Fatalf("wal not truncated to last valid record: size %v err %v (want %d)", info.Size(), err, durable)
+	}
+}
+
+func TestCorruptSnapshotFallsBackToFullWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	wh := newCatalogHouse(t)
+	s, _, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	driveCatalog(t, wh)
+	// Snapshot WITHOUT rotation: the WAL still holds all history.
+	if err := s.Snapshot("catalog"); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	want := houseState(t, wh, "catalog")
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Bit-flip inside the snapshot payload: checksum mismatch.
+	snapPath := filepath.Join(dir, "snap", "catalog.snap")
+	buf, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x10
+	if err := os.WriteFile(snapPath, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	wh2 := newCatalogHouse(t)
+	s2, rec2, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh2)
+	if err != nil {
+		t.Fatalf("reopen with corrupt snapshot: %v", err)
+	}
+	defer s2.Close()
+	if rec2.SnapshotFallbacks != 1 || rec2.SnapshotsLoaded != 0 {
+		t.Fatalf("recovery = %+v, want one snapshot fallback", rec2)
+	}
+	if rec2.ReplayedEvents != 6 {
+		t.Fatalf("replayed %d events, want all 6", rec2.ReplayedEvents)
+	}
+	if len(rec2.Quarantined) != 0 {
+		t.Fatalf("unexpected quarantine: %v", rec2.Quarantined)
+	}
+	if got := houseState(t, wh2, "catalog"); got != want {
+		t.Fatalf("full-WAL fallback state differs:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if _, err := os.Stat(snapPath + ".corrupt"); err != nil {
+		t.Fatalf("corrupt snapshot not set aside: %v", err)
+	}
+}
+
+func TestCorruptSnapshotAfterRotationQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	wh := newCatalogHouse(t)
+	s, _, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	driveCatalog(t, wh)
+	if err := s.SnapshotAll(); err != nil { // rotates: history now only in the snapshot
+		t.Fatalf("snapshot: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	snapPath := filepath.Join(dir, "snap", "catalog.snap")
+	buf, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0xFF // bit-flipped checksum
+	if err := os.WriteFile(snapPath, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	wh2 := newCatalogHouse(t)
+	s2, rec2, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh2)
+	if err != nil {
+		t.Fatalf("startup must not fail on an unrecoverable repository: %v", err)
+	}
+	defer s2.Close()
+	if len(rec2.Quarantined) != 1 || rec2.Quarantined[0] != "catalog" {
+		t.Fatalf("recovery = %+v, want catalog quarantined", rec2)
+	}
+	r, err := wh2.Repo("catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Quarantined() {
+		t.Fatal("repository not flagged quarantined")
+	}
+	if qs := wh2.QuarantinedSources(); len(qs) != 1 || qs[0] != "catalog" {
+		t.Fatalf("QuarantinedSources = %v", qs)
+	}
+	// Pristine knowledge: serves degraded-but-sound answers.
+	fresh := newCatalogHouse(t)
+	_, know, steps, _, err := wh2.Export("catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, freshKnow, _, _, _ := fresh.Export("catalog")
+	if steps != 0 || know.String() != freshKnow.String() {
+		t.Fatal("quarantined repository did not reset to pristine knowledge")
+	}
+	if _, err := os.Stat(snapPath + ".corrupt"); err != nil {
+		t.Fatalf("quarantined snapshot not set aside for forensics: %v", err)
+	}
+	// The quarantined repository still serves and re-acquires.
+	if _, err := wh2.Explore(context.Background(), "catalog", workload.Query1(150)); err != nil {
+		t.Fatalf("explore on quarantined repo: %v", err)
+	}
+}
+
+func TestUnknownSourceRecordsSkipped(t *testing.T) {
+	dir := t.TempDir()
+	wh := newCatalogHouse(t)
+	s, _, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	driveCatalog(t, wh)
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Recover into a webhouse where the source was renamed away.
+	wh2 := webhouse.New()
+	src, err := webhouse.NewSource("other", workload.CatalogType(), workload.PaperCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh2.Register(src)
+	s2, rec2, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh2)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if rec2.ReplayedEvents != 0 || len(rec2.Quarantined) != 0 {
+		t.Fatalf("recovery touched unknown-source records: %+v", rec2)
+	}
+}
+
+func TestCorruptWALHeaderStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	wh := newCatalogHouse(t)
+	s, _, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	driveCatalog(t, wh)
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	walPath := filepath.Join(dir, "wal.log")
+	buf, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X' // destroy the magic
+	if err := os.WriteFile(walPath, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wh2 := newCatalogHouse(t)
+	s2, rec2, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh2)
+	if err != nil {
+		t.Fatalf("reopen with corrupt header: %v", err)
+	}
+	defer s2.Close()
+	if rec2.ReplayedEvents != 0 {
+		t.Fatalf("replayed %d events from an untrusted log", rec2.ReplayedEvents)
+	}
+	if _, err := os.Stat(walPath + ".corrupt"); err != nil {
+		t.Fatalf("damaged wal not set aside: %v", err)
+	}
+}

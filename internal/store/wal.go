@@ -1,0 +1,294 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"incxml/internal/itree"
+	"incxml/internal/query"
+	"incxml/internal/tree"
+)
+
+// WAL file layout:
+//
+//	magic "IXW1" | uvarint baseSeq | record*
+//	record := uvarint payloadLen | crc32c(payload) LE | payload
+//
+// baseSeq is the lowest event sequence number this log can contain; log
+// rotation (after a full snapshot pass) resets the file to a bare header
+// with baseSeq = nextSeq, recording that older history now lives only in
+// the snapshots. Records carry their own seq so recovery can skip the
+// prefix a snapshot already covers.
+//
+// Appends are plain buffered-by-the-kernel writes, not fsyncs: the
+// recovery scan verifies every record's checksum and truncates the log at
+// the first invalid one, so a crash mid-write loses at most the torn tail
+// — never the integrity of the prefix.
+
+var walMagic = [4]byte{'I', 'X', 'W', '1'}
+
+// castagnoli is the CRC-32C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// record payload kinds.
+const (
+	recObserve    byte = 1 // q/a pair, exact replay re-derives the state
+	recState      byte = 2 // full post-fold state (lossy chains)
+	recInvalidate byte = 3
+	recUpdate     byte = 4
+)
+
+// record is one decoded WAL entry.
+type record struct {
+	kind   byte
+	seq    uint64
+	source string
+
+	// recObserve
+	query  query.Query
+	answer tree.Tree
+	// recState
+	knowledge *itree.T
+	steps     int
+	lossy     bool
+	// recUpdate
+	doc tree.Tree
+}
+
+func encodeRecord(rec *record) []byte {
+	e := newEnc()
+	e.byte(rec.kind)
+	e.uvarint(rec.seq)
+	e.str(rec.source)
+	switch rec.kind {
+	case recObserve:
+		e.query(rec.query)
+		e.tree(rec.answer)
+	case recState:
+		e.itree(rec.knowledge)
+		e.uvarint(uint64(rec.steps))
+		e.bool(rec.lossy)
+	case recInvalidate:
+	case recUpdate:
+		e.tree(rec.doc)
+	}
+	return e.buf
+}
+
+func decodeRecord(buf []byte) (*record, error) {
+	d := newDec(buf)
+	kind, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	seq, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	source, err := d.str()
+	if err != nil {
+		return nil, err
+	}
+	rec := &record{kind: kind, seq: seq, source: source}
+	switch kind {
+	case recObserve:
+		if rec.query, err = d.query(); err != nil {
+			return nil, err
+		}
+		if rec.answer, err = d.tree(); err != nil {
+			return nil, err
+		}
+	case recState:
+		if rec.knowledge, err = d.itree(); err != nil {
+			return nil, err
+		}
+		steps, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		rec.steps = int(steps)
+		if rec.lossy, err = d.bool(); err != nil {
+			return nil, err
+		}
+	case recInvalidate:
+	case recUpdate:
+		if rec.doc, err = d.tree(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, corruptf("bad record kind 0x%02x", kind)
+	}
+	if d.remaining() != 0 {
+		return nil, corruptf("%d trailing bytes after record", d.remaining())
+	}
+	return rec, nil
+}
+
+// DecodeWALRecord validates one framed-and-unframed WAL payload; it is the
+// fuzz surface for the record codec (arbitrary bytes must error, not
+// panic). It returns the record's kind byte and source name.
+func DecodeWALRecord(payload []byte) (kind byte, source string, err error) {
+	rec, err := decodeRecord(payload)
+	if err != nil {
+		return 0, "", err
+	}
+	return rec.kind, rec.source, nil
+}
+
+// wal is an open write-ahead log positioned at its end.
+type wal struct {
+	f       *os.File
+	path    string
+	baseSeq uint64
+	size    int64
+}
+
+func walHeader(baseSeq uint64) []byte {
+	buf := append([]byte(nil), walMagic[:]...)
+	return binary.AppendUvarint(buf, baseSeq)
+}
+
+// openWAL opens (creating if needed) the log at path, scans and decodes
+// every valid record, and truncates the file after the last one. The
+// returned records are in file (= seq) order. dropped counts invalid
+// records cut from the tail (0 or, in practice, 1: a torn final write).
+// A file whose header does not verify is moved aside to path+".corrupt"
+// and replaced by a fresh log; its records are unrecoverable, which the
+// caller accounts for via baseSeq (fresh log gets baseSeq = nextSeq hint).
+func openWAL(path string, freshBase uint64, logf func(string, ...any)) (w *wal, records []*record, dropped int, err error) {
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		buf = nil
+	} else if err != nil {
+		return nil, nil, 0, fmt.Errorf("store: read wal: %w", err)
+	}
+	records, validLen, dropped, scanErr := scanWAL(buf)
+	baseSeq := freshBase
+	if scanErr != nil {
+		// Unusable header: set the damaged file aside and start over. The
+		// fresh header's baseSeq records that history before it is gone.
+		if len(buf) > 0 {
+			logf("store: wal %s: %v; moving aside and starting a fresh log", path, scanErr)
+			if err := os.Rename(path, path+".corrupt"); err != nil {
+				return nil, nil, 0, fmt.Errorf("store: quarantine wal: %w", err)
+			}
+		}
+		records, validLen, dropped = nil, 0, 0
+		buf = nil
+	} else if len(buf) > 0 {
+		baseSeq = walBase(buf)
+	}
+	if dropped > 0 {
+		logf("store: wal %s: dropping %d corrupt record(s) from the tail (truncating at byte %d)", path, dropped, validLen)
+		mCorruptSkipped.Add(uint64(dropped))
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("store: open wal: %w", err)
+	}
+	if len(buf) == 0 {
+		h := walHeader(baseSeq)
+		if _, err := f.Write(h); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("store: init wal: %w", err)
+		}
+		validLen = int64(len(h))
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("store: truncate wal tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("store: seek wal: %w", err)
+	}
+	return &wal{f: f, path: path, baseSeq: baseSeq, size: validLen}, records, dropped, nil
+}
+
+// walBase reads the header's baseSeq from a buffer scanWAL accepted.
+func walBase(buf []byte) uint64 {
+	base, _ := binary.Uvarint(buf[len(walMagic):])
+	return base
+}
+
+// scanWAL walks a log image, returning the decoded valid records, the byte
+// length of the valid prefix, and how many trailing records failed their
+// length or checksum. A non-nil error means the header itself is unusable
+// (wrong magic / truncated), so nothing in the file can be trusted.
+func scanWAL(buf []byte) (records []*record, validLen int64, dropped int, err error) {
+	if len(buf) == 0 {
+		return nil, 0, 0, nil
+	}
+	if len(buf) < len(walMagic) || [4]byte(buf[:4]) != walMagic {
+		return nil, 0, 0, corruptf("bad wal magic")
+	}
+	pos := len(walMagic)
+	base, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return nil, 0, 0, corruptf("bad wal header")
+	}
+	_ = base
+	pos += n
+	validLen = int64(pos)
+	for pos < len(buf) {
+		plen, n := binary.Uvarint(buf[pos:])
+		if n <= 0 || plen > maxRecordLen || uint64(len(buf)-pos-n) < plen+4 {
+			// Torn or corrupt length prefix: everything from here is dropped.
+			// Count the partial write as one dropped record.
+			dropped++
+			break
+		}
+		p := pos + n
+		want := binary.LittleEndian.Uint32(buf[p : p+4])
+		payload := buf[p+4 : p+4+int(plen)]
+		if crc32.Checksum(payload, castagnoli) != want {
+			dropped++
+			break
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			// Checksum ok but undecodable: treat like a corrupt record and cut
+			// the tail here — replaying past a record we cannot apply would
+			// reorder history.
+			dropped++
+			break
+		}
+		records = append(records, rec)
+		pos = p + 4 + int(plen)
+		validLen = int64(pos)
+	}
+	return records, validLen, dropped, nil
+}
+
+// append frames and writes one record payload; returns bytes written.
+func (w *wal) append(payload []byte) (int, error) {
+	frame := binary.AppendUvarint(nil, uint64(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, castagnoli))
+	frame = append(frame, payload...)
+	n, err := w.f.Write(frame)
+	w.size += int64(n)
+	return n, err
+}
+
+// rotate resets the log to a bare header with the given baseSeq. Callers
+// must have durably captured all prior history (a full snapshot pass).
+func (w *wal) rotate(baseSeq uint64) error {
+	h := walHeader(baseSeq)
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(h); err != nil {
+		return err
+	}
+	w.baseSeq = baseSeq
+	w.size = int64(len(h))
+	return nil
+}
+
+func (w *wal) close() error { return w.f.Close() }

@@ -1,0 +1,257 @@
+package webhouse
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"incxml/internal/itree"
+	"incxml/internal/query"
+	"incxml/internal/refine"
+	"incxml/internal/tree"
+)
+
+// EventKind identifies one acquisition mutation for the durability journal.
+type EventKind int
+
+// The three mutation shapes of the acquisition loop. Explore and the two
+// AnswerComplete fold paths all reduce to EventObserve (a ps-query/answer
+// pair folded by Algorithm Refine); Invalidate and Update are knowledge
+// resets, the latter carrying the replacement document.
+const (
+	EventObserve EventKind = iota + 1
+	EventInvalidate
+	EventUpdate
+	// EventRestore is a wholesale knowledge install (RestoreKnowledge
+	// outside recovery — e.g. a rebalancing import): the journal must
+	// persist the full post-state, there is no observation to replay.
+	EventRestore
+)
+
+// JournalEvent describes one applied mutation. It is emitted while the
+// repository's write lock is still held, so for any one source events
+// arrive in exactly the order the mutations were applied.
+//
+// The event carries both the replayable inputs (Query/Answer, Doc) and the
+// resulting state (Knowledge/Steps/Lossy, snapshotted after the fold) so a
+// journal can choose per event between logging the compact input — exact
+// replay re-derives the state, valid while the chain is non-lossy — and
+// logging the full post-state, required once a lossy fold made the chain
+// depend on budget timing that replay cannot reproduce. Knowledge is the
+// refiner's current tree; it is immutable once emitted (folds replace the
+// pointer, never mutate in place), so journals may retain it without
+// copying.
+type JournalEvent struct {
+	Kind   EventKind
+	Source string
+
+	// Query and Answer are the folded observation (EventObserve).
+	Query  query.Query
+	Answer tree.Tree
+
+	// Doc is the replacement document (EventUpdate).
+	Doc tree.Tree
+
+	// Knowledge, Steps and Lossy snapshot the refiner state after the
+	// mutation (all kinds).
+	Knowledge *itree.T
+	Steps     int
+	Lossy     bool
+}
+
+// Journal receives every applied acquisition mutation. Record is called
+// with the repository write lock held: implementations must not call back
+// into the webhouse (or any Repository method) and should return quickly —
+// buffered appends, not fsyncs. The durability layer (internal/store)
+// implements this.
+type Journal interface {
+	Record(ev JournalEvent)
+}
+
+// SetJournal installs the acquisition journal; nil detaches it. Install
+// before serving traffic: mutations applied while no journal is attached
+// are not re-emitted later.
+func (wh *Webhouse) SetJournal(j Journal) {
+	wh.journalMu.Lock()
+	wh.journal = j
+	wh.journalMu.Unlock()
+}
+
+// journalRecord emits ev to the attached journal, if any. Callers hold the
+// repository write lock, keeping the per-source event order identical to
+// the mutation order.
+func (wh *Webhouse) journalRecord(ev JournalEvent) {
+	wh.journalMu.RLock()
+	j := wh.journal
+	wh.journalMu.RUnlock()
+	if j != nil {
+		j.Record(ev)
+	}
+}
+
+// observeEventLocked builds the journal event for an observation folded
+// into r. Caller holds r.mu for writing.
+func observeEventLocked(r *Repository, q query.Query, a tree.Tree) JournalEvent {
+	return JournalEvent{
+		Kind:      EventObserve,
+		Source:    r.Source.Name,
+		Query:     q,
+		Answer:    a,
+		Knowledge: r.refiner.Tree(),
+		Steps:     r.refiner.Steps(),
+		Lossy:     r.refiner.Lossy(),
+	}
+}
+
+// Export snapshots a repository's durable state consistently: the current
+// source document, the refiner's accumulated tree (not the reachable
+// intersection, which is derived), the observation count, and the lossy
+// flag. The returned trees are immutable snapshots.
+func (wh *Webhouse) Export(source string) (doc tree.Tree, knowledge *itree.T, steps int, lossy bool, err error) {
+	r, err := wh.Repo(source)
+	if err != nil {
+		return tree.Tree{}, nil, 0, false, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.Source.Doc(), r.refiner.Tree(), r.refiner.Steps(), r.refiner.Lossy(), nil
+}
+
+// ReplayObserve folds a journaled observation during recovery, without a
+// budget (replay must be exact: live non-lossy folds are exact too, so the
+// replayed chain reproduces the pre-crash state byte for byte) and without
+// re-journaling. The inconsistency recovery matches the live path: a
+// contradicting observation reinitializes the knowledge and is folded
+// against the fresh state.
+func (wh *Webhouse) ReplayObserve(source string, q query.Query, a tree.Tree) error {
+	r, err := wh.Repo(source)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, err = r.refiner.ObserveBudgeted(q, a, nil, wh.shrinkCap())
+	if errors.Is(err, refine.ErrInconsistent) {
+		r.refiner = refine.NewRefiner(r.Source.Type.Alphabet(), r.Source.Type)
+		_, err = r.refiner.ObserveBudgeted(q, a, nil, wh.shrinkCap())
+	}
+	if err != nil {
+		return err
+	}
+	r.invalidate()
+	return nil
+}
+
+// RestoreKnowledge installs a decoded knowledge state — a snapshot, a WAL
+// State record, or a rebalancing import — exactly as the originating chain
+// stood. A nil knowledge restores the pristine post-Register state. The
+// install is journaled as an EventRestore so an import survives a later
+// crash; during recovery no journal is attached yet, so replay does not
+// re-journal itself.
+func (wh *Webhouse) RestoreKnowledge(source string, knowledge *itree.T, steps int, lossy bool) error {
+	r, err := wh.Repo(source)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.refiner = refine.RestoreRefiner(r.Source.Type.Alphabet(), r.Source.Type, knowledge, steps, lossy)
+	r.invalidate()
+	wh.journalRecord(JournalEvent{
+		Kind:      EventRestore,
+		Source:    r.Source.Name,
+		Knowledge: r.refiner.Tree(),
+		Steps:     steps,
+		Lossy:     lossy,
+	})
+	return nil
+}
+
+// ReplayInvalidate is Invalidate without re-journaling, for recovery.
+func (wh *Webhouse) ReplayInvalidate(source string) error {
+	r, err := wh.Repo(source)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resetLocked()
+	return nil
+}
+
+// ReplayUpdate is Update without re-journaling, for recovery. The
+// replacement document is validated against the source type exactly as a
+// live Update would; a validation failure tells the recovery layer the
+// persisted document no longer matches the registered source.
+func (wh *Webhouse) ReplayUpdate(source string, doc tree.Tree) error {
+	r, err := wh.Repo(source)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.Source.Update(doc); err != nil {
+		return err
+	}
+	r.resetLocked()
+	return nil
+}
+
+// resetLocked reinitializes the knowledge to the source type and drops
+// cached answers. Caller holds r.mu for writing.
+func (r *Repository) resetLocked() {
+	r.refiner = refine.NewRefiner(r.Source.Type.Alphabet(), r.Source.Type)
+	r.invalidate()
+}
+
+// Quarantine marks a repository unrecoverable: its knowledge is reset to
+// the pristine source-type state and every answer is computed from that
+// empty knowledge — sound but maximally approximate, the Theorem 3.14
+// degraded mode — instead of the process refusing to start. The flag stays
+// set until ClearQuarantine.
+func (wh *Webhouse) Quarantine(source string) error {
+	r, err := wh.Repo(source)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.resetLocked()
+	r.mu.Unlock()
+	r.quarantined.Store(true)
+	return nil
+}
+
+// ClearQuarantine lifts the quarantine flag (the knowledge stays as is —
+// typically pristine, to be re-acquired by live traffic).
+func (wh *Webhouse) ClearQuarantine(source string) error {
+	r, err := wh.Repo(source)
+	if err != nil {
+		return err
+	}
+	r.quarantined.Store(false)
+	return nil
+}
+
+// Quarantined reports whether recovery quarantined this repository.
+func (r *Repository) Quarantined() bool { return r.quarantined.Load() }
+
+// QuarantinedSources lists the sources recovery quarantined, sorted.
+func (wh *Webhouse) QuarantinedSources() []string {
+	wh.mu.RLock()
+	var out []string
+	for name, r := range wh.repos {
+		if r.quarantined.Load() {
+			out = append(out, name)
+		}
+	}
+	wh.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// journalState is the journal attachment point; it lives on the Webhouse
+// but is declared here with the rest of the durability surface.
+type journalState struct {
+	journalMu sync.RWMutex
+	journal   Journal
+}

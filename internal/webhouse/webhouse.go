@@ -153,6 +153,11 @@ type Repository struct {
 	gen     atomic.Uint64
 	answers map[intern.ID]*LocalAnswer
 	ext     map[intern.ID]*ExtendedAnswer
+
+	// quarantined marks a repository recovery could not restore: it serves
+	// from pristine (empty) knowledge, flagged so operators and stats can
+	// tell degraded-by-design from healthy (see Webhouse.Quarantine).
+	quarantined atomic.Bool
 }
 
 // invalidate marks the knowledge changed and drops all cached answers.
@@ -176,6 +181,11 @@ func (r *Repository) Client() faulty.SourceClient {
 
 // Webhouse is a registry of repositories, safe for concurrent use.
 type Webhouse struct {
+	// journalState is the durability attachment point: every applied
+	// acquisition mutation is emitted to the installed Journal (see
+	// journal.go and internal/store).
+	journalState
+
 	mu    sync.RWMutex
 	repos map[string]*Repository
 
@@ -428,6 +438,7 @@ func (wh *Webhouse) Explore(ctx context.Context, source string, q query.Query) (
 		return tree.Tree{}, err
 	}
 	r.invalidate()
+	wh.journalRecord(observeEventLocked(r, q, a))
 	return a, nil
 }
 
@@ -452,8 +463,12 @@ func (wh *Webhouse) Invalidate(source string) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.refiner = refine.NewRefiner(r.Source.Type.Alphabet(), r.Source.Type)
-	r.invalidate()
+	r.resetLocked()
+	wh.journalRecord(JournalEvent{
+		Kind:      EventInvalidate,
+		Source:    r.Source.Name,
+		Knowledge: r.refiner.Tree(),
+	})
 	return nil
 }
 
@@ -469,8 +484,13 @@ func (wh *Webhouse) Update(source string, doc tree.Tree) error {
 	if err := r.Source.Update(doc); err != nil {
 		return err
 	}
-	r.refiner = refine.NewRefiner(r.Source.Type.Alphabet(), r.Source.Type)
-	r.invalidate()
+	r.resetLocked()
+	wh.journalRecord(JournalEvent{
+		Kind:      EventUpdate,
+		Source:    r.Source.Name,
+		Doc:       doc,
+		Knowledge: r.refiner.Tree(),
+	})
 	return nil
 }
 
@@ -782,6 +802,7 @@ func (wh *Webhouse) askWhole(ctx context.Context, r *Repository, client faulty.S
 		return nil, err
 	}
 	r.invalidate()
+	wh.journalRecord(observeEventLocked(r, q, a))
 	return &CompleteAnswer{Answer: a, LocalQueries: 1, Certificate: certify.Exact(q, a)}, nil
 }
 
@@ -852,6 +873,7 @@ func (wh *Webhouse) AnswerComplete(ctx context.Context, source string, q query.Q
 		return nil, err
 	}
 	r.invalidate()
+	wh.journalRecord(observeEventLocked(r, q, result))
 	return &CompleteAnswer{Answer: result, LocalQueries: len(ls), Certificate: certify.Exact(q, result)}, nil
 }
 

@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 go vet ./...
 # Godoc gate: the public facade and the operator-facing packages must
 # document every exported symbol (see scripts/doclint).
-go run ./scripts/doclint incxml.go ./internal/obs ./internal/budget ./internal/serve ./internal/certify
+go run ./scripts/doclint incxml.go ./internal/obs ./internal/budget ./internal/serve ./internal/certify ./internal/store
 # staticcheck is optional tooling: run it when installed, skip silently
 # in minimal environments.
 if command -v staticcheck >/dev/null 2>&1; then
@@ -44,13 +44,23 @@ go test ./internal/shard/ -run TestE22ScatterSmoke -short -count=1
 # distribution.
 go test ./internal/shard/ -run TestCertificateSoundnessSoak -short -count=1
 
-# Fuzz smoke: a couple of seconds per serving-path parser. This is a
-# regression sweep over the corpora plus a short random exploration, not a
-# full campaign.
+# E24 smoke (EXPERIMENTS.md): crash-recovery must reproduce the exact
+# pre-crash state — a trimmed run of the fault-injection soak (truncated,
+# bit-flipped and torn WAL tails against the shadow oracle). The full
+# 220-round pass runs in the plain suite above; cmd/benchrobust produces
+# the durability cost numbers.
+go test ./internal/store/ -run TestCrashRecoverySoak -short -count=1
+
+# Fuzz smoke: a couple of seconds per serving-path parser and per
+# durability decoder (the snapshot and WAL codecs parse attacker-grade
+# bytes after a crash). This is a regression sweep over the corpora plus a
+# short random exploration, not a full campaign.
 FUZZTIME="${FUZZTIME:-2s}"
-go test ./internal/query/ -fuzz FuzzParse     -fuzztime "$FUZZTIME"
-go test ./internal/cond/  -fuzz FuzzParse     -fuzztime "$FUZZTIME"
-go test ./internal/dtd/   -fuzz FuzzParse     -fuzztime "$FUZZTIME"
-go test ./internal/rat/   -fuzz FuzzParse     -fuzztime "$FUZZTIME"
-go test ./internal/rat/   -fuzz FuzzCmp       -fuzztime "$FUZZTIME"
-go test ./internal/xmlio/ -fuzz FuzzUnmarshal -fuzztime "$FUZZTIME"
+go test ./internal/query/ -fuzz FuzzParse             -fuzztime "$FUZZTIME"
+go test ./internal/cond/  -fuzz FuzzParse             -fuzztime "$FUZZTIME"
+go test ./internal/dtd/   -fuzz FuzzParse             -fuzztime "$FUZZTIME"
+go test ./internal/rat/   -fuzz FuzzParse             -fuzztime "$FUZZTIME"
+go test ./internal/rat/   -fuzz FuzzCmp               -fuzztime "$FUZZTIME"
+go test ./internal/xmlio/ -fuzz FuzzUnmarshal         -fuzztime "$FUZZTIME"
+go test ./internal/store/ -fuzz FuzzSnapshotRoundTrip -fuzztime "$FUZZTIME"
+go test ./internal/store/ -fuzz FuzzWALDecode         -fuzztime "$FUZZTIME"
