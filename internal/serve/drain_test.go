@@ -82,6 +82,65 @@ func TestDrainShedsNewWorkAndFlushes(t *testing.T) {
 	}
 }
 
+// TestDrainWaitsForPreAdmissionRequests: a request that has passed the
+// draining check but not yet acquired an execution slot is invisible to
+// the admission semaphore and wait gauge — Drain must still wait for it,
+// or its mutation would land after the final snapshot flush on a closed
+// store and be lost. The request is parked in exactly that window while
+// Drain runs.
+func TestDrainWaitsForPreAdmissionRequests(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Timeout: 2 * time.Second, DataDir: dir, SnapEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	gate := make(chan struct{})
+	parked := make(chan struct{}, 1)
+	testHookPostDrainCheck = func() {
+		parked <- struct{}{}
+		<-gate
+	}
+	defer func() { testHookPostDrainCheck = nil }()
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() { done <- post(t, h, "/explore", catalogBody) }()
+	<-parked
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	waitFor(t, "draining flag", func() bool { return s.draining.Load() })
+	select {
+	case err := <-drained:
+		t.Fatalf("drain finished with a request parked before admission: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(gate)
+	if rec := <-done; rec.Code != http.StatusOK {
+		t.Fatalf("parked request: %d (%s)", rec.Code, rec.Body)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// The parked request's explore made it into the final flush.
+	snaps, err := filepath.Glob(filepath.Join(dir, "shard-*", "snap", "*.snap"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no snapshots after drain (err=%v)", err)
+	}
+	s2, err := New(Config{Timeout: 2 * time.Second, DataDir: dir, SnapEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2 := s2.Recovery()
+	if rec2 == nil || rec2.SnapshotsLoaded == 0 {
+		t.Fatalf("restart did not load the flushed snapshots: %+v", rec2)
+	}
+	if err := s2.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestWarmRestartServesSameAnswers: a durable server drained and restarted
 // from the same data directory serves byte-identical v1 answer envelopes —
 // the recovered knowledge is exactly the pre-shutdown knowledge.

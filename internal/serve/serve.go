@@ -142,9 +142,15 @@ type Server struct {
 
 	// draining flips once Drain starts: answer routes shed with 503 while
 	// /stats and /metrics stay up, so an orchestrator watching the drain
-	// still sees the process. recovery is the startup recovery report when
-	// Config.DataDir made the server durable (nil otherwise).
+	// still sees the process. inWrap counts requests anywhere inside the
+	// middleware stack — incremented before the draining check, so a
+	// request that passed the check but has not yet touched the admission
+	// semaphore is still visible to Drain's quiesce loop (draining on
+	// sem/waiting alone would let such a request's mutation land after the
+	// final snapshot flush and be lost). recovery is the startup recovery
+	// report when Config.DataDir made the server durable (nil otherwise).
 	draining atomic.Bool
+	inWrap   atomic.Int64
 	recovery *store.Recovery
 }
 
@@ -156,6 +162,12 @@ var testHookHandler func(*http.Request)
 // in the window between acquiring the execution slot and entering the
 // handler. The queue-slot-leak regression test panics here.
 var testHookPostAdmit func()
+
+// testHookPostDrainCheck, when set, runs after a request passed the
+// draining check and before it touches the admission semaphore. The
+// drain-race regression test parks a request here to prove Drain waits
+// for requests that are not yet visible in sem/waiting.
+var testHookPostDrainCheck func()
 
 // New builds a server over the paper's two demonstration sources —
 // "catalog" (the Figure 1 running example) and "blowup" (the Example 3.2
@@ -255,7 +267,12 @@ func (s *Server) Recovery() *store.Recovery { return s.recovery }
 // not come back from draining.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
-	for len(s.sem) > 0 || s.waiting.Value() > 0 {
+	// Quiesce on the wrap-entry counter, not the admission state: it
+	// covers the window between the draining check and the semaphore, so
+	// no request can slip its mutation in after the final flush. Requests
+	// arriving after the flag flipped also count until their 503 is
+	// written, which only delays the flush by their (fast) shed path.
+	for s.inWrap.Load() > 0 {
 		select {
 		case <-ctx.Done():
 			return fmt.Errorf("serve: drain: %w", ctx.Err())
@@ -419,6 +436,8 @@ func (sr *statusRecorder) Status() int {
 // the request) and names its trace.
 func (s *Server) wrap(route string, h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		s.inWrap.Add(1)
+		defer s.inWrap.Add(-1) // declared first: runs after the response and metrics
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w}
 		if s.cfg.Trace {
@@ -436,6 +455,9 @@ func (s *Server) wrap(route string, h func(ctx context.Context, w http.ResponseW
 			s.shed.With("draining").Inc()
 			s.shedResponse(rec, r, http.StatusServiceUnavailable, "draining: server is shutting down")
 			return
+		}
+		if hook := testHookPostDrainCheck; hook != nil {
+			hook()
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 		defer cancel()

@@ -7,11 +7,11 @@ import (
 )
 
 // TestStoreFixtureExport exercises a realistic store lifetime — a driven
-// acquisition script, a mid-script per-source snapshot, further WAL
+// acquisition script, a full snapshot pass with WAL rotation, further WAL
 // appends — and re-verifies the files recover. When STORE_FIXTURE_OUT
-// names a directory (the CI artifact path), the resulting snapshot + WAL
-// pair is copied there so every commit ships a browsable on-disk fixture
-// of the persistence format.
+// names a directory (the CI artifact path), the resulting snapshot +
+// rotation manifest + WAL trio is copied there so every commit ships a
+// browsable on-disk fixture of each persistence format.
 func TestStoreFixtureExport(t *testing.T) {
 	dir := t.TempDir()
 	wh := newCatalogHouse(t)
@@ -20,9 +20,10 @@ func TestStoreFixtureExport(t *testing.T) {
 		t.Fatal(err)
 	}
 	driveCatalog(t, wh)
-	// A per-source snapshot (no WAL rotation): the fixture keeps both a
-	// populated snapshot and the full event log.
-	if err := s.Snapshot("catalog"); err != nil {
+	// A full snapshot pass: rotates the WAL and writes the manifest, so
+	// the fixture holds every file kind; the second script re-populates
+	// the WAL with post-rotation records.
+	if err := s.SnapshotAll(); err != nil {
 		t.Fatal(err)
 	}
 	driveCatalog(t, wh)
@@ -62,5 +63,6 @@ func TestStoreFixtureExport(t *testing.T) {
 		}
 	}
 	copyFile("wal.log")
+	copyFile("manifest")
 	copyFile(filepath.Join("snap", "catalog.snap"))
 }

@@ -1,0 +1,121 @@
+package store
+
+import (
+	"os"
+	"sort"
+)
+
+// Manifest file layout:
+//
+//	magic "IXM1" | uvarint payloadLen | payload | crc32c(payload) LE
+//	payload := uvarint baseSeq | uvarint count | (source, uvarint lastSeq)*
+//
+// The rotation manifest is written durably immediately before every WAL
+// rotation (and the rotation only proceeds once it is on disk). It records
+// the rotation point — baseSeq, the sequence number the rotated log starts
+// at — and, for every repository the snapshot pass covered, the sequence
+// number of its last event. That one fact is what recovery cannot infer
+// from the snapshots and the WAL alone: whether a source with no readable
+// snapshot ever HAD history before baseSeq. Without the manifest, "the
+// snapshot file was deleted" and "the source registered after the
+// rotation" look identical on disk, and recovery would silently serve a
+// pristine state in place of lost knowledge; with it, the first case
+// quarantines and the second replays exactly. The manifest also pins each
+// source's pre-rotation lastSeq, so a stale snapshot (an older file
+// restored over the one the rotation made durable) is detected as a gap —
+// events in (snapshot.LastSeq, manifest lastSeq] were destroyed with the
+// rotated log — instead of being replayed into a state the webhouse never
+// passed through. Entries are sorted by source name, so encoding is
+// canonical like every other payload in this package.
+
+var manifestMagic = [4]byte{'I', 'X', 'M', '1'}
+
+// manifest is the decoded rotation manifest. A nil *manifest (no rotation
+// ever recorded) is a valid receiver for its read accessors.
+type manifest struct {
+	// baseSeq is the WAL base the rotation installed: every event with
+	// seq < baseSeq lives only in the snapshots.
+	baseSeq uint64
+	// lastSeq maps each source covered by the rotation's snapshot pass to
+	// its last event sequence number at that point (0 = registered but no
+	// events yet).
+	lastSeq map[string]uint64
+}
+
+// lastSeqOf returns the recorded pre-rotation last event seq for a source;
+// 0 when the manifest is absent or does not list the source (no history
+// before the rotation either way).
+func (m *manifest) lastSeqOf(name string) uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.lastSeq[name]
+}
+
+func encodeManifest(m *manifest) []byte {
+	e := newEnc()
+	e.uvarint(m.baseSeq)
+	names := make([]string, 0, len(m.lastSeq))
+	for name := range m.lastSeq {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	e.uvarint(uint64(len(names)))
+	for _, name := range names {
+		e.str(name)
+		e.uvarint(m.lastSeq[name])
+	}
+	return e.buf
+}
+
+func decodeManifest(buf []byte) (*manifest, error) {
+	d := newDec(buf)
+	m := &manifest{lastSeq: map[string]uint64{}}
+	var err error
+	if m.baseSeq, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	prev := ""
+	for i := uint64(0); i < n; i++ {
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && name <= prev {
+			return nil, corruptf("manifest entries not strictly sorted (%q after %q)", name, prev)
+		}
+		prev = name
+		seq, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		m.lastSeq[name] = seq
+	}
+	if d.remaining() != 0 {
+		return nil, corruptf("%d trailing bytes after manifest", d.remaining())
+	}
+	return m, nil
+}
+
+// readManifestFile loads and validates the rotation manifest. A missing
+// file returns an os.ErrNotExist-wrapping error; a damaged one ErrCorrupt.
+func readManifestFile(path string) (*manifest, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := unframeWith(manifestMagic, buf, "manifest")
+	if err != nil {
+		return nil, err
+	}
+	return decodeManifest(payload)
+}
+
+// writeManifestFile atomically and durably replaces the rotation manifest.
+func writeManifestFile(path string, m *manifest) error {
+	return writeFileDurable(path, frameWith(manifestMagic, encodeManifest(m)))
+}

@@ -16,9 +16,12 @@ import (
 //
 //	magic "IXS1" | uvarint payloadLen | payload | crc32c(payload) LE
 //
-// One file per repository, written atomically (temp file + rename) so a
-// crash mid-snapshot leaves the previous snapshot intact. The payload is a
-// SnapshotPayload: the full durable state of one repository as of lastSeq.
+// One file per repository, written atomically and durably (temp file +
+// fsync + rename + directory fsync) so a crash mid-snapshot leaves the
+// previous snapshot intact and a completed snapshot survives power loss —
+// a rotation may destroy the WAL the moment the snapshot pass finishes.
+// The payload is a SnapshotPayload: the full durable state of one
+// repository as of lastSeq.
 
 var snapMagic = [4]byte{'I', 'X', 'S', '1'}
 
@@ -107,58 +110,102 @@ func DecodeSnapshotPayload(buf []byte) (*SnapshotPayload, error) {
 
 // frameSnapshot wraps a payload in the on-disk snapshot format.
 func frameSnapshot(payload []byte) []byte {
-	buf := append([]byte(nil), snapMagic[:]...)
-	buf = binary.AppendUvarint(buf, uint64(len(payload)))
-	buf = append(buf, payload...)
-	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return frameWith(snapMagic, payload)
 }
 
 // unframeSnapshot validates magic, length and checksum, returning the
 // payload bytes.
 func unframeSnapshot(buf []byte) ([]byte, error) {
-	if len(buf) < len(snapMagic) || [4]byte(buf[:4]) != snapMagic {
-		return nil, corruptf("bad snapshot magic")
+	return unframeWith(snapMagic, buf, "snapshot")
+}
+
+// frameWith wraps a payload in the shared single-payload file format:
+// magic | uvarint payloadLen | payload | crc32c(payload) LE. Snapshot and
+// manifest files differ only in their magic.
+func frameWith(magic [4]byte, payload []byte) []byte {
+	buf := append([]byte(nil), magic[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+}
+
+// unframeWith validates magic, length and checksum, returning the payload
+// bytes; what names the file kind in errors.
+func unframeWith(magic [4]byte, buf []byte, what string) ([]byte, error) {
+	if len(buf) < len(magic) || [4]byte(buf[:4]) != magic {
+		return nil, corruptf("bad %s magic", what)
 	}
-	pos := len(snapMagic)
+	pos := len(magic)
 	plen, n := binary.Uvarint(buf[pos:])
 	if n <= 0 || plen > maxRecordLen {
-		return nil, corruptf("bad snapshot length")
+		return nil, corruptf("bad %s length", what)
 	}
 	pos += n
 	if uint64(len(buf)-pos) != plen+4 {
-		return nil, corruptf("snapshot length %d does not match file (have %d payload bytes)", plen, len(buf)-pos-4)
+		return nil, corruptf("%s length %d does not match file (have %d payload bytes)", what, plen, len(buf)-pos-4)
 	}
 	payload := buf[pos : pos+int(plen)]
 	want := binary.LittleEndian.Uint32(buf[pos+int(plen):])
 	if crc32.Checksum(payload, castagnoli) != want {
-		return nil, corruptf("snapshot checksum mismatch")
+		return nil, corruptf("%s checksum mismatch", what)
 	}
 	return payload, nil
 }
 
-// writeSnapshotFile atomically writes a framed snapshot: temp file in the
-// same directory, then rename over the target.
-func writeSnapshotFile(path string, framed []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".snap-*")
+// syncDir fsyncs a directory, making the renames inside it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
 	if err != nil {
-		return fmt.Errorf("store: snapshot temp: %w", err)
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// writeFileDurable atomically and durably replaces path with data: temp
+// file in the same directory, fsync, rename over the target, fsync the
+// directory. Durability (not just atomicity) matters because snapshot and
+// manifest writes license destroying the WAL: if the rename could still be
+// lost to a power cut after the rotation truncated the log, the events in
+// the gap would be gone from both artifacts.
+func writeFileDurable(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: write temp for %s: %w", filepath.Base(path), err)
 	}
 	tmpName := tmp.Name()
-	if _, err := tmp.Write(framed); err != nil {
+	fail := func(stage string, err error) error {
 		tmp.Close()
 		os.Remove(tmpName)
-		return fmt.Errorf("store: snapshot write: %w", err)
+		return fmt.Errorf("store: %s %s: %w", stage, filepath.Base(path), err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail("write", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("sync", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("store: snapshot close: %w", err)
+		return fmt.Errorf("store: close %s: %w", filepath.Base(path), err)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("store: snapshot rename: %w", err)
+		return fmt.Errorf("store: rename %s: %w", filepath.Base(path), err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("store: sync dir of %s: %w", filepath.Base(path), err)
 	}
 	return nil
+}
+
+// writeSnapshotFile atomically and durably writes a framed snapshot.
+func writeSnapshotFile(path string, framed []byte) error {
+	return writeFileDurable(path, framed)
 }
 
 // readSnapshotFile loads and validates a snapshot. A missing file returns

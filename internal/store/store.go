@@ -22,7 +22,8 @@ const DefaultSnapEvery = 64
 // Options configures a store.
 type Options struct {
 	// Dir is the data directory (created if absent). One store owns one
-	// directory; it holds wal.log and snap/<source>.snap files.
+	// directory; it holds wal.log, the rotation manifest, and
+	// snap/<source>.snap files.
 	Dir string
 	// SnapEvery is the automatic snapshot-and-rotate cadence in WAL
 	// appends; 0 means DefaultSnapEvery, negative disables automatic
@@ -76,6 +77,7 @@ type Store struct {
 
 	mu               sync.Mutex
 	w                *wal
+	manifest         *manifest // last durable rotation point (nil: none recorded)
 	nextSeq          uint64
 	shadow           map[string]*shadowState
 	pending          []*record // decoded WAL records awaiting Recover
@@ -116,7 +118,7 @@ func Open(opts Options) (*Store, error) {
 			next = rec.seq + 1
 		}
 	}
-	return &Store{
+	s := &Store{
 		dir:       opts.Dir,
 		snapEvery: snapEvery,
 		logf:      logf,
@@ -125,7 +127,39 @@ func Open(opts Options) (*Store, error) {
 		shadow:    map[string]*shadowState{},
 		pending:   records,
 		dropped:   dropped,
-	}, nil
+	}
+	m, err := readManifestFile(s.manifestPath())
+	switch {
+	case err == nil:
+		s.manifest = m
+	case os.IsNotExist(err):
+	case errors.Is(err, ErrCorrupt):
+		// A manifest that does not verify is set aside like any other
+		// damaged artifact; recovery then has no proof of coverage and
+		// falls to its conservative paths.
+		logf("store: rotation manifest damaged (%v): setting aside", err)
+		s.setAside(s.manifestPath(), ".corrupt")
+	default:
+		w.close()
+		return nil, fmt.Errorf("store: read manifest: %w", err)
+	}
+	// The sequence floor must survive the WAL: if the log was lost or
+	// recreated while snapshots (tracked by the manifest) carry history up
+	// to seq N, restarting numbering below N+1 would hand out sequence
+	// numbers the next recovery silently skips as "inside the snapshot" —
+	// losing acknowledged events. Recover raises the floor further from
+	// the snapshot files themselves.
+	if s.manifest != nil {
+		if s.manifest.baseSeq > s.nextSeq {
+			s.nextSeq = s.manifest.baseSeq
+		}
+		for _, seq := range s.manifest.lastSeq {
+			if seq+1 > s.nextSeq {
+				s.nextSeq = seq + 1
+			}
+		}
+	}
+	return s, nil
 }
 
 // OpenOrRecover is the standard startup path: open the directory, recover
@@ -149,14 +183,70 @@ func (s *Store) snapPath(source string) string {
 	return filepath.Join(s.dir, "snap", sanitizeName(source)+".snap")
 }
 
+func (s *Store) manifestPath() string {
+	return filepath.Join(s.dir, "manifest")
+}
+
+// effectiveBase is the highest rotation point any surviving artifact
+// records. The manifest can run ahead of the WAL header when a crash hit
+// between the manifest write and the rotation itself; events below the
+// manifest's baseSeq may already have been captured only in snapshots.
+func (s *Store) effectiveBase() uint64 {
+	b := s.w.baseSeq
+	if s.manifest != nil && s.manifest.baseSeq > b {
+		b = s.manifest.baseSeq
+	}
+	return b
+}
+
+// walFromStart reports that the open WAL genuinely reaches the beginning
+// of history: its contents were read back (not recreated fresh) and no
+// rotation ever moved events out of it.
+func (s *Store) walFromStart() bool {
+	return !s.w.fresh && s.effectiveBase() == 1
+}
+
+// replayCovers reports whether pristine knowledge plus a full replay of
+// the open WAL reconstructs the source's entire history — the test that
+// licenses recovering a source without (or despite) its snapshot.
+// snapExisted says a snapshot file for the source was found on disk, even
+// an unreadable one.
+func (s *Store) replayCovers(name string, snapExisted bool) bool {
+	if s.w.fresh {
+		// The log's contents are gone (missing file, zero length, or an
+		// unverifiable header): replay contributes nothing, so pristine is
+		// right only when no surviving artifact records history for the
+		// source.
+		return !snapExisted && s.manifest.lastSeqOf(name) == 0
+	}
+	if s.effectiveBase() == 1 {
+		return true // the log reaches the beginning of history
+	}
+	if s.manifest == nil {
+		return false // rotated, but no manifest survives to prove coverage
+	}
+	// Everything before the rotation is out of the log; the manifest knows
+	// whether this source had events there. lastSeq 0 means it did not
+	// (registered with no events, or registered after the rotation), so
+	// the log holds its whole history.
+	return s.manifest.lastSeqOf(name) == 0
+}
+
 // Recover folds the persisted state into wh. For each registered source:
-// a valid snapshot is installed and the WAL records past its LastSeq are
-// replayed; a missing snapshot means full-WAL replay from pristine
-// knowledge; a corrupt snapshot is renamed aside and degrades to full-WAL
-// replay when the log still reaches back to the beginning of history
-// (baseSeq 1), else the source is quarantined. Any replay failure also
-// quarantines the source rather than failing startup. WAL records for
-// sources not registered in wh are skipped with a warning.
+// a valid snapshot no older than the rotation manifest's record is
+// installed and the WAL records past its LastSeq are replayed; a missing
+// or corrupt snapshot (the latter renamed aside) degrades to full-WAL
+// replay from pristine knowledge when the log provably covers the
+// source's whole history — it was never rotated, or the manifest records
+// no events for the source before the rotation; otherwise history is gone
+// and the source is quarantined. A snapshot older than the manifest's
+// lastSeq for its source (a gap: the missing events were destroyed with
+// the rotated log) also quarantines, as does any replay failure — never a
+// startup failure. WAL records for sources not registered in wh are
+// skipped with a warning. Finally the recovered sequence floor (max of
+// WAL records, snapshot LastSeqs, and manifest) is re-anchored into a
+// bare log's header so post-restart events can never reuse sequence
+// numbers a snapshot already covers.
 //
 // Recover must run before Attach (no live events interleaving) and at most
 // once per Store.
@@ -179,36 +269,61 @@ func (s *Store) Recover(wh *webhouse.Webhouse) (*Recovery, error) {
 				// A snapshot for a different source under this name: corrupt
 				// by construction (sanitizeName is injective).
 				err = corruptf("snapshot names source %q", payload.Source)
-			} else if err = s.applySnapshot(wh, payload); err == nil {
+				break // to the corrupt-snapshot handling below the switch
+			}
+			if last := s.manifest.lastSeqOf(name); last > payload.LastSeq && !s.walFromStart() {
+				// The snapshot is OLDER than the one the last rotation made
+				// durable: the events in (snapshot.LastSeq, last] were
+				// destroyed with the rotated log, so replaying the WAL tail
+				// on top of this snapshot would fabricate a state the
+				// webhouse never passed through. Gap → quarantine.
+				s.logf("store: source %q: snapshot at seq %d predates the rotation manifest (seq %d): quarantining", name, payload.LastSeq, last)
+				quarantined[name] = true
+				continue
+			}
+			if err = s.applySnapshot(wh, payload); err == nil {
 				snapSeq[name] = payload.LastSeq
+				if payload.LastSeq+1 > s.nextSeq {
+					s.nextSeq = payload.LastSeq + 1
+				}
 				out.SnapshotsLoaded++
 				continue
 			}
 			// Loaded but unappliable (e.g. the persisted document no longer
 			// validates against the registered type): treat as corrupt.
-			fallthrough
-		case errors.Is(err, ErrCorrupt):
-			mSnapFallbacks.Inc()
-			out.SnapshotFallbacks++
-			s.setAside(s.snapPath(name), ".corrupt")
-			if s.w.baseSeq > 1 {
-				// The WAL no longer reaches back to seq 1: the source's
-				// history is gone. Quarantine instead of serving a state the
-				// webhouse never passed through.
-				s.logf("store: source %q: corrupt snapshot and rotated wal (base seq %d): quarantining", name, s.w.baseSeq)
-				quarantined[name] = true
+		case os.IsNotExist(err):
+			if s.replayCovers(name, false) {
+				// No snapshot, but the WAL provably holds the source's whole
+				// history (or it never had any): pristine + full replay is
+				// exact.
+				snapSeq[name] = 0
 				continue
 			}
-			s.logf("store: source %q: corrupt snapshot (%v): falling back to full-WAL replay", name, err)
-			snapSeq[name] = 0
-		case os.IsNotExist(err):
-			// Never snapshotted: every event it ever saw is in the WAL (a
-			// source registered after a rotation has all its events past
-			// baseSeq), so pristine + full replay is exact.
-			snapSeq[name] = 0
-		default:
+			// The source has history the surviving files cannot restore —
+			// its snapshot was lost after a rotation, or the WAL is gone.
+			// Serving pristine knowledge UNFLAGGED here would be
+			// indistinguishable from health; quarantine instead.
+			s.logf("store: source %q: snapshot missing with history beyond the wal (base seq %d, manifest seq %d): quarantining",
+				name, s.w.baseSeq, s.manifest.lastSeqOf(name))
+			quarantined[name] = true
+			continue
+		case !errors.Is(err, ErrCorrupt):
 			return nil, fmt.Errorf("store: read snapshot for %q: %w", name, err)
 		}
+		// Corrupt (or unappliable) snapshot: set it aside, then degrade to
+		// full-WAL replay only when the log provably covers the source's
+		// history; otherwise that history is gone and the source is
+		// quarantined rather than served as a state it never held.
+		s.setAside(s.snapPath(name), ".corrupt")
+		if !s.replayCovers(name, true) {
+			s.logf("store: source %q: corrupt snapshot and incomplete wal (base seq %d): quarantining", name, s.w.baseSeq)
+			quarantined[name] = true
+			continue
+		}
+		mSnapFallbacks.Inc()
+		out.SnapshotFallbacks++
+		s.logf("store: source %q: corrupt snapshot (%v): falling back to full-WAL replay", name, err)
+		snapSeq[name] = 0
 	}
 	// Phase 2: replay the WAL in sequence order.
 	warnedUnknown := map[string]bool{}
@@ -247,6 +362,34 @@ func (s *Store) Recover(wh *webhouse.Webhouse) (*Recovery, error) {
 	}
 	sort.Strings(out.Quarantined)
 	s.pending = nil
+	// Phase 4: re-anchor the on-disk sequence floor. After a WAL loss the
+	// bare log's header can lag the recovered floor (snapshots at seq N,
+	// header claiming baseSeq 1); leaving it would both misdescribe where
+	// history starts and, if this process then crashed before any append,
+	// let a LATER process restart numbering low. Rewrite the header (and
+	// the manifest it must agree with) to the recovered floor. Failures
+	// only log: the in-memory floor is already correct, and the next
+	// recovery re-derives it from the same surviving artifacts.
+	if s.w.bare() && s.w.baseSeq != s.nextSeq {
+		m := &manifest{baseSeq: s.nextSeq, lastSeq: map[string]uint64{}}
+		for name, seq := range snapSeq {
+			m.lastSeq[name] = seq
+		}
+		for name := range quarantined {
+			// Keep the lost-history marker so the source stays flagged on
+			// every restart until a fresh snapshot pass re-covers it.
+			if last := s.manifest.lastSeqOf(name); last > 0 {
+				m.lastSeq[name] = last
+			}
+		}
+		if err := writeManifestFile(s.manifestPath(), m); err != nil {
+			s.logf("store: re-anchor manifest: %v", err)
+		} else if err := s.w.rotate(s.nextSeq); err != nil {
+			s.logf("store: re-anchor wal header: %v", err)
+		} else {
+			s.manifest = m
+		}
+	}
 	return out, nil
 }
 
@@ -438,6 +581,20 @@ func (s *Store) snapshotAllLocked() error {
 			return err
 		}
 	}
+	// Order matters — each step only runs once the previous is durable:
+	// snapshots (fsynced), then the manifest recording the rotation point
+	// and each source's covered lastSeq, then the rotation that destroys
+	// the WAL's history. A crash between any two steps leaves a recoverable
+	// combination (the WAL still holds everything the snapshots do; replay
+	// past a snapshot's LastSeq is idempotent).
+	m := &manifest{baseSeq: s.nextSeq, lastSeq: make(map[string]uint64, len(s.shadow))}
+	for source, sh := range s.shadow {
+		m.lastSeq[source] = sh.lastSeq
+	}
+	if err := writeManifestFile(s.manifestPath(), m); err != nil {
+		return err
+	}
+	s.manifest = m
 	if err := s.w.rotate(s.nextSeq); err != nil {
 		return fmt.Errorf("store: rotate wal: %w", err)
 	}

@@ -348,6 +348,230 @@ func TestUnknownSourceRecordsSkipped(t *testing.T) {
 	}
 }
 
+// TestSeqResumesAfterWALLoss: when the WAL is lost (deleted, crushed to
+// zero length by a torn rotation, or header-corrupt) while snapshots hold
+// history up to seq N, recovery must re-anchor the sequence floor at N+1 —
+// post-restart events written with seqs <= N would be silently skipped by
+// the NEXT recovery's "inside the snapshot" check, losing acknowledged
+// events.
+func TestSeqResumesAfterWALLoss(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		lose func(t *testing.T, walPath string)
+	}{
+		{"removed", func(t *testing.T, walPath string) {
+			if err := os.Remove(walPath); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"zero-length", func(t *testing.T, walPath string) {
+			if err := os.Truncate(walPath, 0); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"corrupt-header", func(t *testing.T, walPath string) {
+			buf, err := os.ReadFile(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf[0] = 'X'
+			if err := os.WriteFile(walPath, buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			wh := newCatalogHouse(t)
+			s, _, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh)
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			driveCatalog(t, wh) // 6 events
+			if err := s.SnapshotAll(); err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			tc.lose(t, filepath.Join(dir, "wal.log"))
+
+			wh2 := newCatalogHouse(t)
+			s2, rec2, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh2)
+			if err != nil {
+				t.Fatalf("reopen after wal loss: %v", err)
+			}
+			if rec2.SnapshotsLoaded != 1 || len(rec2.Quarantined) != 0 {
+				t.Fatalf("recovery = %+v, want snapshot restore without quarantine", rec2)
+			}
+			// New events after the loss must land on fresh sequence numbers.
+			if _, err := wh2.Explore(context.Background(), "catalog", workload.Query1(180)); err != nil {
+				t.Fatalf("post-loss explore: %v", err)
+			}
+			want := houseState(t, wh2, "catalog")
+			if err := s2.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+
+			wh3 := newCatalogHouse(t)
+			s3, rec3, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh3)
+			if err != nil {
+				t.Fatalf("second reopen: %v", err)
+			}
+			defer s3.Close()
+			if rec3.ReplayedEvents != 1 {
+				t.Fatalf("replayed %d events, want 1 — the post-loss event was skipped as already-snapshotted", rec3.ReplayedEvents)
+			}
+			if got := houseState(t, wh3, "catalog"); got != want {
+				t.Fatalf("post-loss event lost across restart:\n got:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestMissingSnapshotAfterRotationQuarantines: a snapshot lost after the
+// rotation that moved its history out of the WAL cannot be told apart
+// from health by the files alone — the rotation manifest records that the
+// source HAD history, so recovery must quarantine it instead of silently
+// serving pristine knowledge. A source genuinely registered after the
+// rotation keeps the pristine-replay path.
+func TestMissingSnapshotAfterRotationQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	wh := newCatalogHouse(t)
+	s, _, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	driveCatalog(t, wh)
+	if err := s.SnapshotAll(); err != nil { // rotates: history now only in the snapshot
+		t.Fatalf("snapshot: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := os.Remove(filepath.Join(dir, "snap", "catalog.snap")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restarted fleet has one extra source that never existed before
+	// the rotation: no snapshot for it is the healthy shape.
+	wh2 := newCatalogHouse(t)
+	late, err := webhouse.NewSource("late", workload.CatalogType(), workload.PaperCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh2.Register(late)
+	s2, rec2, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh2)
+	if err != nil {
+		t.Fatalf("startup must not fail on a lost snapshot: %v", err)
+	}
+	defer s2.Close()
+	if len(rec2.Quarantined) != 1 || rec2.Quarantined[0] != "catalog" {
+		t.Fatalf("recovery = %+v, want exactly catalog quarantined", rec2)
+	}
+	r, err := wh2.Repo("catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Quarantined() {
+		t.Fatal("repository with lost snapshot not flagged quarantined")
+	}
+	if lr, err := wh2.Repo("late"); err != nil || lr.Quarantined() {
+		t.Fatalf("post-rotation source wrongly quarantined (err=%v)", err)
+	}
+}
+
+// TestStaleSnapshotQuarantines: restoring an older snapshot over the one
+// the last rotation made durable leaves a gap — the events between the
+// two were destroyed with the rotated WAL. Replaying the tail on top of
+// the stale snapshot would fabricate a state the webhouse never passed
+// through; recovery must quarantine instead.
+func TestStaleSnapshotQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	wh := newCatalogHouse(t)
+	s, _, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	ctx := context.Background()
+	if _, err := wh.Explore(ctx, "catalog", workload.Query1(150)); err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if err := s.SnapshotAll(); err != nil {
+		t.Fatalf("first snapshot: %v", err)
+	}
+	snapPath := filepath.Join(dir, "snap", "catalog.snap")
+	stale, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveCatalog(t, wh)
+	if err := s.SnapshotAll(); err != nil {
+		t.Fatalf("second snapshot: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := os.WriteFile(snapPath, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	wh2 := newCatalogHouse(t)
+	s2, rec2, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh2)
+	if err != nil {
+		t.Fatalf("startup must not fail on a stale snapshot: %v", err)
+	}
+	defer s2.Close()
+	if len(rec2.Quarantined) != 1 || rec2.Quarantined[0] != "catalog" {
+		t.Fatalf("recovery = %+v, want catalog quarantined for the snapshot gap", rec2)
+	}
+}
+
+// TestCorruptManifestStillRecovers: a damaged rotation manifest is set
+// aside; with intact snapshots recovery still restores every source (the
+// manifest only matters when a snapshot is missing or corrupt).
+func TestCorruptManifestStillRecovers(t *testing.T) {
+	dir := t.TempDir()
+	wh := newCatalogHouse(t)
+	s, _, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	driveCatalog(t, wh)
+	if err := s.SnapshotAll(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	want := houseState(t, wh, "catalog")
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	manifestPath := filepath.Join(dir, "manifest")
+	buf, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatalf("manifest not written at rotation: %v", err)
+	}
+	buf[len(buf)/2] ^= 0x40
+	if err := os.WriteFile(manifestPath, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	wh2 := newCatalogHouse(t)
+	s2, rec2, err := OpenOrRecover(Options{Dir: dir, SnapEvery: -1, Logf: quietLogf(t)}, wh2)
+	if err != nil {
+		t.Fatalf("reopen with corrupt manifest: %v", err)
+	}
+	defer s2.Close()
+	if rec2.SnapshotsLoaded != 1 || len(rec2.Quarantined) != 0 {
+		t.Fatalf("recovery = %+v, want clean snapshot restore", rec2)
+	}
+	if got := houseState(t, wh2, "catalog"); got != want {
+		t.Fatalf("state differs after manifest corruption:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if _, err := os.Stat(manifestPath + ".corrupt"); err != nil {
+		t.Fatalf("damaged manifest not set aside: %v", err)
+	}
+}
+
 func TestCorruptWALHeaderStartsFresh(t *testing.T) {
 	dir := t.TempDir()
 	wh := newCatalogHouse(t)

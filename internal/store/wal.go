@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
 	"incxml/internal/itree"
 	"incxml/internal/query"
@@ -144,6 +145,13 @@ type wal struct {
 	path    string
 	baseSeq uint64
 	size    int64
+	// fresh means the header on disk was written by this open rather than
+	// read back: the file was missing, empty, or its header failed to
+	// verify. A fresh log's baseSeq says nothing about history — whatever
+	// the previous process logged is gone, and recovery must consult the
+	// snapshots and the rotation manifest instead of trusting baseSeq == 1
+	// to mean "the log reaches the beginning of history".
+	fresh bool
 }
 
 func walHeader(baseSeq uint64) []byte {
@@ -165,9 +173,11 @@ func openWAL(path string, freshBase uint64, logf func(string, ...any)) (w *wal, 
 	} else if err != nil {
 		return nil, nil, 0, fmt.Errorf("store: read wal: %w", err)
 	}
+	fresh := len(buf) == 0
 	records, validLen, dropped, scanErr := scanWAL(buf)
 	baseSeq := freshBase
 	if scanErr != nil {
+		fresh = true
 		// Unusable header: set the damaged file aside and start over. The
 		// fresh header's baseSeq records that history before it is gone.
 		if len(buf) > 0 {
@@ -205,7 +215,7 @@ func openWAL(path string, freshBase uint64, logf func(string, ...any)) (w *wal, 
 		f.Close()
 		return nil, nil, 0, fmt.Errorf("store: seek wal: %w", err)
 	}
-	return &wal{f: f, path: path, baseSeq: baseSeq, size: validLen}, records, dropped, nil
+	return &wal{f: f, path: path, baseSeq: baseSeq, size: validLen, fresh: fresh}, records, dropped, nil
 }
 
 // walBase reads the header's baseSeq from a buffer scanWAL accepted.
@@ -273,21 +283,49 @@ func (w *wal) append(payload []byte) (int, error) {
 	return n, err
 }
 
-// rotate resets the log to a bare header with the given baseSeq. Callers
-// must have durably captured all prior history (a full snapshot pass).
+// bare reports whether the log holds a header and nothing else.
+func (w *wal) bare() bool { return w.size == int64(len(walHeader(w.baseSeq))) }
+
+// rotate atomically replaces the log with a bare header carrying the given
+// baseSeq, rebuilding it as a temp file that is fsynced before being
+// renamed over the old log (and the directory fsynced after) — a crash at
+// any point leaves either the old complete log or the new bare one on
+// disk, never a torn or zero-length file whose missing header would read
+// as a brand-new log at baseSeq 1. Callers must have durably captured all
+// prior history (a full snapshot pass) before rotating.
 func (w *wal) rotate(baseSeq uint64) error {
+	dir := filepath.Dir(w.path)
+	tmp, err := os.CreateTemp(dir, ".wal-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
 	h := walHeader(baseSeq)
-	if err := w.f.Truncate(0); err != nil {
+	if _, err := tmp.Write(h); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmpName, w.path); err != nil {
+		return fail(err)
+	}
+	if err := syncDir(dir); err != nil {
+		tmp.Close()
 		return err
 	}
-	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	if _, err := w.f.Write(h); err != nil {
-		return err
-	}
+	// The temp handle now refers to the inode living at w.path, positioned
+	// just past the header: it becomes the append handle.
+	w.f.Close()
+	w.f = tmp
 	w.baseSeq = baseSeq
 	w.size = int64(len(h))
+	w.fresh = false
 	return nil
 }
 

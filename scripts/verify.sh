@@ -64,3 +64,4 @@ go test ./internal/rat/   -fuzz FuzzCmp               -fuzztime "$FUZZTIME"
 go test ./internal/xmlio/ -fuzz FuzzUnmarshal         -fuzztime "$FUZZTIME"
 go test ./internal/store/ -fuzz FuzzSnapshotRoundTrip -fuzztime "$FUZZTIME"
 go test ./internal/store/ -fuzz FuzzWALDecode         -fuzztime "$FUZZTIME"
+go test ./internal/store/ -fuzz FuzzManifestDecode    -fuzztime "$FUZZTIME"
