@@ -47,6 +47,13 @@
 //     serial explore workload with and without an attached store, snapshot
 //     size as a function of repository size, and cold recovery time as a
 //     function of WAL length.
+//
+//  8. Mixed extension traffic (EXPERIMENTS.md E25): the workload
+//     generator's session-shaped, zipfian-skewed stream — acquisition,
+//     blowup chains, Section 4 extension probes, reduction probes, and
+//     twig-from-examples sessions — driven through the HTTP surface,
+//     with per-class latency percentiles, verdict splits, and an oracle
+//     re-check of every definite verdict (mismatches must be zero).
 package main
 
 import (
@@ -223,6 +230,7 @@ type report struct {
 	E22             e22Report      `json:"e22"`
 	E23             e23Report      `json:"e23"`
 	E24             e24Report      `json:"e24"`
+	E25             e25Report      `json:"e25"`
 }
 
 func main() {
@@ -239,6 +247,11 @@ func main() {
 	e22Latency := flag.Duration("e22-latency", 5*time.Millisecond, "injected per-call source latency for E22")
 	e23Rounds := flag.Int("e23-rounds", 80, "random outage instances for the E23 certificate soak")
 	e24Requests := flag.Int("e24-requests", 400, "serial explores per E24 durability-overhead run")
+	e25Sessions := flag.Int("e25-sessions", 80, "generated traffic sessions for the E25 mixed-workload run")
+	e25ZipfS := flag.Float64("e25-zipf-s", 1.3, "zipfian source-popularity exponent for E25 (must exceed 1)")
+	e25Mix := flag.String("e25-mix", "", "E25 query-class mix, e.g. catalog=4,blowup=2,pathre=2,join=1,negation=1 (empty = default)")
+	e25Seed := flag.Int64("e25-seed", 2026, "E25 traffic seed (replayable: same seed, same stream)")
+	e25TraceOut := flag.String("e25-trace-out", "", "write the replayable E25 traffic trace (JSONL) to this file")
 	flag.Parse()
 
 	rep := report{GeneratedUnix: time.Now().Unix()}
@@ -249,6 +262,7 @@ func main() {
 	rep.E22 = benchE22(*e22Sources, *e22Rounds, *e22Latency)
 	rep.E23 = benchE23(*e23Rounds)
 	rep.E24 = benchE24(*e24Requests)
+	rep.E25 = benchE25(*e25Sessions, *e25ZipfS, *e25Mix, *e25Seed, *e25TraceOut)
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

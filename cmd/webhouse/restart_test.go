@@ -119,3 +119,72 @@ func TestServeCommandRestartRoundTrip(t *testing.T) {
 		t.Fatalf("no clean-drain banner:\n%s", out2.String())
 	}
 }
+
+const priceQueryBody = `catalog
+  product
+    name
+    price {< 200}
+`
+
+// TestServeCommandExploreAfterRestart: a session that keeps acquiring
+// knowledge after a warm restart must be indistinguishable from one that
+// never restarted. A restarted server explores a *new* query and serves
+// its certified local answer; a fresh reference server (separate data
+// dir, same flags) runs the identical full session without any restart.
+// The envelopes must match byte for byte — fingerprint included. This
+// covers ROADMAP item 6: before the fingerprint became a pure function of
+// the answer tree, interning history (which differed between the
+// warm-started and the never-restarted process) leaked into the
+// Completeness.Fingerprint field.
+func TestServeCommandExploreAfterRestart(t *testing.T) {
+	session := func(base string) {
+		for _, step := range []struct{ path, body string }{
+			{"/explore", query4Body},
+			{"/local", query4Body},
+		} {
+			if code, body := httpPost(t, base+step.path, step.body); code != http.StatusOK {
+				t.Fatalf("%s: %d %s", step.path, code, body)
+			}
+		}
+	}
+	exploreAndLocal := func(base string) string {
+		if code, body := httpPost(t, base+"/explore", priceQueryBody); code != http.StatusOK {
+			t.Fatalf("/explore (price): %d %s", code, body)
+		}
+		code, body := httpPost(t, base+"/local", priceQueryBody)
+		if code != http.StatusOK {
+			t.Fatalf("/local (price): %d %s", code, body)
+		}
+		return body
+	}
+
+	// Server under test: acquire, restart, then keep acquiring.
+	dir := t.TempDir()
+	args := []string{"-data-dir", dir, "-timeout", "5s"}
+	base, _, stop := startServe(t, args)
+	session(base)
+	if err := stop(); err != nil {
+		t.Fatalf("graceful shutdown failed: %v", err)
+	}
+	base2, out2, stop2 := startServe(t, args)
+	if !strings.Contains(out2.String(), "warm start from") {
+		t.Fatalf("second start has no warm-start banner:\n%s", out2.String())
+	}
+	got := exploreAndLocal(base2)
+	if err := stop2(); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+
+	// Reference server: same session, no restart, fresh data dir.
+	refArgs := []string{"-data-dir", t.TempDir(), "-timeout", "5s"}
+	refBase, _, refStop := startServe(t, refArgs)
+	session(refBase)
+	want := exploreAndLocal(refBase)
+	if err := refStop(); err != nil {
+		t.Fatalf("reference shutdown: %v", err)
+	}
+
+	if got != want {
+		t.Fatalf("explore-after-restart answer diverged from never-restarted session:\n got: %s\nwant: %s", got, want)
+	}
+}

@@ -35,7 +35,6 @@ import (
 
 	"incxml/internal/answer"
 	"incxml/internal/budget"
-	"incxml/internal/intern"
 	"incxml/internal/itree"
 	"incxml/internal/query"
 	"incxml/internal/tree"
@@ -82,9 +81,12 @@ type Certificate struct {
 	Exhausted bool
 	// CertainNodes is the size of the certified sub-query's answer over the
 	// certain fragment — the number of answer nodes the caller may trust as
-	// complete. Fingerprint is the interned content fingerprint of that
-	// answer (0 for an empty certificate), so two certificates over the same
-	// knowledge can be compared without shipping the trees.
+	// complete. Fingerprint is a content fingerprint of that answer (0 for an
+	// empty certificate), so two certificates over the same knowledge can be
+	// compared without shipping the trees. It is a pure function of the
+	// answer tree's value (see FingerprintOf): two processes — or one process
+	// before and after a warm restart — that hold the same knowledge report
+	// the same fingerprint, regardless of cache state or interning history.
 	CertainNodes int
 	Fingerprint  uint64
 	// CertainFacets and PossibleFacets count the (symbol, query-path) match
@@ -182,10 +184,39 @@ func finish(c *Certificate, q query.Query, keptAnswer tree.Tree) *Certificate {
 	}
 	c.CertainNodes = keptAnswer.Size()
 	if !keptAnswer.IsEmpty() {
-		c.Fingerprint = uint64(intern.Tree(keptAnswer))
+		c.Fingerprint = FingerprintOf(keptAnswer)
 	}
 	record(c)
 	return c
+}
+
+// FingerprintOf returns the certain-region fingerprint of an answer tree:
+// FNV-1a over the tree's canonical form with node ids included. The hash is
+// a pure function of the tree VALUE — node ids, labels, values, structure —
+// and of nothing else. In particular it does not depend on hash-consing
+// state (intern IDs are dense arrival-order identifiers, different across
+// processes and restarts) or on sibling order (the canonical form sorts
+// child spans), which previously let the fingerprint drift by a node or two
+// depending on whether a /local answer was cached before the explore that
+// refined the knowledge (ROADMAP item 6). The empty tree hashes to 0 so an
+// empty certificate keeps its documented zero fingerprint.
+func FingerprintOf(t tree.Tree) uint64 {
+	if t.IsEmpty() {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range []byte(t.CanonicalWithIDs()) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	if h == 0 {
+		h = 1 // reserve 0 for the empty certificate
+	}
+	return h
 }
 
 // Compute builds the completeness certificate for q over the knowledge know,

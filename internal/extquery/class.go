@@ -1,0 +1,149 @@
+package extquery
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Class names the Section 4 query-language fragment a query falls into,
+// by its most expensive feature. The ordering mirrors the paper's
+// hardness ladder: negation and data joins make certain-answer reasoning
+// undecidable or co-NP-hard (Theorems 4.1, 4.5, 4.7), recursive path
+// expressions and branching stay decidable but exercise the exponential
+// core, and a query using none of the extensions is a plain ps-query.
+type Class string
+
+const (
+	// ClassNegation: at least one ¬-subtree (Theorem 4.7 territory).
+	ClassNegation Class = "negation"
+	// ClassJoin: data joins through shared variables or disequalities
+	// (Theorems 4.5/4.6 territory).
+	ClassJoin Class = "join"
+	// ClassPathRE: recursive path-expression edges, no joins/negation.
+	ClassPathRE Class = "pathre"
+	// ClassBranching: same-label sibling branching and/or optional
+	// subtrees, no paths/joins/negation (Theorem 4.1 exercises the
+	// optional+branching combination on incomplete data).
+	ClassBranching Class = "branching"
+	// ClassPS: the query is expressible as a plain ps-query.
+	ClassPS Class = "ps"
+)
+
+// Tractable reports whether exactness reasoning for the class is within
+// the boundary Section 4 draws: certain answers stay decidable (and the
+// Corollary 3.15 machinery applies through a covering ps-query) for
+// everything except joins and negation.
+func (c Class) Tractable() bool {
+	switch c {
+	case ClassNegation, ClassJoin:
+		return false
+	}
+	return true
+}
+
+// String returns the class name.
+func (c Class) String() string { return string(c) }
+
+// String renders the pattern in an indented diagnostic syntax modeled on
+// query.Query.String: "!" suffixes extraction, "?" suffixes optional
+// subtrees, "~" prefixes negated ones, "$x" shows variable bindings,
+// "/re/" shows a recursive path edge, and trailing "diseq" lines list the
+// disequalities. It is a stable human-readable description for traces and
+// logs, not a parseable wire format (serve.ExtRequest is the wire shape).
+func (q Query) String() string {
+	if q.Root == nil {
+		return "<empty extended query>"
+	}
+	var b strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		if n.Negated {
+			b.WriteString("~")
+		}
+		if n.Label == "" {
+			b.WriteString(".")
+		} else {
+			b.WriteString(string(n.Label))
+		}
+		if n.Extract {
+			b.WriteString("!")
+		}
+		if n.Optional {
+			b.WriteString("?")
+		}
+		if n.Var != "" {
+			b.WriteString(" $" + n.Var)
+		}
+		if n.Path != nil {
+			fmt.Fprintf(&b, " /%s/", n.Path)
+		}
+		if !n.Cond.IsTrue() {
+			fmt.Fprintf(&b, " {%s}", n.Cond)
+		}
+		b.WriteString("\n")
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(q.Root, 0)
+	for _, d := range q.Diseq {
+		fmt.Fprintf(&b, "diseq %s != %s\n", d[0], d[1])
+	}
+	return b.String()
+}
+
+// Classify walks the query once and returns its fragment: the highest
+// rung of the hardness ladder any of its features reaches.
+func (q Query) Classify() Class {
+	var negated, join, path, branching bool
+	if len(q.Diseq) > 0 {
+		join = true
+	}
+	vars := map[string]int{}
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.Negated {
+			negated = true
+		}
+		if n.Optional {
+			branching = true
+		}
+		if n.Path != nil {
+			path = true
+		}
+		if n.Var != "" {
+			vars[n.Var]++
+		}
+		seen := map[string]int{}
+		for _, c := range n.Children {
+			seen[string(c.Label)]++
+			rec(c)
+		}
+		for _, k := range seen {
+			if k > 1 {
+				branching = true
+			}
+		}
+	}
+	rec(q.Root)
+	for _, k := range vars {
+		if k > 1 {
+			join = true
+		}
+	}
+	switch {
+	case negated:
+		return ClassNegation
+	case join:
+		return ClassJoin
+	case path:
+		return ClassPathRE
+	case branching:
+		return ClassBranching
+	}
+	return ClassPS
+}

@@ -14,6 +14,7 @@ package extquery
 import (
 	"fmt"
 
+	"incxml/internal/budget"
 	"incxml/internal/cond"
 	"incxml/internal/pathre"
 	"incxml/internal/rat"
@@ -137,11 +138,35 @@ func (q Query) Vars() []string {
 	return out
 }
 
+// evaluator threads an optional cooperative budget through the
+// backtracking search. A nil budget is unlimited; the first Charge failure
+// is recorded in err and every recursion level unwinds on it.
+type evaluator struct {
+	bud *budget.B
+	err error
+}
+
+// charge consumes n steps; it reports false once the budget is exhausted,
+// letting deep recursions bail out on any path.
+func (ev *evaluator) charge(n int64) bool {
+	if ev.err != nil {
+		return false
+	}
+	if err := ev.bud.Charge(n); err != nil {
+		ev.err = err
+		return false
+	}
+	return true
+}
+
 // candidates returns the tree nodes a pattern child can match under tn.
-func candidates(tn *tree.Node, pn *Node) []*tree.Node {
+func (ev *evaluator) candidates(tn *tree.Node, pn *Node) []*tree.Node {
 	if pn.Path == nil {
 		var out []*tree.Node
 		for _, c := range tn.Children {
+			if !ev.charge(1) {
+				return nil
+			}
 			if pn.Label == "" || c.Label == pn.Label {
 				out = append(out, c)
 			}
@@ -152,6 +177,9 @@ func candidates(tn *tree.Node, pn *Node) []*tree.Node {
 	var walk func(n *tree.Node, m *pathre.Matcher)
 	walk = func(n *tree.Node, m *pathre.Matcher) {
 		for _, c := range n.Children {
+			if !ev.charge(1) {
+				return
+			}
 			next := m.Step(c.Label)
 			if next.Dead() {
 				continue
@@ -190,7 +218,10 @@ func nodeMatches(pn *Node, tn *tree.Node, b Binding) (Binding, bool) {
 }
 
 // match enumerates all valuations of the pattern rooted at pn against tn.
-func match(pn *Node, tn *tree.Node, b Binding) []result {
+func (ev *evaluator) match(pn *Node, tn *tree.Node, b Binding) []result {
+	if !ev.charge(1) {
+		return nil
+	}
 	b2, ok := nodeMatches(pn, tn, b)
 	if !ok {
 		return nil
@@ -217,8 +248,8 @@ func match(pn *Node, tn *tree.Node, b Binding) []result {
 		}
 		var next []result
 		for _, r := range results {
-			for _, cand := range candidates(tn, child) {
-				for _, sub := range match(child, cand, r.binding) {
+			for _, cand := range ev.candidates(tn, child) {
+				for _, sub := range ev.match(child, cand, r.binding) {
 					merged := map[tree.NodeID]bool{}
 					for id := range r.nodes {
 						merged[id] = true
@@ -242,8 +273,8 @@ func match(pn *Node, tn *tree.Node, b Binding) []result {
 		var kept []result
 		for _, r := range results {
 			blocked := false
-			for _, cand := range candidates(tn, child) {
-				if len(match(child, cand, r.binding)) > 0 {
+			for _, cand := range ev.candidates(tn, child) {
+				if len(ev.match(child, cand, r.binding)) > 0 {
 					blocked = true
 					break
 				}
@@ -264,8 +295,8 @@ func match(pn *Node, tn *tree.Node, b Binding) []result {
 		// Optional matches consistent with each surviving binding contribute
 		// their nodes; they do not refine sibling bindings.
 		for i := range results {
-			for _, cand := range candidates(tn, child) {
-				for _, sub := range match(child, cand, results[i].binding) {
+			for _, cand := range ev.candidates(tn, child) {
+				for _, sub := range ev.match(child, cand, results[i].binding) {
 					for id := range sub.nodes {
 						results[i].nodes[id] = true
 					}
@@ -290,12 +321,14 @@ func (q Query) satisfiesDiseq(b Binding) bool {
 }
 
 // valuations enumerates all root valuations surviving the disequalities.
-func (q Query) valuations(t tree.Tree) []result {
+// When the evaluator's budget is exhausted mid-search the partial result
+// is discarded by the callers (ev.err is set).
+func (q Query) valuations(t tree.Tree, ev *evaluator) []result {
 	if q.Root == nil || t.Root == nil {
 		return nil
 	}
 	var out []result
-	for _, r := range match(q.Root, t.Root, Binding{}) {
+	for _, r := range ev.match(q.Root, t.Root, Binding{}) {
 		if q.satisfiesDiseq(r.binding) {
 			out = append(out, r)
 		}
@@ -304,22 +337,54 @@ func (q Query) valuations(t tree.Tree) []result {
 }
 
 // Matches reports whether the query has at least one valuation into t.
-func (q Query) Matches(t tree.Tree) bool { return len(q.valuations(t)) > 0 }
+func (q Query) Matches(t tree.Tree) bool { return len(q.valuations(t, &evaluator{})) > 0 }
+
+// MatchesBudgeted is Matches under a cooperative budget: Yes/No when the
+// search completed, Unknown (with the budget's error) when it exhausted
+// mid-search — never a wrong definite verdict.
+func (q Query) MatchesBudgeted(t tree.Tree, bud *budget.B) (budget.Tri, error) {
+	ev := &evaluator{bud: bud}
+	n := len(q.valuations(t, ev))
+	if ev.err != nil {
+		// A valuation found before exhaustion is still a valuation.
+		if n > 0 {
+			return budget.Yes, nil
+		}
+		return budget.Unknown, ev.err
+	}
+	return budget.Of(n > 0), nil
+}
 
 // Answer returns the prefix of t induced by the union of all valuations'
 // images (with bar extractions and optional matches included), mirroring
 // the ps-query answer semantics.
 func (q Query) Answer(t tree.Tree) tree.Tree {
+	out, _ := q.answer(t, &evaluator{})
+	return out
+}
+
+// AnswerBudgeted is Answer under a cooperative budget. When the budget
+// exhausts mid-search, the partial answer is discarded and the budget's
+// error returned: a truncated valuation set would silently under-report
+// the answer, so the caller must degrade explicitly instead.
+func (q Query) AnswerBudgeted(t tree.Tree, bud *budget.B) (tree.Tree, error) {
+	return q.answer(t, &evaluator{bud: bud})
+}
+
+func (q Query) answer(t tree.Tree, ev *evaluator) (tree.Tree, error) {
 	keep := map[tree.NodeID]bool{}
-	for _, r := range q.valuations(t) {
+	for _, r := range q.valuations(t, ev) {
 		for id := range r.nodes {
 			keep[id] = true
 		}
 	}
-	if len(keep) == 0 {
-		return tree.Empty()
+	if ev.err != nil {
+		return tree.Empty(), ev.err
 	}
-	return t.PrefixOn(keep)
+	if len(keep) == 0 {
+		return tree.Empty(), nil
+	}
+	return t.PrefixOn(keep), nil
 }
 
 // Bindings returns the distinct variable bindings of all valuations.
@@ -327,7 +392,7 @@ func (q Query) Bindings(t tree.Tree) []Binding {
 	vars := q.Vars()
 	seen := map[string]bool{}
 	var out []Binding
-	for _, r := range q.valuations(t) {
+	for _, r := range q.valuations(t, &evaluator{}) {
 		k := r.binding.key(vars)
 		if !seen[k] {
 			seen[k] = true

@@ -1,0 +1,35 @@
+package reductions
+
+import "incxml/internal/budget"
+
+// SatisfiableBudgeted decides the formula by the same brute-force sweep as
+// Satisfiable, but under a cooperative budget: it charges one step per
+// assignment (plus one per clause evaluated) and returns Unknown with the
+// budget's error if the sweep cannot finish. A definite Yes/No is always
+// the oracle's answer — never a guess.
+func (f Formula) SatisfiableBudgeted(bud *budget.B) (budget.Tri, error) {
+	for mask := 0; mask < 1<<f.NumVars; mask++ {
+		if err := bud.Charge(1 + int64(len(f.Clauses))); err != nil {
+			return budget.Unknown, err
+		}
+		if f.eval(mask) {
+			return budget.Yes, nil
+		}
+	}
+	return budget.No, nil
+}
+
+// ValidBudgeted decides DNF validity by the same brute-force sweep as
+// Valid, under a cooperative budget; Unknown with the budget's error when
+// the sweep cannot finish, the oracle's verdict otherwise.
+func (d DNF) ValidBudgeted(bud *budget.B) (budget.Tri, error) {
+	for mask := 0; mask < 1<<d.NumVars; mask++ {
+		if err := bud.Charge(1 + int64(len(d.Disjuncts))); err != nil {
+			return budget.Unknown, err
+		}
+		if !d.eval(mask) {
+			return budget.No, nil
+		}
+	}
+	return budget.Yes, nil
+}

@@ -1,0 +1,88 @@
+package reductions
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"incxml/internal/budget"
+)
+
+func randomFormula(r *rand.Rand) Formula {
+	nv := 2 + r.Intn(6)
+	f := Formula{NumVars: nv}
+	for i := 0; i < 1+r.Intn(8); i++ {
+		var c Clause
+		for j := 0; j < 1+r.Intn(3); j++ {
+			c = append(c, Lit{Var: 1 + r.Intn(nv), Neg: r.Intn(2) == 0})
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+func randomDNF(r *rand.Rand) DNF {
+	nv := 2 + r.Intn(6)
+	d := DNF{NumVars: nv}
+	for i := 0; i < 1+r.Intn(8); i++ {
+		var dis Disjunct
+		for j := range dis {
+			dis[j] = Lit{Var: 1 + r.Intn(nv), Neg: r.Intn(2) == 0}
+		}
+		d.Disjuncts = append(d.Disjuncts, dis)
+	}
+	return d
+}
+
+// TestSatisfiableBudgetedDifferential pins the budgeted 3-SAT decider
+// against the brute-force oracle on random formulas: ample budgets must
+// reproduce the oracle exactly, starvation budgets may only say Unknown.
+func TestSatisfiableBudgetedDifferential(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		f := randomFormula(r)
+		want := budget.Of(f.Satisfiable())
+
+		got, err := f.SatisfiableBudgeted(budget.New(nil, 1<<24))
+		if err != nil || got != want {
+			t.Fatalf("seed %d: ample budget: got %v (%v), oracle %v", seed, got, err, want)
+		}
+
+		for _, steps := range []int64{1, 2, 5, 11} {
+			tri, err := f.SatisfiableBudgeted(budget.New(nil, steps))
+			if tri.Known() {
+				if tri != want {
+					t.Fatalf("seed %d steps %d: definite %v contradicts oracle %v", seed, steps, tri, want)
+				}
+			} else if !errors.Is(err, budget.ErrExhausted) {
+				t.Fatalf("seed %d steps %d: Unknown without budget error: %v", seed, steps, err)
+			}
+		}
+	}
+}
+
+// TestValidBudgetedDifferential is the same pinning for the Theorem 4.1
+// DNF-validity decider.
+func TestValidBudgetedDifferential(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDNF(r)
+		want := budget.Of(d.Valid())
+
+		got, err := d.ValidBudgeted(budget.New(nil, 1<<24))
+		if err != nil || got != want {
+			t.Fatalf("seed %d: ample budget: got %v (%v), oracle %v", seed, got, err, want)
+		}
+
+		for _, steps := range []int64{1, 2, 5, 11} {
+			tri, err := d.ValidBudgeted(budget.New(nil, steps))
+			if tri.Known() {
+				if tri != want {
+					t.Fatalf("seed %d steps %d: definite %v contradicts oracle %v", seed, steps, tri, want)
+				}
+			} else if !errors.Is(err, budget.ErrExhausted) {
+				t.Fatalf("seed %d steps %d: Unknown without budget error: %v", seed, steps, err)
+			}
+		}
+	}
+}

@@ -6,11 +6,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"incxml/internal/cond"
+	"incxml/internal/extquery"
 	"incxml/internal/obs"
 	"incxml/internal/query"
 	"incxml/internal/tree"
@@ -83,6 +86,47 @@ func TestChaosSoak(t *testing.T) {
 	blowDoc := workload.BlowupWorld()
 	query4Body := "catalog\n  product\n    name\n    cat {= 1}\n      subcat {= 2}\n"
 
+	// Section 4 extension traffic: the soak asserts the never-wrong
+	// contract — intractable classes (negation, join) may only ever answer
+	// "unknown", and any "yes" exactness claim must match the brute-force
+	// in-package oracle on the true world.
+	extQueries := map[string]extquery.Query{}
+	extOracle := map[string]int{}
+	for _, q := range []extquery.Query{
+		branchingExtQuery(), pathreExtQuery(), negationExtQuery(),
+		{Root: extquery.N("catalog", cond.True(), // join through a shared variable
+			extquery.N("product", cond.True(), extquery.V("cat", "x")),
+			extquery.N("product", cond.True(), extquery.V("cat", "x")))},
+	} {
+		body := extBody(t, ExtRequestOf("catalog", q, 0))
+		extQueries[body] = q
+		extOracle[body] = q.Answer(catDoc).Size()
+	}
+	extBodies := make([]string, 0, len(extQueries))
+	for body := range extQueries {
+		extBodies = append(extBodies, body)
+	}
+	sort.Strings(extBodies)
+	// Reduction traffic with known oracle verdicts.
+	redBody := func(req ReductionRequest) string {
+		b, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	redWant := map[string]string{
+		redBody(ReductionRequest{Kind: "3sat", NumVars: 2, Clauses: [][]int{{1, 2}, {-1}}}):          "yes",
+		redBody(ReductionRequest{Kind: "3sat", NumVars: 1, Clauses: [][]int{{1}, {-1}}}):             "no",
+		redBody(ReductionRequest{Kind: "dnf", NumVars: 1, Clauses: [][]int{{1, 1, 1}, {-1, -1, -1}}}): "yes",
+		redBody(ReductionRequest{Kind: "dnf", NumVars: 2, Clauses: [][]int{{1, 2, 1}}}):              "no",
+	}
+	redBodies := make([]string, 0, len(redWant))
+	for body := range redWant {
+		redBodies = append(redBodies, body)
+	}
+	sort.Strings(redBodies)
+
 	// Warm the catalog knowledge (the injector may fault the first tries).
 	warmed := false
 	for i := 0; i < 20 && !warmed; i++ {
@@ -122,7 +166,7 @@ func TestChaosSoak(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(100 + w)))
 			for i := 0; i < perWorker; i++ {
-				switch rng.Intn(10) {
+				switch rng.Intn(12) {
 				case 0, 1:
 					results <- do("/explore", catalogBody)
 				case 2, 3:
@@ -144,6 +188,10 @@ func TestChaosSoak(t *testing.T) {
 					}
 				case 9:
 					results <- do("/local?boom=1", query4Body)
+				case 10:
+					results <- do("/ext/query", extBodies[rng.Intn(len(extBodies))])
+				case 11:
+					results <- do("/ext/reduction", redBodies[rng.Intn(len(redBodies))])
 				}
 			}
 		}(w)
@@ -157,6 +205,7 @@ func TestChaosSoak(t *testing.T) {
 		http.StatusServiceUnavailable: true, http.StatusGatewayTimeout: true,
 	}
 	var total, shed, panics, fullYes, exactCompletes, degradedCompletes int
+	var extAnswers, extExactYes int
 	for r := range results {
 		total++
 		if r.elapsed > timeout+requestEpsilon {
@@ -191,7 +240,9 @@ func TestChaosSoak(t *testing.T) {
 			if m["v"] != float64(1) {
 				t.Errorf("%s: answer without v:1 envelope: %s", r.path, r.resp)
 			}
-			if dig(m, "completeness", "verdict") == nil {
+			// Every tree-answer route carries a completeness section; the
+			// reduction route decides a formula, not a document.
+			if r.path != "/ext/reduction" && dig(m, "completeness", "verdict") == nil {
 				t.Errorf("%s: answer without a completeness certificate: %s", r.path, r.resp)
 			}
 			if strings.HasPrefix(r.path, "/local") {
@@ -214,6 +265,31 @@ func TestChaosSoak(t *testing.T) {
 					degradedCompletes++
 				}
 			}
+			if r.path == "/ext/query" {
+				extAnswers++
+				class, _ := dig(m, "extension", "class").(string)
+				exactV, _ := dig(m, "extension", "exactV").(string)
+				// The never-wrong contract: Section-4-intractable classes
+				// must always answer "unknown", whatever the storm does.
+				if !extquery.Class(class).Tractable() && exactV != "unknown" {
+					t.Errorf("%s: intractable class %q claims verdict %q: %s",
+						r.path, class, exactV, r.resp)
+				}
+				if exactV == "yes" {
+					extExactYes++
+					if got, want := int(dig(m, "answer", "nodes").(float64)), extOracle[r.body]; got != want {
+						t.Errorf("%s: exact claim with %d nodes, oracle has %d: %s",
+							r.path, got, want, r.resp)
+					}
+				}
+			}
+			if r.path == "/ext/reduction" {
+				decision, _ := dig(m, "extension", "decision").(string)
+				if decision != "unknown" && decision != redWant[r.body] {
+					t.Errorf("%s: decision %q contradicts oracle %q for %s",
+						r.path, decision, redWant[r.body], r.body)
+				}
+			}
 		}
 	}
 	if total != workers*perWorker {
@@ -222,6 +298,10 @@ func TestChaosSoak(t *testing.T) {
 	if panics == 0 {
 		t.Error("storm never hit the panic injection path")
 	}
+	if extAnswers == 0 {
+		t.Error("storm never exercised the extension route")
+	}
+	_ = extExactYes // may be zero under budget pressure; the soak only forbids wrong claims
 
 	// Recovery: with the storm over, a normal local answer succeeds again
 	// (it never touches the faulty source).

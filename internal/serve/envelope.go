@@ -50,6 +50,9 @@ type AnswerEnvelope struct {
 	// Completeness is the completeness certificate (scatter-wide, on
 	// scatter envelopes).
 	Completeness *Completeness `json:"completeness,omitempty"`
+	// Extension carries the Section 4 class and verdict on the extension
+	// routes ("ext_query", "ext_reduction").
+	Extension *ExtensionInfo `json:"extension,omitempty"`
 	// Scatter is the per-source breakdown of a scatter answer.
 	Scatter *ScatterInfo `json:"scatter,omitempty"`
 }
@@ -136,6 +139,9 @@ type SourceEnvelope struct {
 	Local        *LocalFacets    `json:"local,omitempty"`
 	Completion   *CompletionInfo `json:"completion,omitempty"`
 	Completeness *Completeness   `json:"completeness,omitempty"`
+	// Extension carries the Section 4 class and verdict on scatter_ext
+	// envelopes.
+	Extension *ExtensionInfo `json:"extension,omitempty"`
 }
 
 // completenessOf projects a certificate into its wire form (nil-tolerant;

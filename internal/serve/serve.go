@@ -139,6 +139,9 @@ type Server struct {
 	latency  *obs.HistogramVec
 	shed     *obs.CounterVec
 	panics   *obs.Counter
+	// reductionVerdicts counts /ext/reduction decider outcomes by kind
+	// ("3sat"/"dnf") and three-valued verdict.
+	reductionVerdicts *obs.CounterVec
 
 	// draining flips once Drain starts: answer routes shed with 503 while
 	// /stats and /metrics stay up, so an orchestrator watching the drain
@@ -207,6 +210,9 @@ func New(cfg Config) (*Server, error) {
 			"reason"),
 		panics: reg.NewCounter("incxml_serve_panics_recovered_total",
 			"Handler panics recovered and converted to 500 responses."),
+		reductionVerdicts: reg.NewCounterVec("incxml_serve_reduction_verdicts_total",
+			"Reduction-decider verdicts served by /ext/reduction, by kind and three-valued verdict.",
+			"kind", "verdict"),
 	}
 	reg.GaugeFunc("incxml_serve_inflight",
 		"Handlers currently holding an execution slot.",
@@ -383,6 +389,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /complete", s.wrap("complete", s.handleComplete))
 	mux.HandleFunc("POST /scatter/local", s.wrap("scatter_local", s.handleScatterLocal))
 	mux.HandleFunc("POST /scatter/complete", s.wrap("scatter_complete", s.handleScatterComplete))
+	mux.HandleFunc("POST /ext/query", s.wrap("ext_query", s.handleExtQuery))
+	mux.HandleFunc("POST /ext/reduction", s.wrap("ext_reduction", s.handleExtReduction))
+	mux.HandleFunc("POST /scatter/ext", s.wrap("scatter_ext", s.handleScatterExt))
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.Pprof {

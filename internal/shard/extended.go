@@ -1,0 +1,130 @@
+package shard
+
+import (
+	"context"
+	"sort"
+
+	"incxml/internal/extquery"
+	"incxml/internal/webhouse"
+)
+
+// AnswerExtended routes a Section 4 extended query to the source's shard.
+// Extension queries inherit the shard's fault domain exactly like local
+// answers: a degraded (budget-exhausted) answer counts against the shard's
+// degradation counters.
+func (c *Cluster) AnswerExtended(ctx context.Context, source string, q extquery.Query) (*webhouse.ExtendedAnswer, error) {
+	g, err := c.Owner(source)
+	if err != nil {
+		return nil, err
+	}
+	return g.extOne(ctx, source, q)
+}
+
+// extOne is AnswerExtended on one shard with the per-shard counters.
+func (g *Group) extOne(ctx context.Context, source string, q extquery.Query) (*webhouse.ExtendedAnswer, error) {
+	g.requests.Add(1)
+	ea, err := g.wh.AnswerExtended(ctx, source, q)
+	if err != nil || ea.BudgetExhausted {
+		g.degraded.Add(1)
+	}
+	return ea, err
+}
+
+// ExtAnswer is one source's contribution to an extended scatter.
+type ExtAnswer struct {
+	Source string
+	Shard  int
+	Ext    *webhouse.ExtendedAnswer
+	// Err is a hard per-source failure (context expiry, solver error).
+	Err error
+}
+
+// Degraded reports whether the answer is anything less than a completed
+// evaluation: a hard failure or a budget-truncated search.
+func (ea ExtAnswer) Degraded() bool {
+	return ea.Err != nil || (ea.Ext != nil && ea.Ext.BudgetExhausted)
+}
+
+// ExtScatter is the gathered result of a cluster-wide extended query: one
+// answer per registered source, sorted by source name, plus the per-shard
+// health classification. Extended queries carry no scatter-wide merged
+// certificate — extended languages are not a strong representation system
+// (Section 4), so per-source certificates (present when Corollary 3.15
+// applied through a covering ps-query) do not intersect meaningfully.
+type ExtScatter struct {
+	Answers        []ExtAnswer
+	CompleteShards []int
+	DegradedShards []int
+}
+
+// Degraded reports whether any shard degraded.
+func (s *ExtScatter) Degraded() bool { return len(s.DegradedShards) > 0 }
+
+// ByName returns the answer for a source, or nil.
+func (s *ExtScatter) ByName(source string) *ExtAnswer {
+	i := sort.Search(len(s.Answers), func(i int) bool { return s.Answers[i].Source >= source })
+	if i < len(s.Answers) && s.Answers[i].Source == source {
+		return &s.Answers[i]
+	}
+	return nil
+}
+
+// ScatterExtended evaluates an extended query on every registered source,
+// parallel across shards and sequential within one, with the same plan-
+// snapshot and barrier semantics as ScatterLocal: only a dead context
+// aborts the whole call, per-source budget exhaustion degrades that
+// source's shard.
+func (c *Cluster) ScatterExtended(ctx context.Context, q extquery.Query) (*ExtScatter, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	type shardPlan struct {
+		g    *Group
+		srcs []string
+	}
+	var plan []shardPlan
+	for _, g := range c.groups {
+		if srcs := g.Sources(); len(srcs) > 0 {
+			plan = append(plan, shardPlan{g, srcs})
+		}
+	}
+	results := make([][]ExtAnswer, len(plan))
+	run := func(pi int) {
+		p := plan[pi]
+		out := make([]ExtAnswer, 0, len(p.srcs))
+		for _, src := range p.srcs {
+			ea := ExtAnswer{Source: src, Shard: p.g.id}
+			if err := ctx.Err(); err != nil {
+				ea.Err = err
+			} else {
+				ea.Ext, ea.Err = p.g.extOne(ctx, src, q)
+			}
+			out = append(out, ea)
+		}
+		results[pi] = out
+	}
+	if err := c.scatterPool.Each(ctx, len(plan), run); err != nil {
+		return nil, err
+	}
+	s := &ExtScatter{}
+	for pi, p := range plan {
+		shardOK := true
+		for _, ea := range results[pi] {
+			if ea.Degraded() {
+				shardOK = false
+			}
+			s.Answers = append(s.Answers, ea)
+		}
+		if shardOK {
+			s.CompleteShards = append(s.CompleteShards, p.g.id)
+		} else {
+			s.DegradedShards = append(s.DegradedShards, p.g.id)
+		}
+	}
+	sort.Slice(s.Answers, func(i, j int) bool { return s.Answers[i].Source < s.Answers[j].Source })
+	c.scatters.Add(1)
+	if s.Degraded() {
+		c.scatterDegraded.Add(1)
+	}
+	return s, nil
+}

@@ -2,15 +2,29 @@ package webhouse
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
 	"incxml/internal/answer"
+	"incxml/internal/budget"
+	"incxml/internal/certify"
+	"incxml/internal/cond"
 	"incxml/internal/extquery"
 	"incxml/internal/intern"
+	"incxml/internal/itree"
+	"incxml/internal/obs"
 	"incxml/internal/query"
 	"incxml/internal/tree"
 )
+
+// extVerdicts counts extended-answer exactness verdicts by query class —
+// the serving-side view of the Section 4 tractability boundary. Process-
+// global (obs.Default()) like the other decider-verdict families.
+var extVerdicts = obs.Default().NewCounterVec(
+	"incxml_webhouse_ext_verdicts_total",
+	"Extended-query exactness verdicts by Section 4 query class.",
+	"class", "verdict")
 
 // ExtendedAnswer is the result of answering a Section 4 extended query
 // (branching, optional subtrees, negation, joins, path expressions) against
@@ -20,18 +34,40 @@ import (
 // ps-queries feed the warehouse, while a more powerful language is asked
 // locally. Because extended queries are not a strong representation system
 // (Section 4), the webhouse cannot represent all their possible answers;
-// instead it reports the answer over the known data together with an
-// exactness verdict.
+// instead it reports the answer over the known data together with a
+// three-valued exactness verdict that is never wrong when definite.
 type ExtendedAnswer struct {
 	// Known is the extended query's answer on the data tree T_d.
 	Known tree.Tree
-	// Exact reports whether Known is guaranteed to equal the answer on the
-	// full document. It holds when a covering ps-query — the extended
-	// pattern with branching collapsed and non-monotone features stripped —
-	// is fully answerable from the warehouse (Corollary 3.15) and the
-	// extended query uses no non-monotone feature (negation or optional
-	// subtrees), whose verdict could flip as unseen data arrives.
+	// Class is the Section 4 fragment the query falls into (its most
+	// expensive feature).
+	Class extquery.Class
+	// ExactV is the three-valued exactness verdict for Known against the
+	// answer on the full document:
+	//
+	//   - Yes when a covering ps-query is fully answerable from the
+	//     warehouse (Corollary 3.15) — or, for path-expression queries with
+	//     no ps-cover, when the whole document is certified known, so
+	//     rep(T) is the singleton {T_d} and any evaluation is exact;
+	//   - Unknown otherwise. In particular, queries in the intractable
+	//     classes (negation, joins — Theorems 4.1/4.5/4.7) always report
+	//     Unknown: the decider refuses to guess where Section 4 says the
+	//     question is co-NP-hard or undecidable, so a definite verdict is
+	//     never wrong by construction.
+	//
+	// No is never reported: failing to certify exactness does not prove
+	// the answer inexact.
+	ExactV budget.Tri
+	// Exact is ExactV == Yes, kept for v0-era callers.
 	Exact bool
+	// Certificate is the Corollary 3.15 completeness certificate over the
+	// covering ps-query when one exists and the class is tractable; nil
+	// otherwise.
+	Certificate *certify.Certificate
+	// BudgetExhausted reports that the step budget ran out mid-evaluation:
+	// Known may be empty and ExactV is Unknown. Such answers are degraded,
+	// never cached, and never claimed exact.
+	BudgetExhausted bool
 }
 
 // extKey renders an extended query to a canonical cache-key string. Unlike
@@ -87,9 +123,11 @@ func (r *Repository) storeExt(gen uint64, key intern.ID, ea *ExtendedAnswer) {
 }
 
 // AnswerExtended evaluates an extended query against the repository's data
-// tree and reports whether the result is exact. Results are cached per
-// source until the knowledge changes. The query runs entirely locally;
-// the context's deadline is still honored between the evaluation stages.
+// tree under the webhouse's cooperative budget and reports a three-valued
+// exactness verdict. Results are cached per source until the knowledge
+// changes; budget-degraded answers are never cached. Deadline exhaustion
+// surfaces as an error (the serving layer maps it to a timeout); step
+// exhaustion degrades soundly to an Unknown-verdict answer.
 func (wh *Webhouse) AnswerExtended(ctx context.Context, source string, q extquery.Query) (*ExtendedAnswer, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -110,21 +148,87 @@ func (wh *Webhouse) AnswerExtended(ctx context.Context, source string, q extquer
 	wh.cacheMisses.Add(1)
 	gen, know := r.snapshot()
 	td := know.DataTree()
-	out := &ExtendedAnswer{Known: q.Answer(td)}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	cover, monotone := coveringPSQuery(q)
-	if monotone && cover.Root != nil {
-		fully, err := answer.FullyAnswerable(know, cover)
-		if err != nil {
+
+	bud := wh.newBudget(ctx)
+	endStage := obs.FromContext(ctx).Stage("extended")
+	defer func() {
+		used := bud.Used()
+		stepsUsed.Observe(used)
+		endStage(used)
+	}()
+
+	out := &ExtendedAnswer{Class: q.Classify(), ExactV: budget.Unknown}
+	out.Known, err = q.AnswerBudgeted(td, bud)
+	if err != nil {
+		if !errors.Is(err, budget.ErrExhausted) {
 			return nil, err
 		}
-		out.Exact = fully
+		wh.budgetExhaustions.Add(1)
+		if bud.ExhaustedCause() == budget.CauseDeadline {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			return nil, bud.Err()
+		}
+		// Step exhaustion: degrade soundly. The partial valuation set was
+		// discarded (it would under-report); serve an explicitly degraded
+		// empty answer with an Unknown verdict, uncached.
+		out.BudgetExhausted = true
+		extVerdicts.With(out.Class.String(), out.ExactV.String()).Inc()
+		return out, nil
 	}
-	r.storeExt(gen, key, out)
+
+	if out.Class.Tractable() {
+		if err := wh.certifyExtended(ctx, know, q, out, bud); err != nil {
+			return nil, err
+		}
+	}
+	out.Exact = out.ExactV == budget.Yes
+	extVerdicts.With(out.Class.String(), out.ExactV.String()).Inc()
+	if !out.BudgetExhausted {
+		r.storeExt(gen, key, out)
+	}
 	cp := *out
 	return &cp, nil
+}
+
+// certifyExtended resolves the exactness verdict for a tractable-class
+// query: through the covering ps-query when one exists, else — for
+// path-expression and optional-subtree queries — through the whole-document
+// cover (a root-bar query): if every completion agrees on the full
+// document, rep(T) = {T_d} and any evaluation over T_d is exact.
+func (wh *Webhouse) certifyExtended(ctx context.Context, know *itree.T, q extquery.Query, out *ExtendedAnswer, bud *budget.B) error {
+	cover, monotone := coveringPSQuery(q)
+	if !monotone || cover.Root == nil {
+		td := know.DataTree()
+		if td.Root == nil {
+			return nil
+		}
+		cover = query.Query{Root: query.Bar(td.Root.Label, cond.True())}
+	}
+	fully, err := answer.FullyAnswerableBudgeted(know, cover, bud)
+	if err != nil {
+		if !errors.Is(err, budget.ErrExhausted) {
+			return err
+		}
+		wh.budgetExhaustions.Add(1)
+		if bud.ExhaustedCause() == budget.CauseDeadline {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			return bud.Err()
+		}
+		out.BudgetExhausted = true
+		return nil
+	}
+	if fully == budget.Yes {
+		out.ExactV = budget.Yes
+		// Certificate under its own bounded budget, as for local answers:
+		// exhausting the request budget must not erase the certificate.
+		out.Certificate = certify.Compute(know, cover,
+			budget.New(ctx, certifySteps(wh.effectiveSteps(ctx))))
+	}
+	return nil
 }
 
 // coveringPSQuery derives a ps-query whose answer contains every node any

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"incxml/internal/cond"
+	"incxml/internal/query"
+	"incxml/internal/tree"
+)
+
+// InferTwig generalizes example subtrees into a ps-query matching all of
+// them, in the spirit of Staworko & Wieczorek's twig-query learning from
+// positive examples: the result is the anti-unification of the examples.
+//
+//   - All examples must agree on the root label; it becomes the pattern
+//     root.
+//   - A child label is kept only when every example has at least one child
+//     with that label; same-label siblings are collapsed into a single
+//     pattern child, anti-unified over the pooled instances from all
+//     examples.
+//   - A node gets an equality condition when every pooled instance carries
+//     the same value, and the trivial condition otherwise.
+//
+// The inferred query is the most specific ps-query in this fragment that
+// matches every example (and therefore never excludes one); it is the
+// acquisition query a session poses after exploring a handful of example
+// subtrees.
+func InferTwig(examples []*tree.Node) (query.Query, error) {
+	if len(examples) == 0 {
+		return query.Query{}, fmt.Errorf("workload: InferTwig needs at least one example")
+	}
+	root, err := antiUnify(examples)
+	if err != nil {
+		return query.Query{}, err
+	}
+	return query.Query{Root: root}, nil
+}
+
+// antiUnify folds a pool of same-label nodes into one pattern node.
+func antiUnify(pool []*tree.Node) (*query.Node, error) {
+	label := pool[0].Label
+	for _, n := range pool[1:] {
+		if n.Label != label {
+			return nil, fmt.Errorf("workload: examples disagree on label: %q vs %q", label, n.Label)
+		}
+	}
+	c := cond.True()
+	allEqual := true
+	for _, n := range pool[1:] {
+		if !n.Value.Equal(pool[0].Value) {
+			allEqual = false
+			break
+		}
+	}
+	if allEqual {
+		c = cond.Eq(pool[0].Value)
+	}
+	out := query.N(label, c)
+
+	// Group children by label per pool member; keep labels present in every
+	// member, pooling all same-label instances for the recursive step.
+	perMember := make([]map[tree.Label][]*tree.Node, len(pool))
+	for i, n := range pool {
+		groups := map[tree.Label][]*tree.Node{}
+		for _, ch := range n.Children {
+			groups[ch.Label] = append(groups[ch.Label], ch)
+		}
+		perMember[i] = groups
+	}
+	var common []tree.Label
+	for l := range perMember[0] {
+		everywhere := true
+		for _, groups := range perMember[1:] {
+			if len(groups[l]) == 0 {
+				everywhere = false
+				break
+			}
+		}
+		if everywhere {
+			common = append(common, l)
+		}
+	}
+	sort.Slice(common, func(i, j int) bool { return common[i] < common[j] })
+	for _, l := range common {
+		var childPool []*tree.Node
+		for _, groups := range perMember {
+			childPool = append(childPool, groups[l]...)
+		}
+		ch, err := antiUnify(childPool)
+		if err != nil {
+			return nil, err
+		}
+		out.Children = append(out.Children, ch)
+	}
+	return out, nil
+}

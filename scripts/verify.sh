@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 go vet ./...
 # Godoc gate: the public facade and the operator-facing packages must
 # document every exported symbol (see scripts/doclint).
-go run ./scripts/doclint incxml.go ./internal/obs ./internal/budget ./internal/serve ./internal/certify ./internal/store
+go run ./scripts/doclint incxml.go ./internal/obs ./internal/budget ./internal/serve ./internal/certify ./internal/store ./internal/workload ./internal/extquery ./internal/reductions
 # staticcheck is optional tooling: run it when installed, skip silently
 # in minimal environments.
 if command -v staticcheck >/dev/null 2>&1; then
@@ -50,6 +50,12 @@ go test ./internal/shard/ -run TestCertificateSoundnessSoak -short -count=1
 # 220-round pass runs in the plain suite above; cmd/benchrobust produces
 # the durability cost numbers.
 go test ./internal/store/ -run TestCrashRecoverySoak -short -count=1
+
+# E25 smoke (EXPERIMENTS.md): a small generated traffic stream — zipfian
+# sources, session shapes, extension and reduction probes — driven through
+# the HTTP surface; every definite verdict must match the in-package
+# oracles. cmd/benchrobust produces the full per-class latency table.
+go test ./internal/serve/ -run TestE25TrafficSmoke -short -count=1
 
 # Fuzz smoke: a couple of seconds per serving-path parser and per
 # durability decoder (the snapshot and WAL codecs parse attacker-grade
