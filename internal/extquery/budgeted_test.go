@@ -123,6 +123,60 @@ func TestAnswerBudgetedNeverWrong(t *testing.T) {
 	}
 }
 
+// negatedCatalogQuery generates a random catalog query that always carries
+// a ¬-subtree, for the negation-soundness sweep below.
+func negatedCatalogQuery(r *rand.Rand) extquery.Query {
+	product := extquery.N("product", cond.True())
+	if r.Intn(2) == 0 {
+		product.Children = append(product.Children, extquery.N("name", cond.True()))
+	}
+	neg := extquery.N("price", cond.LtInt(int64(r.Intn(1_000_000))))
+	if r.Intn(3) == 0 {
+		neg = extquery.N("cat", cond.True(), extquery.N("subcat", cond.True()))
+	}
+	product.Children = append(product.Children, extquery.Negated(neg))
+	return extquery.Query{Root: extquery.N("catalog", cond.True(), product)}
+}
+
+// TestMatchesBudgetedNegationSoundness pins the REVIEW-reported soundness
+// hole: when the budget exhausts during a negated-child check, the
+// surviving valuation is unverified, so MatchesBudgeted must answer
+// Unknown — a definite Yes there can contradict the oracle (the query
+// below is a No under the exact evaluator, yet a 5-step budget used to
+// report Yes).
+func TestMatchesBudgetedNegationSoundness(t *testing.T) {
+	doc := workload.RandomCatalog(3, 1)
+	q := extquery.Query{Root: extquery.N("catalog", cond.True(),
+		extquery.N("product", cond.True(),
+			extquery.Negated(extquery.N("price", cond.LtInt(1000000)))))}
+	oracle := budget.Of(q.Matches(doc))
+	if tri, _ := q.MatchesBudgeted(doc, budget.New(nil, 5)); tri.Known() && tri != oracle {
+		t.Fatalf("5-step verdict %v contradicts oracle %v", tri, oracle)
+	}
+
+	// Sweep negation-bearing random queries across every small budget: a
+	// definite verdict must always agree with the exact oracle, and an
+	// Unknown must carry the exhaustion error.
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		doc := workload.RandomCatalog(2+r.Intn(5), seed)
+		q := negatedCatalogQuery(r)
+		want := budget.Of(q.Matches(doc))
+		for steps := int64(1); steps <= 200; steps++ {
+			tri, err := q.MatchesBudgeted(doc, budget.New(nil, steps))
+			if tri.Known() {
+				if tri != want {
+					t.Fatalf("seed %d steps %d: definite verdict %v contradicts oracle %v",
+						seed, steps, tri, want)
+				}
+			} else if !errors.Is(err, budget.ErrExhausted) {
+				t.Fatalf("seed %d steps %d: unknown verdict without exhaustion error: %v",
+					seed, steps, err)
+			}
+		}
+	}
+}
+
 // TestClassify pins the hardness-ladder classification.
 func TestClassify(t *testing.T) {
 	base := func() *extquery.Node {

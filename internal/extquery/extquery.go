@@ -144,6 +144,11 @@ func (q Query) Vars() []string {
 type evaluator struct {
 	bud *budget.B
 	err error
+	// negUnverified records that a valuation survived a negated-child
+	// filter the budget exhausted before completing: that filter ran out
+	// of steps before it could certify the valuation is genuinely
+	// unblocked, so any surviving valuation may be spurious.
+	negUnverified bool
 }
 
 // charge consumes n steps; it reports false once the budget is exhausted,
@@ -280,6 +285,12 @@ func (ev *evaluator) match(pn *Node, tn *tree.Node, b Binding) []result {
 				}
 			}
 			if !blocked {
+				if ev.err != nil {
+					// Exhaustion truncated the negated-child search: this
+					// keep is unverified, so a Yes built on it could be
+					// wrong.
+					ev.negUnverified = true
+				}
 				kept = append(kept, r)
 			}
 		}
@@ -346,8 +357,10 @@ func (q Query) MatchesBudgeted(t tree.Tree, bud *budget.B) (budget.Tri, error) {
 	ev := &evaluator{bud: bud}
 	n := len(q.valuations(t, ev))
 	if ev.err != nil {
-		// A valuation found before exhaustion is still a valuation.
-		if n > 0 {
+		// A valuation found before exhaustion is still a valuation — unless
+		// it passed through a negation filter the budget truncated, in
+		// which case it may be spurious and only Unknown is sound.
+		if n > 0 && !ev.negUnverified {
 			return budget.Yes, nil
 		}
 		return budget.Unknown, ev.err

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -216,7 +217,12 @@ func (s *Server) requireV1(w http.ResponseWriter, r *http.Request) bool {
 func decodeStrictJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		writeError(w, EnvelopeVersion, http.StatusBadRequest, err.Error(), 0)
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, EnvelopeVersion, status, err.Error(), 0)
 		return false
 	}
 	dec := json.NewDecoder(bytes.NewReader(bytes.TrimSpace(body)))
@@ -409,8 +415,9 @@ func (s *Server) handleExtReduction(ctx context.Context, w http.ResponseWriter, 
 	}
 	s.reductionVerdicts.With(req.Kind, verdict.String()).Inc()
 	writeAnswer(w, EnvelopeVersion, &AnswerEnvelope{
-		V:     EnvelopeVersion,
-		Route: "ext_reduction",
+		V:        EnvelopeVersion,
+		Route:    "ext_reduction",
+		Degraded: !verdict.Known(),
 		Extension: &ExtensionInfo{
 			Class:           req.Kind,
 			Tractable:       true,

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
@@ -190,6 +191,13 @@ func TestExtReductionRoute(t *testing.T) {
 	if got := decision(rec.Body.Bytes()); got != "unknown" {
 		t.Errorf("starved decider answered %q, want unknown", got)
 	}
+	var starved map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &starved); err != nil {
+		t.Fatal(err)
+	}
+	if starved["degraded"] != true {
+		t.Errorf("starved reduction envelope not flagged degraded: %s", rec.Body.String())
+	}
 
 	// Bad requests: unknown kind, out-of-range vars, malformed literal.
 	for _, bad := range []string{
@@ -247,5 +255,10 @@ func TestScatterExtRoute(t *testing.T) {
 	// Unknown fields are a 400 (strict decode).
 	if rec := post(t, h, "/ext/query", `{"pattern":{"label":"catalog"},"surprise":1}`); rec.Code != http.StatusBadRequest {
 		t.Errorf("unknown field got %d, want 400", rec.Code)
+	}
+	// Oversized bodies are a 413, not a 400.
+	huge := `{"pattern":{"label":"` + strings.Repeat("x", 1<<20) + `"}}`
+	if rec := post(t, h, "/ext/query", huge); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body got %d, want 413", rec.Code)
 	}
 }
